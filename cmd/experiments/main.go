@@ -1,0 +1,138 @@
+// Command experiments regenerates the paper's evaluation: Figures 4 and 5
+// and Tables 1-3, plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [flags] [fig4|fig5|table1|table2|table3|ablations|all]
+//
+// With no experiment argument it runs "all". The sweep is shared: every
+// figure and table of one invocation comes from the same set of runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		sizes   = flag.String("sizes", "", "comma-separated body counts (default: the paper's 1024..65536 sweep)")
+		steps   = flag.Int("steps", 100, "steps per table entry (the paper uses 100)")
+		seed    = flag.Uint64("seed", 0, "workload seed (0 = the default)")
+		theta   = flag.Float64("theta", 0.6, "treecode opening angle")
+		quick   = flag.Bool("quick", false, "use a reduced sweep (smoke test)")
+		verbose = flag.Bool("v", false, "print per-point progress")
+		jsonOut = flag.String("json", "", "also write the sweep data as JSON to this file")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "experiments: bad size %q\n", s)
+				os.Exit(2)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	cfg.Steps = *steps
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Theta = float32(*theta)
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	needSweep := what != "ablations"
+	var sw *exp.Sweep
+	if needSweep {
+		var err error
+		sw, err = exp.RunSweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := sw.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote sweep data to %s\n", *jsonOut)
+		}
+	}
+
+	emit := func(s string) { fmt.Println(s) }
+	switch what {
+	case "fig4":
+		emit(exp.Fig4(sw))
+	case "fig5":
+		emit(exp.Fig5(sw))
+	case "table1":
+		emit(exp.Table1(sw))
+	case "table2":
+		emit(exp.Table2(sw))
+	case "table3":
+		emit(exp.Table3(sw))
+	case "ablations":
+		runAblations(cfg)
+	case "all":
+		emit(exp.Fig4(sw))
+		emit(exp.Fig5(sw))
+		emit(exp.Table1(sw))
+		emit(exp.Table2(sw))
+		emit(exp.Table3(sw))
+		runAblations(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", what)
+		os.Exit(2)
+	}
+}
+
+func runAblations(cfg exp.Config) {
+	nMid := cfg.Sizes[len(cfg.Sizes)/2]
+	small := cfg.Sizes
+	if len(small) > 4 {
+		small = small[:4]
+	}
+	for _, run := range []func() (string, error){
+		func() (string, error) { return exp.ThetaSweep(cfg, nMid, []float32{0.3, 0.5, 0.6, 0.7, 0.9}) },
+		func() (string, error) { return exp.GroupCapSweep(cfg, nMid, []int{8, 16, 24, 32, 48, 64}) },
+		func() (string, error) { return exp.StagingAblation(cfg, small) },
+		func() (string, error) { return exp.OccupancyAblation(cfg, small) },
+		func() (string, error) { return exp.DivergenceAblation(cfg, nMid) },
+		func() (string, error) { return exp.CrossDevice(cfg, nMid) },
+		func() (string, error) { return exp.QuadrupoleSweep(cfg, small[len(small)-1], []float32{0.4, 0.6, 0.8}) },
+		func() (string, error) { return exp.WorkloadSensitivity(cfg, nMid) },
+		func() (string, error) { return exp.Algorithms(cfg, small) },
+	} {
+		out, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: ablation: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

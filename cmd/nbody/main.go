@@ -1,0 +1,176 @@
+// Command nbody runs an N-body simulation with a chosen force engine —
+// the CPU direct sum, the CPU Barnes-Hut treecode, or any of the four
+// simulated-GPU plans — and reports energy diagnostics and performance.
+//
+// Usage:
+//
+//	nbody -n 4096 -engine jw-parallel -steps 100 -dt 0.01
+//
+// Engines: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel,
+// w-parallel, jw-parallel.
+// Workloads: plummer, cube, disk, collision.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bh"
+	"repro/internal/body"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/fmm"
+	"repro/internal/gpusim"
+	"repro/internal/ic"
+	"repro/internal/integrate"
+	"repro/internal/pp"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 4096, "number of bodies")
+		engine   = flag.String("engine", "jw-parallel", "force engine: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel, w-parallel, jw-parallel, jw-parallel-x2, jw-parallel-x4")
+		workload = flag.String("workload", "plummer", "initial conditions: plummer, hernquist, cube, disk, collision")
+		steps    = flag.Int("steps", 100, "number of time steps")
+		dt       = flag.Float64("dt", 0.01, "time step")
+		theta    = flag.Float64("theta", 0.6, "treecode opening angle")
+		eps      = flag.Float64("eps", 0.05, "softening length")
+		integr   = flag.String("integrator", "leapfrog", "integrator: euler, leapfrog, verlet")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		every    = flag.Int("snapshot", 0, "record energy every k steps (0: start/end only; costs O(N^2) each)")
+		save     = flag.String("save", "", "write the final state to this snapshot file")
+		load     = flag.String("load", "", "start from this snapshot file instead of generating a workload")
+		showDiag = flag.Bool("diag", false, "print astrophysical diagnostics before and after the run")
+	)
+	flag.Parse()
+
+	var sys *body.System
+	startTime := 0.0
+	if *load != "" {
+		snap, err := snapshot.Load(*load)
+		if err != nil {
+			fail(err)
+		}
+		sys = snap.System
+		startTime = snap.Time
+		*n = sys.N()
+	} else {
+		var err error
+		sys, err = makeWorkload(*workload, *n, *seed)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	params := pp.Params{G: 1, Eps: float32(*eps)}
+	opt := bh.DefaultOptions()
+	opt.Theta = float32(*theta)
+	opt.Eps = float32(*eps)
+
+	eng, pe, err := makeEngine(*engine, params, opt)
+	if err != nil {
+		fail(err)
+	}
+
+	ig, err := integrate.New(*integr)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("nbody: %d bodies (%s), engine %s, integrator %s, dt=%g, %d steps\n",
+		*n, *workload, eng.Name(), ig.Name(), *dt, *steps)
+	if *showDiag {
+		if sum, err := diag.Summarize(sys, 1, *eps); err == nil {
+			fmt.Println("initial:", sum)
+		}
+	}
+	snaps, err := sim.Run(sys, eng, ig, sim.Config{
+		DT:            float32(*dt),
+		Steps:         *steps,
+		SnapshotEvery: *every,
+		G:             1,
+		Eps:           *eps,
+		Log:           os.Stdout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("energy drift: %.3e (relative)\n", sim.EnergyDrift(snaps))
+	if *showDiag {
+		if sum, err := diag.Summarize(sys, 1, *eps); err == nil {
+			fmt.Println("final:  ", sum)
+		}
+	}
+	if *save != "" {
+		final := startTime + float64(*steps)*(*dt)
+		if err := snapshot.Save(*save, snapshot.Snapshot{Time: final, System: sys}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved state to %s (t=%g)\n", *save, final)
+	}
+	if pe != nil {
+		fmt.Printf("modelled device time: kernel %.4gs, total %.4gs (%.1f GFLOPS sustained)\n",
+			pe.KernelSeconds, pe.TotalSeconds(), pe.SustainedGFLOPS())
+	}
+}
+
+func makeWorkload(kind string, n int, seed uint64) (*body.System, error) {
+	switch kind {
+	case "plummer":
+		return ic.Plummer(n, seed), nil
+	case "cube":
+		return ic.UniformCube(n, 2.0, seed), nil
+	case "disk":
+		return ic.Disk(n, 1.0, seed), nil
+	case "collision":
+		return ic.Collision(n, 4.0, 0.5, seed), nil
+	case "hernquist":
+		return ic.Hernquist(n, seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", kind)
+}
+
+func makeEngine(name string, params pp.Params, opt bh.Options) (sim.Engine, *core.Engine, error) {
+	switch name {
+	case "cpu-pp":
+		return &sim.DirectEngine{Params: params}, nil, nil
+	case "cpu-bh":
+		return &sim.TreeEngine{Opt: opt}, nil, nil
+	case "cpu-bh-refit":
+		return &bh.RefitEngine{Opt: opt}, nil, nil
+	case "cpu-fmm":
+		return &fmm.Engine{Opt: opt}, nil, nil
+	}
+	ctx, err := cl.NewContext(gpusim.HD5850())
+	if err != nil {
+		return nil, nil, err
+	}
+	var plan core.Plan
+	switch name {
+	case "i-parallel":
+		plan = core.NewIParallel(ctx, params)
+	case "j-parallel":
+		plan = core.NewJParallel(ctx, params)
+	case "w-parallel":
+		plan = core.NewWParallel(ctx, opt)
+	case "jw-parallel":
+		plan = core.NewJWParallel(ctx, opt)
+	case "jw-parallel-x2":
+		plan = core.NewMultiJW(opt, 2, gpusim.HD5850())
+	case "jw-parallel-x4":
+		plan = core.NewMultiJW(opt, 4, gpusim.HD5850())
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q", name)
+	}
+	pe := core.NewEngine(plan)
+	return pe, pe, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "nbody: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command ptpm prints the parallel time-space processing model's analysis
+// of the four execution plans at a given problem size: predicted occupancy,
+// bounding resource, per-group cycle budget and time — the reasoning the
+// paper uses to derive jw-parallel — alongside the measured simulator
+// results, and optionally a Chrome trace of the modelled device schedule.
+//
+// Usage:
+//
+//	ptpm -n 16384 [-trace schedule.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bh"
+	"repro/internal/body"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gpusim"
+	"repro/internal/ic"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 16384, "number of bodies")
+		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
+		tracePath = flag.String("trace", "", "write a Chrome trace of the jw-parallel schedule to this file")
+	)
+	flag.Parse()
+
+	dev := gpusim.HD5850()
+	model := core.TimeSpaceModel{Dev: dev}
+	sys := ic.Plummer(*n, 1)
+
+	// Analytic mappings for the PP plans (no execution needed).
+	fmt.Printf("PTPM analytic predictions (device: %s, peak %.0f GFLOPS)\n\n",
+		dev.Name, dev.PeakGFLOPS())
+
+	// Walk statistics for the BH mappings come from the host pipeline.
+	opt := bh.DefaultOptions()
+	opt.Theta = float32(*theta)
+	jwWorkload, err := bhWorkload(sys.Clone(), opt, 24)
+	if err != nil {
+		fail(err)
+	}
+	wWorkload, err := bhWorkload(sys.Clone(), opt, 64)
+	if err != nil {
+		fail(err)
+	}
+
+	analyses := []core.Analysis{
+		model.Analyze(core.DescribeIParallel(*n, 256)),
+		model.Analyze(core.DescribeJParallel(*n, 64)),
+		model.Analyze(core.DescribeWParallel(wWorkload, 64)),
+		model.Analyze(core.DescribeJWParallel(jwWorkload, 64, dev.ComputeUnits*dev.MaxGroupsPerCU)),
+	}
+	fmt.Println(core.Report(analyses...))
+
+	// Measured: run each plan once and analyse the actual launch.
+	fmt.Println("Measured launches (same cost model, counted work):")
+	cfg := exp.DefaultConfig()
+	cfg.Sizes = []int{*n}
+	cfg.Theta = float32(*theta)
+	sw, err := exp.RunSweep(cfg)
+	if err != nil {
+		fail(err)
+	}
+	var measured []core.Analysis
+	var jwLaunch *gpusim.Result
+	for _, name := range exp.PlanNames {
+		pt := sw.Points[name][0]
+		measured = append(measured, model.Analyze(core.FromResult(name, pt.Launch)))
+		if name == "jw-parallel" {
+			jwLaunch = pt.Launch
+		}
+	}
+	fmt.Println(core.Report(measured...))
+
+	if *tracePath != "" && jwLaunch != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		d := gpusim.MustNewDevice(dev)
+		if err := d.WriteTrace(f, jwLaunch); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote jw-parallel schedule trace to %s (open in chrome://tracing)\n", *tracePath)
+	}
+}
+
+// bhWorkload runs the host half of the treecode pipeline and summarises the
+// walk decomposition for the analytic BH mappings.
+func bhWorkload(sys *body.System, opt bh.Options, groupCap int) (core.BHWorkload, error) {
+	if opt.LeafCap > groupCap {
+		opt.LeafCap = groupCap
+	}
+	tree, err := bh.Build(sys, opt)
+	if err != nil {
+		return core.BHWorkload{}, err
+	}
+	ws, err := tree.BuildWalks(groupCap)
+	if err != nil {
+		return core.BHWorkload{}, err
+	}
+	_, _, meanList, _ := ws.ListStats()
+	var totalList float64
+	for i := range ws.Walks {
+		totalList += float64(ws.Walks[i].ListLen())
+	}
+	return core.BHWorkload{
+		NumWalks:      len(ws.Walks),
+		MeanBodies:    ws.MeanBodies(),
+		MeanListLen:   meanList,
+		TotalListLen:  totalList,
+		TotalInterset: float64(ws.Interactions()),
+	}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ptpm: %v\n", err)
+	os.Exit(1)
+}

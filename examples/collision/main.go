@@ -1,0 +1,77 @@
+// Collision: smash two Plummer spheres together and compare the CPU
+// Barnes-Hut engine against the simulated-GPU jw-parallel plan step by
+// step: both integrate the same system, and the example reports how far the
+// trajectories and conserved quantities agree — a realistic end-to-end check
+// that the GPU pipeline is a drop-in replacement for the CPU treecode.
+//
+// Run with: go run ./examples/collision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bh"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/ic"
+	"repro/internal/integrate"
+	"repro/internal/sim"
+)
+
+func main() {
+	const (
+		n     = 1024
+		steps = 100
+		dt    = 0.01
+	)
+	initial := ic.Collision(n, 4.0, 1.0, 3)
+
+	// CPU treecode run.
+	cpuSys := initial.Clone()
+	cpuEng := &sim.TreeEngine{Opt: bh.DefaultOptions()}
+	cpuSnaps, err := sim.Run(cpuSys, cpuEng, &integrate.Leapfrog{}, sim.Config{
+		DT: dt, Steps: steps, G: 1, Eps: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated-GPU jw-parallel run.
+	ctx, err := cl.NewContext(gpusim.HD5850())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuSys := initial.Clone()
+	gpuEng := core.NewEngine(core.NewJWParallel(ctx, bh.DefaultOptions()))
+	gpuSnaps, err := sim.Run(gpuSys, gpuEng, &integrate.Leapfrog{}, sim.Config{
+		DT: dt, Steps: steps, G: 1, Eps: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("collision: two %d-body Plummer spheres, %d steps of dt=%g\n\n", n/2, steps, dt)
+	fmt.Printf("%-22s %14s %14s\n", "", "CPU treecode", "GPU jw-parallel")
+	fmt.Printf("%-22s %14.6f %14.6f\n", "final total energy",
+		cpuSnaps[len(cpuSnaps)-1].Total, gpuSnaps[len(gpuSnaps)-1].Total)
+	fmt.Printf("%-22s %14.3e %14.3e\n", "energy drift",
+		sim.EnergyDrift(cpuSnaps), sim.EnergyDrift(gpuSnaps))
+
+	// Trajectory agreement: with identical theta both runs approximate the
+	// same dynamics; chaotic divergence grows with time but bulk statistics
+	// agree tightly.
+	var maxDev float64
+	for i := range cpuSys.Pos {
+		if d := float64(cpuSys.Pos[i].Sub(gpuSys.Pos[i]).Norm()); d > maxDev {
+			maxDev = d
+		}
+	}
+	cpuCOM := cpuSys.CenterOfMass()
+	gpuCOM := gpuSys.CenterOfMass()
+	fmt.Printf("%-22s %14.6f %14.6f\n", "centre of mass x", cpuCOM.X, gpuCOM.X)
+	fmt.Printf("\nmax per-body position deviation CPU vs GPU: %.3e\n", maxDev)
+	fmt.Println("(both runs use theta=0.6 walks; deviations reflect different but" +
+		" equally valid force approximations plus chaotic growth)")
+}

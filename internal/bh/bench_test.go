@@ -1,0 +1,76 @@
+package bh
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ic"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{1024, 8192, 65536} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			s := ic.Plummer(n, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(s, DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAccel(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			s := ic.Plummer(n, 1)
+			tree, err := Build(s, DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var inter int64
+			for i := 0; i < b.N; i++ {
+				st := tree.Accel(0)
+				inter = st.Interactions
+			}
+			b.ReportMetric(float64(inter), "interactions/op")
+		})
+	}
+}
+
+func BenchmarkBuildWalks(b *testing.B) {
+	for _, cap := range []int{16, 64} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			s := ic.Plummer(8192, 1)
+			tree, err := Build(s, DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.BuildWalks(cap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWalkEval(b *testing.B) {
+	s := ic.Plummer(8192, 1)
+	tree, err := Build(s, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := tree.BuildWalks(24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Eval()
+	}
+	b.ReportMetric(float64(ws.Interactions()), "interactions/op")
+}

@@ -1,0 +1,250 @@
+// Package body defines the particle system shared by every force engine in
+// the repository.
+//
+// The System type stores bodies in structure-of-arrays layout, matching the
+// flat float buffers the GPU kernels consume; Body is the convenience
+// array-of-structures view used by examples and tests. Diagnostics (energy,
+// momentum, centre of mass) accumulate in float64 even though the state is
+// float32, so that conservation checks are not drowned by summation
+// round-off.
+package body
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Body is the array-of-structures view of a single particle.
+type Body struct {
+	Pos  vec.V3
+	Vel  vec.V3
+	Mass float32
+}
+
+// System holds N bodies in structure-of-arrays layout. All slices have the
+// same length; Acc is scratch space filled by force engines.
+type System struct {
+	Pos  []vec.V3
+	Vel  []vec.V3
+	Acc  []vec.V3
+	Mass []float32
+}
+
+// NewSystem returns a zeroed system of n bodies.
+func NewSystem(n int) *System {
+	return &System{
+		Pos:  make([]vec.V3, n),
+		Vel:  make([]vec.V3, n),
+		Acc:  make([]vec.V3, n),
+		Mass: make([]float32, n),
+	}
+}
+
+// FromBodies builds a System from an AoS slice.
+func FromBodies(bs []Body) *System {
+	s := NewSystem(len(bs))
+	for i, b := range bs {
+		s.Pos[i] = b.Pos
+		s.Vel[i] = b.Vel
+		s.Mass[i] = b.Mass
+	}
+	return s
+}
+
+// N returns the number of bodies.
+func (s *System) N() int { return len(s.Pos) }
+
+// Body returns the AoS view of body i.
+func (s *System) Body(i int) Body {
+	return Body{Pos: s.Pos[i], Vel: s.Vel[i], Mass: s.Mass[i]}
+}
+
+// SetBody stores the AoS view b at index i.
+func (s *System) SetBody(i int, b Body) {
+	s.Pos[i] = b.Pos
+	s.Vel[i] = b.Vel
+	s.Mass[i] = b.Mass
+}
+
+// Clone returns a deep copy of the system, including accelerations.
+func (s *System) Clone() *System {
+	c := NewSystem(s.N())
+	copy(c.Pos, s.Pos)
+	copy(c.Vel, s.Vel)
+	copy(c.Acc, s.Acc)
+	copy(c.Mass, s.Mass)
+	return c
+}
+
+// Validate checks structural invariants: equal slice lengths, finite state,
+// and strictly positive masses. It returns the first violation found.
+func (s *System) Validate() error {
+	n := len(s.Pos)
+	if len(s.Vel) != n || len(s.Acc) != n || len(s.Mass) != n {
+		return fmt.Errorf("body: ragged system: pos=%d vel=%d acc=%d mass=%d",
+			len(s.Pos), len(s.Vel), len(s.Acc), len(s.Mass))
+	}
+	for i := 0; i < n; i++ {
+		if !finite(s.Pos[i]) || !finite(s.Vel[i]) || !finite(s.Acc[i]) {
+			return fmt.Errorf("body: non-finite state at index %d", i)
+		}
+		if !(s.Mass[i] > 0) || math.IsInf(float64(s.Mass[i]), 0) {
+			return fmt.Errorf("body: non-positive or non-finite mass %g at index %d", s.Mass[i], i)
+		}
+	}
+	return nil
+}
+
+func finite(v vec.V3) bool {
+	for _, c := range [3]float32{v.X, v.Y, v.Z} {
+		f := float64(c)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the axis-aligned bounding box of all positions.
+func (s *System) Bounds() vec.AABB {
+	b := vec.Empty()
+	for _, p := range s.Pos {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// TotalMass returns the summed mass in float64.
+func (s *System) TotalMass() float64 {
+	var m float64
+	for _, mi := range s.Mass {
+		m += float64(mi)
+	}
+	return m
+}
+
+// CenterOfMass returns the mass-weighted mean position.
+func (s *System) CenterOfMass() vec.D3 {
+	var com vec.D3
+	var m float64
+	for i := range s.Pos {
+		w := float64(s.Mass[i])
+		com = com.Add(s.Pos[i].D3().Scale(w))
+		m += w
+	}
+	if m == 0 {
+		return vec.D3{}
+	}
+	return com.Scale(1 / m)
+}
+
+// Momentum returns the total linear momentum.
+func (s *System) Momentum() vec.D3 {
+	var p vec.D3
+	for i := range s.Vel {
+		p = p.Add(s.Vel[i].D3().Scale(float64(s.Mass[i])))
+	}
+	return p
+}
+
+// AngularMomentum returns the total angular momentum about the origin.
+func (s *System) AngularMomentum() vec.D3 {
+	var l vec.D3
+	for i := range s.Pos {
+		r := s.Pos[i].D3()
+		v := s.Vel[i].D3().Scale(float64(s.Mass[i]))
+		l = l.Add(vec.D3{
+			X: r.Y*v.Z - r.Z*v.Y,
+			Y: r.Z*v.X - r.X*v.Z,
+			Z: r.X*v.Y - r.Y*v.X,
+		})
+	}
+	return l
+}
+
+// KineticEnergy returns sum(m v^2 / 2).
+func (s *System) KineticEnergy() float64 {
+	var e float64
+	for i := range s.Vel {
+		e += 0.5 * float64(s.Mass[i]) * s.Vel[i].D3().Norm2()
+	}
+	return e
+}
+
+// PotentialEnergy returns the exact pairwise softened potential
+// -G sum_{i<j} m_i m_j / sqrt(r^2 + eps^2). It is O(N^2) and intended for
+// diagnostics and tests, not the simulation loop.
+func (s *System) PotentialEnergy(g, eps float64) float64 {
+	var e float64
+	e2 := eps * eps
+	n := s.N()
+	for i := 0; i < n; i++ {
+		pi := s.Pos[i].D3()
+		mi := float64(s.Mass[i])
+		for j := i + 1; j < n; j++ {
+			d := s.Pos[j].D3().Sub(pi)
+			e -= mi * float64(s.Mass[j]) / math.Sqrt(d.Norm2()+e2)
+		}
+	}
+	return g * e
+}
+
+// TotalEnergy returns kinetic plus softened potential energy.
+func (s *System) TotalEnergy(g, eps float64) float64 {
+	return s.KineticEnergy() + s.PotentialEnergy(g, eps)
+}
+
+// ZeroAcc clears the acceleration scratch space.
+func (s *System) ZeroAcc() {
+	for i := range s.Acc {
+		s.Acc[i] = vec.V3{}
+	}
+}
+
+// Recenter translates positions and velocities so the centre of mass is at
+// the origin and the total momentum vanishes. Initial-condition generators
+// call it so that conservation tests start from exact zeros.
+func (s *System) Recenter() {
+	com := s.CenterOfMass().V3()
+	m := s.TotalMass()
+	var vel vec.V3
+	if m > 0 {
+		vel = s.Momentum().Scale(1 / m).V3()
+	}
+	for i := range s.Pos {
+		s.Pos[i] = s.Pos[i].Sub(com)
+		s.Vel[i] = s.Vel[i].Sub(vel)
+	}
+}
+
+// FlattenPos writes positions and masses into a flat float32 buffer laid out
+// as x,y,z,m quadruples — the layout the GPU kernels consume. The buffer is
+// grown as needed and returned.
+func (s *System) FlattenPos(dst []float32) []float32 {
+	need := 4 * s.N()
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	}
+	dst = dst[:need]
+	for i := range s.Pos {
+		dst[4*i+0] = s.Pos[i].X
+		dst[4*i+1] = s.Pos[i].Y
+		dst[4*i+2] = s.Pos[i].Z
+		dst[4*i+3] = s.Mass[i]
+	}
+	return dst
+}
+
+// UnflattenAcc reads accelerations back from a flat x,y,z,(pad) quadruple
+// buffer produced by a GPU kernel.
+func (s *System) UnflattenAcc(src []float32) {
+	n := s.N()
+	if len(src) < 4*n {
+		panic(fmt.Sprintf("body: UnflattenAcc buffer too small: %d < %d", len(src), 4*n))
+	}
+	for i := 0; i < n; i++ {
+		s.Acc[i] = vec.V3{X: src[4*i+0], Y: src[4*i+1], Z: src[4*i+2]}
+	}
+}

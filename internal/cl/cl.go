@@ -1,0 +1,188 @@
+// Package cl is a small OpenCL-flavoured host API over the gpusim device:
+// contexts, in-order command queues, buffer transfer commands and NDRange
+// kernel enqueues, with event profiling timestamps.
+//
+// It exists so the benchmark harness can reproduce the paper's host-side
+// structure exactly: Tables 2 and 3 distinguish *total* time (transfers +
+// host work + kernels) from *running* time (kernels only), which is
+// precisely the split this package's event categories provide.
+package cl
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// Context owns a device.
+type Context struct {
+	dev *gpusim.Device
+}
+
+// NewContext creates a context on a freshly instantiated device with the
+// given configuration.
+func NewContext(cfg gpusim.DeviceConfig) (*Context, error) {
+	dev, err := gpusim.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{dev: dev}, nil
+}
+
+// Device returns the underlying simulated device.
+func (c *Context) Device() *gpusim.Device { return c.dev }
+
+// EventKind classifies a queue command for profiling roll-ups.
+type EventKind string
+
+// Event kinds.
+const (
+	KindKernel   EventKind = "kernel"
+	KindTransfer EventKind = "transfer"
+	KindHost     EventKind = "host"
+)
+
+// Event is a completed command with profiling timestamps on the queue's
+// simulated timeline (seconds since queue creation).
+type Event struct {
+	Name  string
+	Kind  EventKind
+	Start float64
+	End   float64
+	// Bytes moved, for transfer events.
+	Bytes int64
+	// Result holds the launch details for kernel events.
+	Result *gpusim.Result
+}
+
+// Seconds returns the event duration.
+func (e *Event) Seconds() float64 { return e.End - e.Start }
+
+// Queue is an in-order command queue with profiling enabled. Commands
+// execute synchronously (functionally); their *modelled* durations advance
+// the simulated timeline.
+type Queue struct {
+	ctx    *Context
+	now    float64
+	events []*Event
+}
+
+// NewQueue creates a command queue on the context.
+func (c *Context) NewQueue() *Queue { return &Queue{ctx: c} }
+
+func (q *Queue) push(name string, kind EventKind, dur float64, bytes int64, res *gpusim.Result) *Event {
+	e := &Event{Name: name, Kind: kind, Start: q.now, End: q.now + dur, Bytes: bytes, Result: res}
+	q.now = e.End
+	q.events = append(q.events, e)
+	return e
+}
+
+// EnqueueWriteF32 copies host data into a device buffer, charging a PCIe
+// transfer.
+func (q *Queue) EnqueueWriteF32(b *gpusim.Buffer, src []float32) (*Event, error) {
+	dst := b.HostF32()
+	if len(src) > len(dst) {
+		return nil, fmt.Errorf("cl: write of %d elements into %q of %d", len(src), b.Name(), len(dst))
+	}
+	copy(dst, src)
+	bytes := int64(len(src)) * 4
+	return q.push("write "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil), nil
+}
+
+// EnqueueWriteI32 copies host int32 data into a device buffer.
+func (q *Queue) EnqueueWriteI32(b *gpusim.Buffer, src []int32) (*Event, error) {
+	dst := b.HostI32()
+	if len(src) > len(dst) {
+		return nil, fmt.Errorf("cl: write of %d elements into %q of %d", len(src), b.Name(), len(dst))
+	}
+	copy(dst, src)
+	bytes := int64(len(src)) * 4
+	return q.push("write "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil), nil
+}
+
+// EnqueueReadF32 copies a device buffer back to host memory.
+func (q *Queue) EnqueueReadF32(b *gpusim.Buffer, dst []float32) (*Event, error) {
+	src := b.HostF32()
+	if len(dst) > len(src) {
+		return nil, fmt.Errorf("cl: read of %d elements from %q of %d", len(dst), b.Name(), len(src))
+	}
+	copy(dst, src[:len(dst)])
+	bytes := int64(len(dst)) * 4
+	return q.push("read "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil), nil
+}
+
+// EnqueueNDRange launches a kernel and records a profiled kernel event.
+func (q *Queue) EnqueueNDRange(name string, fn gpusim.KernelFunc, p gpusim.LaunchParams) (*Event, error) {
+	res, err := q.ctx.dev.Launch(name, fn, p)
+	if err != nil {
+		return nil, err
+	}
+	return q.push(name, KindKernel, res.Timing.KernelSeconds, 0, res), nil
+}
+
+// EnqueueHostWork records modelled host-side work (tree build, list
+// construction) on the timeline, so total-time accounting sees it.
+func (q *Queue) EnqueueHostWork(name string, seconds float64) *Event {
+	return q.push(name, KindHost, seconds, 0, nil)
+}
+
+// Events returns all completed events in order.
+func (q *Queue) Events() []*Event { return q.events }
+
+// Now returns the simulated timeline position.
+func (q *Queue) Now() float64 { return q.now }
+
+// Reset clears the event log and rewinds the timeline; buffers keep their
+// contents.
+func (q *Queue) Reset() {
+	q.now = 0
+	q.events = nil
+}
+
+// Profile sums event durations by kind.
+type Profile struct {
+	KernelSeconds   float64
+	TransferSeconds float64
+	HostSeconds     float64
+	TransferBytes   int64
+	KernelFlops     int64
+}
+
+// TotalSeconds returns the full pipeline time, the paper's "total time",
+// with host and device work serialised.
+func (p Profile) TotalSeconds() float64 {
+	return p.KernelSeconds + p.TransferSeconds + p.HostSeconds
+}
+
+// PipelinedSeconds returns the steady-state per-step time when the host and
+// the device are double-buffered, per the paper's implementation note (4):
+// while the GPU evaluates step t's forces, the CPU builds step t+1's tree
+// and interaction lists. The slower side sets the pace; transfers ride with
+// the device side (they must complete before the kernel).
+func (p Profile) PipelinedSeconds() float64 {
+	dev := p.KernelSeconds + p.TransferSeconds
+	if p.HostSeconds > dev {
+		return p.HostSeconds
+	}
+	return dev
+}
+
+// Profile aggregates the queue's event log.
+func (q *Queue) Profile() Profile {
+	var p Profile
+	for _, e := range q.events {
+		switch e.Kind {
+		case KindKernel:
+			p.KernelSeconds += e.Seconds()
+			if e.Result != nil {
+				p.KernelFlops += e.Result.TotalFlops()
+			}
+		case KindTransfer:
+			p.TransferSeconds += e.Seconds()
+			p.TransferBytes += e.Bytes
+		case KindHost:
+			p.HostSeconds += e.Seconds()
+		}
+	}
+	return p
+}

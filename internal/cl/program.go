@@ -1,0 +1,101 @@
+package cl
+
+import (
+	"fmt"
+
+	"repro/internal/clc"
+	"repro/internal/gpusim"
+)
+
+// Program is a compiled OpenCL C program (see internal/clc for the
+// supported subset), the analogue of clCreateProgramWithSource +
+// clBuildProgram.
+type Program struct {
+	ctx  *Context
+	prog *clc.Program
+}
+
+// CreateProgram compiles OpenCL C source.
+func (c *Context) CreateProgram(source string) (*Program, error) {
+	prog, err := clc.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ctx: c, prog: prog}, nil
+}
+
+// KernelNames lists the __kernel entry points in source order.
+func (p *Program) KernelNames() []string {
+	var names []string
+	for _, fn := range p.prog.Kernels() {
+		names = append(names, fn.Name)
+	}
+	return names
+}
+
+// CLKernel is a kernel entry point with bound arguments, the analogue of
+// clCreateKernel + clSetKernelArg.
+type CLKernel struct {
+	prog *Program
+	name string
+	args []clc.Arg
+}
+
+// CreateKernel resolves a kernel by name.
+func (p *Program) CreateKernel(name string) (*CLKernel, error) {
+	found := false
+	for _, fn := range p.prog.Kernels() {
+		if fn.Name == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cl: no kernel %q in program", name)
+	}
+	return &CLKernel{prog: p, name: name}, nil
+}
+
+// LocalFloats reserves n float32 slots of group-local memory for a __local
+// float* parameter.
+type LocalFloats int
+
+// SetArgs binds the kernel's arguments in positional order. Accepted types:
+// *gpusim.Buffer, int/int32, float32/float64, LocalFloats.
+func (k *CLKernel) SetArgs(args ...any) error {
+	bound := make([]clc.Arg, 0, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case *gpusim.Buffer:
+			bound = append(bound, clc.BufArg(v))
+		case int:
+			bound = append(bound, clc.IntArg(int32(v)))
+		case int32:
+			bound = append(bound, clc.IntArg(v))
+		case float32:
+			bound = append(bound, clc.FloatArg(v))
+		case float64:
+			bound = append(bound, clc.FloatArg(float32(v)))
+		case LocalFloats:
+			bound = append(bound, clc.LocalArg(int(v)))
+		default:
+			return fmt.Errorf("cl: kernel %q arg %d: unsupported type %T", k.name, i, a)
+		}
+	}
+	k.args = bound
+	return nil
+}
+
+// EnqueueCLKernel launches a compiled OpenCL C kernel over a 1-D NDRange,
+// recording a profiled kernel event like EnqueueNDRange.
+func (q *Queue) EnqueueCLKernel(k *CLKernel, global, local int) (*Event, error) {
+	fn, ldsFloats, err := clc.Bind(k.prog.prog, k.name, k.args)
+	if err != nil {
+		return nil, err
+	}
+	return q.EnqueueNDRange("clc:"+k.name, fn, gpusim.LaunchParams{
+		Global:    global,
+		Local:     local,
+		LDSFloats: ldsFloats,
+	})
+}

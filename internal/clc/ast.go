@@ -1,0 +1,229 @@
+package clc
+
+// Type is the subset's type system: scalars, the float4 vector, and
+// address-space-qualified pointers to them.
+type Type struct {
+	// Base is KWINT, KWFLOAT or KWVOID.
+	Base Kind
+	// Vec4 marks the float4 vector type (Base is KWFLOAT).
+	Vec4 bool
+	// Pointer marks pointer-to-Base.
+	Pointer bool
+	// Space is KWGLOBAL or KWLOCAL for pointers, 0 otherwise.
+	Space Kind
+}
+
+// String renders the type for error messages.
+func (t Type) String() string {
+	s := ""
+	switch t.Space {
+	case KWGLOBAL:
+		s = "__global "
+	case KWLOCAL:
+		s = "__local "
+	}
+	switch {
+	case t.Vec4:
+		s += "float4"
+	case t.Base == KWINT:
+		s += "int"
+	case t.Base == KWFLOAT:
+		s += "float"
+	case t.Base == KWVOID:
+		s += "void"
+	}
+	if t.Pointer {
+		s += "*"
+	}
+	return s
+}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Ident references a variable or parameter.
+type Ident struct {
+	Name string
+	Tok  Token
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int32
+	Tok   Token
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Value float32
+	Tok   Token
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Op  Kind
+	X   Expr
+	Tok Token
+}
+
+// Binary is x op y for arithmetic, comparison and logical operators
+// (&& and || short-circuit).
+type Binary struct {
+	Op   Kind
+	X, Y Expr
+	Tok  Token
+}
+
+// Cond is the ternary c ? a : b.
+type Cond struct {
+	C, A, B Expr
+	Tok     Token
+}
+
+// Index is p[i] on a pointer.
+type Index struct {
+	X   Expr
+	I   Expr
+	Tok Token
+}
+
+// Member accesses a float4 component: x.x, x.y, x.z or x.w.
+type Member struct {
+	X    Expr
+	Name string
+	Tok  Token
+}
+
+// Call invokes a builtin or a program-defined helper function.
+type Call struct {
+	Name string
+	Args []Expr
+	Tok  Token
+}
+
+// Assign is lhs op rhs where op is =, +=, -=, *= or /=. Lhs is an Ident or
+// an Index.
+type Assign struct {
+	Op       Kind
+	LHS, RHS Expr
+	Tok      Token
+}
+
+// IncDec is x++ or x-- (statement position only).
+type IncDec struct {
+	Op  Kind // PLUSPLUS or MINUSMINU
+	X   Expr
+	Tok Token
+}
+
+func (*Ident) exprNode()    {}
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Cond) exprNode()     {}
+func (*Index) exprNode()    {}
+func (*Member) exprNode()   {}
+func (*Call) exprNode()     {}
+func (*Assign) exprNode()   {}
+func (*IncDec) exprNode()   {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares one local variable with an optional initialiser, or —
+// with ArraySize > 0 and a __local type — an in-kernel local-memory array
+// (the OpenCL idiom "__local float tile[256];").
+type DeclStmt struct {
+	Type      Type
+	Name      string
+	ArraySize int  // elements; 0 for scalars
+	Init      Expr // may be nil
+	Tok       Token
+}
+
+// ExprStmt evaluates an expression (assignment, call, inc/dec).
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt or nil
+}
+
+// ForStmt is for(init; cond; post) body. Any clause may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Stmt // ExprStmt
+	Body *Block
+}
+
+// WhileStmt is while(cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+}
+
+// ReturnStmt returns from the current function (value may be nil).
+type ReturnStmt struct {
+	Value Expr
+	Tok   Token
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Tok Token }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Tok Token }
+
+// Block is { stmts }.
+type Block struct {
+	Stmts []Stmt
+}
+
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*Block) stmtNode()        {}
+
+// Param is a function parameter.
+type Param struct {
+	Type Type
+	Name string
+}
+
+// Function is a kernel or helper function definition.
+type Function struct {
+	IsKernel bool
+	RetType  Type
+	Name     string
+	Params   []Param
+	Body     *Block
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Functions map[string]*Function
+	// Order preserves the source order for listings.
+	Order []string
+}
+
+// Kernels lists the __kernel functions in source order.
+func (p *Program) Kernels() []*Function {
+	var out []*Function
+	for _, name := range p.Order {
+		if f := p.Functions[name]; f.IsKernel {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package clc
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+// BenchmarkInterpreter measures the OpenCL C interpreter's throughput on a
+// representative inner loop (one softened interaction per iteration) — the
+// number that bounds how large a validation run through the source-kernel
+// path is practical.
+func BenchmarkInterpreter(b *testing.B) {
+	const src = `
+__kernel void force(__global const float4* posm, __global float4* acc, int n, float eps2) {
+    int i = get_global_id(0);
+    float4 bi = posm[i];
+    float4 ai = (float4)(0.0f);
+    for (int j = 0; j < n; j++) {
+        float4 r = posm[j] - bi;
+        float dist2 = r.x*r.x + r.y*r.y + r.z*r.z + eps2;
+        float inv = 1.0f / sqrt(dist2);
+        float s = r.w * inv * inv * inv;
+        ai.x += r.x * s;
+        ai.y += r.y * s;
+        ai.z += r.z * s;
+    }
+    acc[i] = ai;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := gpusim.MustNewDevice(gpusim.HD5850())
+	const n = 256
+	posm := dev.NewBufferF32("posm", 4*n)
+	acc := dev.NewBufferF32("acc", 4*n)
+	for i := range posm.HostF32() {
+		posm.HostF32()[i] = float32(i%17) * 0.1
+	}
+	fn, _, err := Bind(prog, "force", []Arg{BufArg(posm), BufArg(acc), IntArg(n), FloatArg(0.01)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Launch("force", fn, gpusim.LaunchParams{Global: n, Local: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(n), "interactions/op")
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := `
+float4 body_body(float4 bi, float4 bj, float4 ai, float eps2) {
+    float4 r = bj - bi;
+    float dist2 = r.x*r.x + r.y*r.y + r.z*r.z + eps2;
+    float inv = rsqrt(dist2);
+    float s = bj.w * inv * inv * inv;
+    ai.x += r.x * s; ai.y += r.y * s; ai.z += r.z * s;
+    return ai;
+}
+__kernel void force(__global const float4* posm, __global float4* acc, int n, float eps2) {
+    int i = get_global_id(0);
+    float4 ai = (float4)(0.0f);
+    for (int j = 0; j < n; j++) { ai = body_body(posm[i], posm[j], ai, eps2); }
+    acc[i] = ai;
+}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

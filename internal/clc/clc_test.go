@@ -1,0 +1,497 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`__kernel void f(__global float* x) { x[0] = 1.5f + 2e-1; } // c
+/* block
+comment */ #pragma OPENCL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KWKERNEL, KWVOID, IDENT, LPAREN, KWGLOBAL, KWFLOAT, STAR, IDENT,
+		RPAREN, LBRACE, IDENT, LBRACKET, INTLIT, RBRACKET, ASSIGN, FLOATLIT, PLUS,
+		FLOATLIT, SEMI, RBRACE, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v %q, want %v", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`+= -= *= /= ++ -- == != <= >= && || ! ? :`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{PLUSEQ, MINUSEQ, STAREQ, SLASHEQ, PLUSPLUS, MINUSMINU,
+		EQ, NE, LE, GE, ANDAND, OROR, NOT, QUESTION, COLON, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "1.5e", "/* unterminated"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                          // no kernel
+		"void f() {}",                               // no kernel entry
+		"__kernel int f() {}",                       // kernel must return void
+		"__kernel void f(int x, int x) {}",          // duplicate param
+		"__kernel void f() { int; }",                // missing declarator
+		"__kernel void f() { 1 = 2; }",              // unassignable
+		"__kernel void f() { if (1 {} }",            // bad paren
+		"__kernel void f() { return",                // unterminated
+		"__kernel void f() {} __kernel void f() {}", // redefinition
+		"__kernel void f(__global int x) {}",        // space qualifier on scalar
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+// runKernel compiles src, binds args, and launches over global/local on the
+// test device.
+func runKernel(t *testing.T, src, name string, global, local int, args ...Arg) *gpusim.Result {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	fn, lds, err := Bind(prog, name, args)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	res, err := dev.Launch(name, fn, gpusim.LaunchParams{Global: global, Local: local, LDSFloats: lds})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	return res
+}
+
+func TestVectorAdd(t *testing.T) {
+	const src = `
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	a := dev.NewBufferF32("a", 64)
+	b := dev.NewBufferF32("b", 64)
+	c := dev.NewBufferF32("c", 64)
+	for i := 0; i < 64; i++ {
+		a.HostF32()[i] = float32(i)
+		b.HostF32()[i] = float32(2 * i)
+	}
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, lds, err := Bind(prog, "vadd", []Arg{BufArg(a), BufArg(b), BufArg(c), IntArg(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("vadd", fn, gpusim.LaunchParams{Global: 64, Local: 8, LDSFloats: lds}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if c.HostF32()[i] != float32(3*i) {
+			t.Fatalf("c[%d] = %g, want %g", i, c.HostF32()[i], float32(3*i))
+		}
+	}
+	for i := 60; i < 64; i++ {
+		if c.HostF32()[i] != 0 {
+			t.Fatalf("guard failed: c[%d] = %g", i, c.HostF32()[i])
+		}
+	}
+}
+
+func TestControlFlowAndHelpers(t *testing.T) {
+	const src = `
+float square(float x) { return x * x; }
+
+int collatz_steps(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+
+__kernel void k(__global float* out, __global int* iout) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j <= i; j++) {
+        acc += square((float)j);
+    }
+    out[i] = acc;
+    iout[i] = collatz_steps(i + 1);
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	out := dev.NewBufferF32("out", 8)
+	iout := dev.NewBufferI32("iout", 8)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := Bind(prog, "k", []Arg{BufArg(out), BufArg(iout)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squares 0..i.
+	for i := 0; i < 8; i++ {
+		want := float32(0)
+		for j := 0; j <= i; j++ {
+			want += float32(j * j)
+		}
+		if out.HostF32()[i] != want {
+			t.Errorf("out[%d] = %g, want %g", i, out.HostF32()[i], want)
+		}
+	}
+	// Collatz steps for 1..8: 0,1,7,2,5,8,16,3.
+	want := []int32{0, 1, 7, 2, 5, 8, 16, 3}
+	for i, w := range want {
+		if iout.HostI32()[i] != w {
+			t.Errorf("iout[%d] = %d, want %d", i, iout.HostI32()[i], w)
+		}
+	}
+}
+
+func TestBarrierAndLocalMemory(t *testing.T) {
+	// Rotate values through local memory across a barrier.
+	const src = `
+__kernel void rot(__global float* out, __local float* tile) {
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+    tile[l] = (float)(l * 10);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tile[(l + 1) % p];
+}`
+	res := runKernel(t, src, "rot", 16, 8,
+		BufArg(gpusim.MustNewDevice(gpusim.TestDevice()).NewBufferF32("tmp", 16)), LocalArg(8))
+	_ = res
+	// Re-run against a buffer we keep.
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	out := dev.NewBufferF32("out", 16)
+	prog, _ := Parse(src)
+	fn, lds, err := Bind(prog, "rot", []Arg{BufArg(out), LocalArg(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := dev.Launch("rot", fn, gpusim.LaunchParams{Global: 16, Local: 8, LDSFloats: lds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		for l := 0; l < 8; l++ {
+			want := float32(((l + 1) % 8) * 10)
+			if got := out.HostF32()[g*8+l]; got != want {
+				t.Errorf("out[%d] = %g, want %g", g*8+l, got, want)
+			}
+		}
+	}
+	if r.Groups[0].Barriers != 1 {
+		t.Errorf("barriers = %d, want 1", r.Groups[0].Barriers)
+	}
+	if r.Groups[0].LDSBytes == 0 {
+		t.Error("no LDS traffic counted")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	const src = `
+__kernel void b(__global float* out) {
+    out[0] = sqrt(16.0f);
+    out[1] = rsqrt(4.0f);
+    out[2] = fabs(-3.5f);
+    out[3] = fma(2.0f, 3.0f, 1.0f);
+    out[4] = fmin(2.0f, 3.0f);
+    out[5] = fmax(2.0f, 3.0f);
+    out[6] = (float)((int)3.7f);
+    out[7] = floor(2.9f);
+    out[8] = 5 % 3;
+    out[9] = (1 < 2 && 3 > 2) ? 1.0f : 0.0f;
+    out[10] = min(7, 4);
+    out[11] = -(-2.5f);
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	out := dev.NewBufferF32("out", 16)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := Bind(prog, "b", []Arg{BufArg(out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single work-item: the kernel writes fixed slots.
+	if _, err := dev.Launch("b", fn, gpusim.LaunchParams{Global: 1, Local: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{4, 0.5, 3.5, 7, 2, 3, 3, 2, 2, 1, 4, 2.5}
+	for i, w := range want {
+		if out.HostF32()[i] != w {
+			t.Errorf("out[%d] = %g, want %g", i, out.HostF32()[i], w)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	buf := dev.NewBufferF32("buf", 4)
+	cases := []struct {
+		src  string
+		args []Arg
+		want string
+	}{
+		{`__kernel void k(__global float* x) { x[100] = 1.0f; }`,
+			[]Arg{BufArg(buf)}, "out of range"},
+		{`__kernel void k(__global float* x) { int a = 1 / 0; x[0]=(float)a; }`,
+			[]Arg{BufArg(buf)}, "division by zero"},
+		{`__kernel void k(__global float* x) { x[0] = nosuch(1.0f); }`,
+			[]Arg{BufArg(buf)}, "unknown function"},
+		{`__kernel void k(__global float* x) { x[0] = y; }`,
+			[]Arg{BufArg(buf)}, "undefined identifier"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		fn, _, err := Bind(prog, "k", c.args)
+		if err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+		_, err = dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	prog, err := Parse(`__kernel void k(__global float* x, int n, __local float* t) { x[0]=(float)n; t[0]=1.0f; }
+void helper() {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	fbuf := dev.NewBufferF32("f", 4)
+	ibuf := dev.NewBufferI32("i", 4)
+
+	cases := []struct {
+		name string
+		args []Arg
+	}{
+		{"nosuch", []Arg{}},
+		{"helper", []Arg{}},                                  // not a kernel
+		{"k", []Arg{BufArg(fbuf)}},                           // wrong arity
+		{"k", []Arg{BufArg(ibuf), IntArg(1), LocalArg(4)}},   // element type mismatch
+		{"k", []Arg{IntArg(1), IntArg(1), LocalArg(4)}},      // scalar for pointer
+		{"k", []Arg{BufArg(fbuf), FloatArg(1), LocalArg(4)}}, // float for int
+		{"k", []Arg{BufArg(fbuf), IntArg(1), IntArg(4)}},     // int for local
+		{"k", []Arg{BufArg(fbuf), IntArg(1), LocalArg(0)}},   // empty local
+	}
+	for i, c := range cases {
+		if _, _, err := Bind(prog, c.name, c.args); err == nil {
+			t.Errorf("case %d: Bind accepted", i)
+		}
+	}
+	if _, _, err := Bind(prog, "k", []Arg{BufArg(fbuf), IntArg(1), LocalArg(4)}); err != nil {
+		t.Errorf("valid binding rejected: %v", err)
+	}
+}
+
+func TestFlopAccounting(t *testing.T) {
+	const src = `
+__kernel void k(__global float* x) {
+    float a = 1.0f;
+    for (int i = 0; i < 10; i++) {
+        a = a * 1.5f + 0.25f;  // 2 flops per iteration
+    }
+    x[get_global_id(0)] = a;
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	out := dev.NewBufferF32("out", 8)
+	prog, _ := Parse(src)
+	fn, _, err := Bind(prog, "k", []Arg{BufArg(out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 lanes x 10 iterations x 2 float ops.
+	if got := res.Groups[0].Flops; got != 160 {
+		t.Errorf("counted %d flops, want 160", got)
+	}
+	if res.Groups[0].AuxFlops == 0 {
+		t.Error("no integer overhead counted")
+	}
+}
+
+func TestContinueAndNestedLoops(t *testing.T) {
+	const src = `
+__kernel void k(__global int* out) {
+    int total = 0;
+    for (int i = 0; i < 6; i++) {
+        if (i % 2 == 0) { continue; }
+        int j = 0;
+        while (1) {
+            j++;
+            if (j >= i) { break; }
+        }
+        total += j;
+    }
+    out[get_global_id(0)] = total; // 1 + 3 + 5
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	out := dev.NewBufferI32("out", 8)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := Bind(prog, "k", []Arg{BufArg(out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if out.HostI32()[0] != 9 {
+		t.Errorf("total = %d, want 9", out.HostI32()[0])
+	}
+}
+
+func TestMoreRuntimeErrors(t *testing.T) {
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	fbuf := dev.NewBufferF32("f", 4)
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`__kernel void k(__global float* x) { x[0] = 1.0f % 2.0f; }`, "integer operands"},
+		{`__kernel void k(__global float* x) { int a = 5 % 0; x[0] = (float)a; }`, "modulo by zero"},
+		{`float g(float a) { a += 1.0f; }
+__kernel void k(__global float* x) { x[0] = g(1.0f); }`, "missing return"},
+		{`float g(float a) { return g(a); }
+__kernel void k(__global float* x) { x[0] = g(1.0f); }`, "call depth"},
+		{`__kernel void inner(__global float* x) { x[0] = 1.0f; }
+__kernel void k(__global float* x) { inner(x); x[0] = 0.0f; }`, "cannot call __kernel"},
+		{`__kernel void k(__global float* x) { float a = x; x[0] = a; }`, "cannot convert"},
+		{`__kernel void k(__global float* x, __local float* t) { t[9] = 1.0f; x[0]=t[9]; }`, "__local index"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		args := []Arg{BufArg(fbuf)}
+		if strings.Contains(c.src, "__local") {
+			args = append(args, LocalArg(4))
+		}
+		fn, _, err := Bind(prog, "k", args)
+		if err != nil {
+			t.Fatalf("Bind(%q): %v", c.src, err)
+		}
+		_, err = dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8, LDSFloats: 4})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestIncDecAndCompoundAssign(t *testing.T) {
+	const src = `
+__kernel void k(__global float* x, __global int* y) {
+    float a = 10.0f;
+    a += 5.0f;
+    a -= 2.0f;
+    a *= 2.0f;
+    a /= 4.0f;   // (10+5-2)*2/4 = 6.5
+    x[0] = a;
+    x[1] += 3.0f;  // compound through pointer
+    int b = 3;
+    b++;
+    b--;
+    b++;
+    y[0] = b;  // 4
+    y[1]--;
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	x := dev.NewBufferF32("x", 4)
+	y := dev.NewBufferI32("y", 4)
+	x.HostF32()[1] = 1
+	y.HostI32()[1] = 7
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := Bind(prog, "k", []Arg{BufArg(x), BufArg(y)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single work-item so the += through the pointer is race-free.
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 1, Local: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if x.HostF32()[0] != 6.5 {
+		t.Errorf("a = %g, want 6.5", x.HostF32()[0])
+	}
+	if y.HostI32()[0] != 4 {
+		t.Errorf("b = %d, want 4", y.HostI32()[0])
+	}
+}
+
+func TestGeometryBuiltins(t *testing.T) {
+	const src = `
+__kernel void k(__global int* out) {
+    int i = get_global_id(0);
+    out[i] = get_group_id(0) * 1000 + get_local_id(0) * 100 +
+             get_local_size(0) * 10 + get_num_groups(0) +
+             get_global_size(0) * 10000;
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	out := dev.NewBufferI32("out", 16)
+	prog, _ := Parse(src)
+	fn, _, err := Bind(prog, "k", []Arg{BufArg(out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 16, Local: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Item 9: group 1, local 1, local size 8, groups 2, global size 16.
+	want := int32(1*1000 + 1*100 + 8*10 + 2 + 16*10000)
+	if out.HostI32()[9] != want {
+		t.Errorf("out[9] = %d, want %d", out.HostI32()[9], want)
+	}
+}

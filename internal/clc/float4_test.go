@@ -1,0 +1,279 @@
+package clc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestFloat4Basics(t *testing.T) {
+	const src = `
+__kernel void k(__global float* out) {
+    float4 a = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+    float4 b = (float4)(10.0f);            // broadcast
+    float4 c = a + b * a;                  // elementwise
+    out[0] = c.x;  // 1 + 10*1 = 11
+    out[1] = c.y;  // 2 + 10*2 = 22
+    out[2] = c.z;  // 33
+    out[3] = c.w;  // 44
+    out[4] = dot(a, a);  // 1+4+9+16 = 30
+    c.y = 99.0f;
+    out[5] = c.y;
+    float4 d = a * 2.0f;                   // vector * scalar
+    out[6] = d.z;                          // 6
+    float4 e = -a;
+    out[7] = e.w;                          // -4
+    float4 z = 0.0f;                       // scalar init broadcast
+    out[8] = z.x + z.y + z.z + z.w;        // 0
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	out := dev.NewBufferF32("out", 16)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := Bind(prog, "k", []Arg{BufArg(out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 1, Local: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{11, 22, 33, 44, 30, 99, 6, -4, 0}
+	for i, w := range want {
+		if out.HostF32()[i] != w {
+			t.Errorf("out[%d] = %g, want %g", i, out.HostF32()[i], w)
+		}
+	}
+}
+
+func TestFloat4GlobalPointers(t *testing.T) {
+	// __global float4* views a float buffer with stride 4, the idiom the
+	// GPU Gems kernel uses for body positions.
+	const src = `
+__kernel void k(__global const float4* in, __global float4* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float4 v = in[i];
+        float4 r = v * v + (float4)(1.0f, 0.0f, 0.0f, 0.0f);
+        out[i] = r;
+        out[i].w = v.x;  // component write through pointer
+    }
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	in := dev.NewBufferF32("in", 32)
+	out := dev.NewBufferF32("out", 32)
+	for i := 0; i < 32; i++ {
+		in.HostF32()[i] = float32(i)
+	}
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := Bind(prog, "k", []Arg{BufArg(in), BufArg(out), IntArg(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		base := 4 * i
+		v0 := float32(base)
+		if out.HostF32()[base] != v0*v0+1 {
+			t.Errorf("out[%d].x = %g, want %g", i, out.HostF32()[base], v0*v0+1)
+		}
+		if out.HostF32()[base+3] != v0 {
+			t.Errorf("out[%d].w = %g, want %g", i, out.HostF32()[base+3], v0)
+		}
+	}
+}
+
+func TestFloat4LocalMemory(t *testing.T) {
+	const src = `
+__kernel void k(__global const float4* in, __global float* out, __local float4* tile) {
+    int l = get_local_id(0);
+    tile[l] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int p = get_local_size(0);
+    float4 sum = (float4)(0.0f);
+    for (int j = 0; j < p; j++) {
+        sum += tile[j];
+    }
+    out[get_global_id(0)] = sum.x + sum.y + sum.z + sum.w;
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	in := dev.NewBufferF32("in", 32)
+	out := dev.NewBufferF32("out", 8)
+	var want float32
+	for i := 0; i < 32; i++ {
+		in.HostF32()[i] = float32(i)
+		want += float32(i)
+	}
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 float4 slots = 32 float slots.
+	fn, lds, err := Bind(prog, "k", []Arg{BufArg(in), BufArg(out), LocalArg(32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8, LDSFloats: lds}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if out.HostF32()[i] != want {
+			t.Errorf("out[%d] = %g, want %g", i, out.HostF32()[i], want)
+		}
+	}
+}
+
+func TestFloat4Errors(t *testing.T) {
+	parseErrs := []string{
+		`__kernel void k(__global float* x) { float4 a = (float4)(1.0f, 2.0f); x[0]=a.x; }`, // 2 components
+		`__kernel void k(__global float* x) { float4 a = (float4)(0.0f); x[0] = a.q; }`,     // bad member
+	}
+	for _, src := range parseErrs {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	buf := dev.NewBufferF32("buf", 8)
+	runtimeErrs := []struct{ src, want string }{
+		{`__kernel void k(__global float* x) { float a = 1.0f; x[0] = a.x; }`, "non-float4"},
+		{`__kernel void k(__global float* x) { float4 a = (float4)(0.0f); float4 b = (float4)(1.0f); x[0] = (a < b) ? 1.0f : 0.0f; }`, "not defined on float4"},
+	}
+	for _, c := range runtimeErrs {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		fn, _, err := Bind(prog, "k", []Arg{BufArg(buf)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = dev.Launch("k", fn, gpusim.LaunchParams{Global: 1, Local: 1})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestFloat4NBodyKernel runs the authentic GPU Gems-style float4 body
+// representation through a miniature interaction kernel and checks the
+// physics against a hand computation.
+func TestFloat4NBodyKernel(t *testing.T) {
+	const src = `
+float4 body_body(float4 bi, float4 bj, float4 ai, float eps2) {
+    float4 r = bj - bi;
+    float dist2 = r.x*r.x + r.y*r.y + r.z*r.z + eps2;
+    float inv = rsqrt(dist2);
+    float s = bj.w * inv * inv * inv;
+    ai.x += r.x * s;
+    ai.y += r.y * s;
+    ai.z += r.z * s;
+    return ai;
+}
+
+__kernel void force(__global const float4* posm, __global float4* acc,
+                    int n, float eps2) {
+    int i = get_global_id(0);
+    if (i >= n) { return; }
+    float4 bi = posm[i];
+    float4 ai = (float4)(0.0f);
+    for (int j = 0; j < n; j++) {
+        ai = body_body(bi, posm[j], ai, eps2);
+    }
+    acc[i] = ai;
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	posm := dev.NewBufferF32("posm", 8)
+	acc := dev.NewBufferF32("acc", 8)
+	// Two unit masses at x = -1 and +1.
+	copy(posm.HostF32(), []float32{-1, 0, 0, 1, 1, 0, 0, 1})
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, err := Bind(prog, "force", []Arg{BufArg(posm), BufArg(acc), IntArg(2), FloatArg(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("force", fn, gpusim.LaunchParams{Global: 8, Local: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// |a| = 1/4 toward the partner.
+	if got := acc.HostF32()[0]; math.Abs(float64(got)-0.25) > 1e-6 {
+		t.Errorf("a0.x = %g, want 0.25", got)
+	}
+	if got := acc.HostF32()[4]; math.Abs(float64(got)+0.25) > 1e-6 {
+		t.Errorf("a1.x = %g, want -0.25", got)
+	}
+}
+
+// TestInKernelLocalArrays exercises the OpenCL idiom of declaring local
+// memory inside the kernel instead of passing a __local pointer argument.
+func TestInKernelLocalArrays(t *testing.T) {
+	const src = `
+__kernel void k(__global const float4* in, __global float* out) {
+    __local float4 tile[8];
+    __local float partial[8];
+    int l = get_local_id(0);
+    tile[l] = in[get_global_id(0)];
+    partial[l] = tile[l].x + tile[l].w;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float sum = 0.0f;
+    for (int j = 0; j < get_local_size(0); j++) {
+        sum += partial[j];
+    }
+    out[get_global_id(0)] = sum;
+}`
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	in := dev.NewBufferF32("in", 32)
+	out := dev.NewBufferF32("out", 8)
+	var want float32
+	for i := 0; i < 8; i++ {
+		in.HostF32()[4*i] = float32(i)        // .x
+		in.HostF32()[4*i+3] = float32(10 * i) // .w
+		want += float32(i) + float32(10*i)
+	}
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, lds, err := Bind(prog, "k", []Arg{BufArg(in), BufArg(out)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 float4 (32 floats) + 8 floats = 40 slots claimed statically.
+	if lds != 40 {
+		t.Errorf("static LDS = %d floats, want 40", lds)
+	}
+	if _, err := dev.Launch("k", fn, gpusim.LaunchParams{Global: 8, Local: 8, LDSFloats: lds}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if out.HostF32()[i] != want {
+			t.Errorf("out[%d] = %g, want %g", i, out.HostF32()[i], want)
+		}
+	}
+}
+
+func TestLocalArrayParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`__kernel void k(__global float* x) { __local float t; x[0]=1.0f; }`,           // no size
+		`__kernel void k(__global float* x) { __local float t[0]; x[0]=1.0f; }`,        // bad size
+		`__kernel void k(__global float* x) { float t[8]; x[0]=1.0f; }`,                // non-local array
+		`__kernel void k(__global float* x) { __local float t[4] = 1.0f; x[0]=t[0]; }`, // initialiser
+		`__kernel void k(__global float x) { }`,                                        // space-qualified scalar param
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}

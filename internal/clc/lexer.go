@@ -1,0 +1,260 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lex scans OpenCL C source into tokens. Comments (// and /* */) and the
+// preprocessor lines the paper-era SDK headers rely on (#pragma, #define of
+// simple constants is NOT expanded — kernels in this repository do not use
+// them) are skipped.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("clc: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		case c == '#':
+			// Preprocessor line: skip to end of line.
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(k Kind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(EOF, ""), nil
+	}
+	c := l.peek()
+
+	switch {
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := keywords[word]; ok {
+			return mk(k, word), nil
+		}
+		return mk(IDENT, word), nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.pos < len(l.src) && l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.pos < len(l.src) && (l.peek() == 'e' || l.peek() == 'E') {
+			isFloat = true
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if !isDigit(l.peek()) {
+				return Token{}, l.errf("malformed exponent")
+			}
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.pos]
+		// OpenCL float suffix.
+		if l.pos < len(l.src) && (l.peek() == 'f' || l.peek() == 'F') {
+			isFloat = true
+			l.advance()
+		}
+		if isFloat {
+			return mk(FLOATLIT, strings.TrimSuffix(strings.TrimSuffix(text, "f"), "F")), nil
+		}
+		return mk(INTLIT, text), nil
+	}
+
+	two := func(k Kind, s string) (Token, error) {
+		l.advance()
+		l.advance()
+		return mk(k, s), nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return mk(k, string(c)), nil
+	}
+
+	switch c {
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '[':
+		return one(LBRACKET)
+	case ']':
+		return one(RBRACKET)
+	case ',':
+		return one(COMMA)
+	case '.':
+		return one(DOT)
+	case ';':
+		return one(SEMI)
+	case '?':
+		return one(QUESTION)
+	case ':':
+		return one(COLON)
+	case '+':
+		if l.peek2() == '=' {
+			return two(PLUSEQ, "+=")
+		}
+		if l.peek2() == '+' {
+			return two(PLUSPLUS, "++")
+		}
+		return one(PLUS)
+	case '-':
+		if l.peek2() == '=' {
+			return two(MINUSEQ, "-=")
+		}
+		if l.peek2() == '-' {
+			return two(MINUSMINU, "--")
+		}
+		return one(MINUS)
+	case '*':
+		if l.peek2() == '=' {
+			return two(STAREQ, "*=")
+		}
+		return one(STAR)
+	case '/':
+		if l.peek2() == '=' {
+			return two(SLASHEQ, "/=")
+		}
+		return one(SLASH)
+	case '%':
+		return one(PERCENT)
+	case '=':
+		if l.peek2() == '=' {
+			return two(EQ, "==")
+		}
+		return one(ASSIGN)
+	case '!':
+		if l.peek2() == '=' {
+			return two(NE, "!=")
+		}
+		return one(NOT)
+	case '<':
+		if l.peek2() == '=' {
+			return two(LE, "<=")
+		}
+		return one(LT)
+	case '>':
+		if l.peek2() == '=' {
+			return two(GE, ">=")
+		}
+		return one(GT)
+	case '&':
+		if l.peek2() == '&' {
+			return two(ANDAND, "&&")
+		}
+	case '|':
+		if l.peek2() == '|' {
+			return two(OROR, "||")
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", string(c))
+}

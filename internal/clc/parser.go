@@ -1,0 +1,630 @@
+package clc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse lexes and parses a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Functions: map[string]*Function{}}
+	for p.peek().Kind != EOF {
+		fn, err := p.function()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Functions[fn.Name]; dup {
+			return nil, fmt.Errorf("clc: %s: function %q redefined", p.peek().Pos(), fn.Name)
+		}
+		prog.Functions[fn.Name] = fn
+		prog.Order = append(prog.Order, fn.Name)
+	}
+	if len(prog.Kernels()) == 0 {
+		return nil, fmt.Errorf("clc: no __kernel function in program")
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token  { return p.toks[p.pos] }
+func (p *parser) peek2() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return fmt.Errorf("clc: %s: %s", t.Pos(), fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errf(t, "expected %v, found %v %q", k, t.Kind, t.Text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.peek().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// typeSpec parses [__global|__local] [const] (int|float|void) [*] [const].
+func (p *parser) typeSpec() (Type, error) {
+	var t Type
+	switch p.peek().Kind {
+	case KWGLOBAL, KWLOCAL:
+		t.Space = p.advance().Kind
+	}
+	p.accept(KWCONST)
+	switch p.peek().Kind {
+	case KWINT, KWFLOAT, KWVOID:
+		t.Base = p.advance().Kind
+	case KWFLOAT4:
+		p.advance()
+		t.Base = KWFLOAT
+		t.Vec4 = true
+	default:
+		return t, p.errf(p.peek(), "expected type, found %q", p.peek().Text)
+	}
+	if p.accept(STAR) {
+		t.Pointer = true
+		p.accept(KWCONST)
+	}
+	// A non-pointer __local type is only legal for in-kernel array
+	// declarations; declStmt enforces the array size. Parameters are
+	// checked in function().
+	return t, nil
+}
+
+func (p *parser) function() (*Function, error) {
+	fn := &Function{}
+	if p.accept(KWKERNEL) {
+		fn.IsKernel = true
+	}
+	rt, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	fn.RetType = rt
+	if fn.IsKernel && !(rt.Base == KWVOID && !rt.Pointer) {
+		return nil, p.errf(p.peek(), "__kernel functions must return void")
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	fn.Name = name.Text
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for p.peek().Kind != RPAREN {
+		pt, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if pt.Space != 0 && !pt.Pointer {
+			return nil, p.errf(p.peek(), "address-space qualifier on non-pointer parameter")
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if seen[pn.Text] {
+			return nil, p.errf(pn, "duplicate parameter %q", pn.Text)
+		}
+		seen[pn.Text] = true
+		fn.Params = append(fn.Params, Param{Type: pt, Name: pn.Text})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for p.peek().Kind != RBRACE {
+		if p.peek().Kind == EOF {
+			return nil, p.errf(p.peek(), "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+// blockOrStmt allows single statements as loop/if bodies by wrapping them.
+func (p *parser) blockOrStmt() (*Block, error) {
+	if p.peek().Kind == LBRACE {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}}, nil
+}
+
+func (p *parser) isTypeStart() bool {
+	switch p.peek().Kind {
+	case KWINT, KWFLOAT, KWFLOAT4, KWGLOBAL, KWLOCAL, KWCONST:
+		return true
+	}
+	return false
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch p.peek().Kind {
+	case LBRACE:
+		return p.block()
+	case KWIF:
+		return p.ifStmt()
+	case KWFOR:
+		return p.forStmt()
+	case KWWHILE:
+		p.advance()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case KWRETURN:
+		tok := p.advance()
+		var v Expr
+		if p.peek().Kind != SEMI {
+			var err error
+			v, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Tok: tok}, nil
+	case KWBREAK:
+		tok := p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Tok: tok}, nil
+	case KWCONTINUE:
+		tok := p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Tok: tok}, nil
+	}
+	if p.isTypeStart() {
+		return p.declStmt(true)
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+func (p *parser) declStmt(wantSemi bool) (Stmt, error) {
+	tok := p.peek()
+	t, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if t.Base == KWVOID {
+		return nil, p.errf(tok, "cannot declare a void variable")
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Type: t, Name: name.Text, Tok: tok}
+	if p.peek().Kind == LBRACKET {
+		p.advance()
+		szTok, err := p.expect(INTLIT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		sz, err := strconv.Atoi(szTok.Text)
+		if err != nil || sz <= 0 {
+			return nil, p.errf(szTok, "bad array size %q", szTok.Text)
+		}
+		if t.Space != KWLOCAL || t.Pointer {
+			return nil, p.errf(tok, "array declarations are supported for __local element types only")
+		}
+		d.ArraySize = sz
+	} else if t.Space == KWLOCAL {
+		return nil, p.errf(tok, "__local declarations need an array size")
+	} else if t.Space == KWGLOBAL && !t.Pointer {
+		return nil, p.errf(tok, "__global variables must be pointers")
+	}
+	if p.accept(ASSIGN) {
+		if d.ArraySize > 0 {
+			return nil, p.errf(tok, "array declarations cannot have initialisers")
+		}
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if wantSemi {
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.advance() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.accept(KWELSE) {
+		if p.peek().Kind == KWIF {
+			st.Else, err = p.ifStmt()
+		} else {
+			st.Else, err = p.blockOrStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.advance() // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{}
+	if p.peek().Kind != SEMI {
+		if p.isTypeStart() {
+			init, err := p.declStmt(false)
+			if err != nil {
+				return nil, err
+			}
+			f.Init = init
+		} else {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = &ExprStmt{X: x}
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != SEMI {
+		var err error
+		f.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != RPAREN {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = &ExprStmt{X: x}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// Expression parsing, precedence climbing:
+//
+//	assign < ternary < || < && < == != < < <= > >= < + - < * / % < unary < postfix
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	lhs, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().Kind {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ:
+		tok := p.advance()
+		if !isLValue(lhs) {
+			return nil, p.errf(tok, "left side of %q is not assignable", tok.Text)
+		}
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Op: tok.Kind, LHS: lhs, RHS: rhs, Tok: tok}, nil
+	}
+	return lhs, nil
+}
+
+func isLValue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident, *Index:
+		return true
+	case *Member:
+		return isLValue(x.X)
+	}
+	return false
+}
+
+func (p *parser) ternaryExpr() (Expr, error) {
+	c, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != QUESTION {
+		return c, nil
+	}
+	tok := p.advance()
+	a, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	b, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{C: c, A: a, B: b, Tok: tok}, nil
+}
+
+var binPrec = map[Kind]int{
+	OROR:   1,
+	ANDAND: 2,
+	EQ:     3, NE: 3,
+	LT: 4, LE: 4, GT: 4, GE: 4,
+	PLUS: 5, MINUS: 5,
+	STAR: 6, SLASH: 6, PERCENT: 6,
+}
+
+func (p *parser) binaryExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.peek().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		tok := p.advance()
+		rhs, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: tok.Kind, X: lhs, Y: rhs, Tok: tok}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch p.peek().Kind {
+	case MINUS, NOT:
+		tok := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: tok.Kind, X: x, Tok: tok}, nil
+	case LPAREN:
+		// Cast: (int)x, (float)x; constructor: (float4)(a, b, c, d).
+		if k := p.peek2().Kind; k == KWINT || k == KWFLOAT || k == KWFLOAT4 {
+			// Look ahead for ')' after the type keyword.
+			if p.toks[min(p.pos+2, len(p.toks)-1)].Kind == RPAREN {
+				tok := p.advance() // (
+				base := p.advance().Kind
+				p.advance() // )
+				if base == KWFLOAT4 {
+					if _, err := p.expect(LPAREN); err != nil {
+						return nil, err
+					}
+					ctor := &Call{Name: "(make)float4", Tok: tok}
+					for p.peek().Kind != RPAREN {
+						arg, err := p.expr()
+						if err != nil {
+							return nil, err
+						}
+						ctor.Args = append(ctor.Args, arg)
+						if !p.accept(COMMA) {
+							break
+						}
+					}
+					if _, err := p.expect(RPAREN); err != nil {
+						return nil, err
+					}
+					if len(ctor.Args) != 4 && len(ctor.Args) != 1 {
+						return nil, p.errf(tok, "(float4)(...) takes 4 components or 1 broadcast value")
+					}
+					return ctor, nil
+				}
+				x, err := p.unaryExpr()
+				if err != nil {
+					return nil, err
+				}
+				name := "int"
+				if base == KWFLOAT {
+					name = "float"
+				}
+				return &Call{Name: "(cast)" + name, Args: []Expr{x}, Tok: tok}, nil
+			}
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case LBRACKET:
+			tok := p.advance()
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			x = &Index{X: x, I: i, Tok: tok}
+		case DOT:
+			tok := p.advance()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			switch name.Text {
+			case "x", "y", "z", "w":
+			default:
+				return nil, p.errf(name, "unknown member %q (float4 has .x .y .z .w)", name.Text)
+			}
+			x = &Member{X: x, Name: name.Text, Tok: tok}
+		case PLUSPLUS, MINUSMINU:
+			tok := p.advance()
+			if !isLValue(x) {
+				return nil, p.errf(tok, "%q needs an assignable operand", tok.Text)
+			}
+			x = &IncDec{Op: tok.Kind, X: x, Tok: tok}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case IDENT:
+		p.advance()
+		if p.peek().Kind == LPAREN {
+			p.advance()
+			call := &Call{Name: t.Text, Tok: t}
+			for p.peek().Kind != RPAREN {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Tok: t}, nil
+	case INTLIT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 32)
+		if err != nil {
+			return nil, p.errf(t, "bad int literal %q: %v", t.Text, err)
+		}
+		return &IntLit{Value: int32(v), Tok: t}, nil
+	case FLOATLIT:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 32)
+		if err != nil {
+			return nil, p.errf(t, "bad float literal %q: %v", t.Text, err)
+		}
+		return &FloatLit{Value: float32(v), Tok: t}, nil
+	case LPAREN:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf(t, "unexpected %v %q in expression", t.Kind, t.Text)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

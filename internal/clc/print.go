@@ -1,0 +1,177 @@
+package clc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical OpenCL C source. The
+// output re-parses to an identical program (the round-trip property test
+// checks Format(Parse(Format(p))) == Format(p)), which makes Format both a
+// debugging aid and a normaliser for comparing kernels.
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, name := range p.Order {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		formatFunction(&b, p.Functions[name])
+	}
+	return b.String()
+}
+
+func formatFunction(b *strings.Builder, fn *Function) {
+	if fn.IsKernel {
+		b.WriteString("__kernel ")
+	}
+	fmt.Fprintf(b, "%s %s(", fn.RetType, fn.Name)
+	for i, prm := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", prm.Type, prm.Name)
+	}
+	b.WriteString(") ")
+	formatBlock(b, fn.Body, 0)
+	b.WriteByte('\n')
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		formatStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch st := s.(type) {
+	case *Block:
+		formatBlock(b, st, depth)
+		b.WriteByte('\n')
+	case *DeclStmt:
+		fmt.Fprintf(b, "%s %s", st.Type, st.Name)
+		if st.ArraySize > 0 {
+			fmt.Fprintf(b, "[%d]", st.ArraySize)
+		}
+		if st.Init != nil {
+			b.WriteString(" = ")
+			b.WriteString(formatExpr(st.Init))
+		}
+		b.WriteString(";\n")
+	case *ExprStmt:
+		b.WriteString(formatExpr(st.X))
+		b.WriteString(";\n")
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) ", formatExpr(st.Cond))
+		formatBlock(b, st.Then, depth)
+		for st.Else != nil {
+			if next, ok := st.Else.(*IfStmt); ok {
+				fmt.Fprintf(b, " else if (%s) ", formatExpr(next.Cond))
+				formatBlock(b, next.Then, depth)
+				st = next
+				continue
+			}
+			b.WriteString(" else ")
+			formatBlock(b, st.Else.(*Block), depth)
+			break
+		}
+		b.WriteByte('\n')
+	case *ForStmt:
+		b.WriteString("for (")
+		if st.Init != nil {
+			b.WriteString(strings.TrimSuffix(strings.TrimSpace(capture(st.Init)), ";"))
+		}
+		b.WriteString("; ")
+		if st.Cond != nil {
+			b.WriteString(formatExpr(st.Cond))
+		}
+		b.WriteString("; ")
+		if st.Post != nil {
+			b.WriteString(strings.TrimSuffix(strings.TrimSpace(capture(st.Post)), ";"))
+		}
+		b.WriteString(") ")
+		formatBlock(b, st.Body, depth)
+		b.WriteByte('\n')
+	case *WhileStmt:
+		fmt.Fprintf(b, "while (%s) ", formatExpr(st.Cond))
+		formatBlock(b, st.Body, depth)
+		b.WriteByte('\n')
+	case *ReturnStmt:
+		if st.Value != nil {
+			fmt.Fprintf(b, "return %s;\n", formatExpr(st.Value))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		b.WriteString("continue;\n")
+	default:
+		panic(fmt.Sprintf("clc: Format: unknown statement %T", s))
+	}
+}
+
+// capture renders a statement without indentation or newline (for-clauses).
+func capture(s Stmt) string {
+	var b strings.Builder
+	formatStmt(&b, s, 0)
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+func formatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return strconv.FormatInt(int64(x.Value), 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(float64(x.Value), 'g', -1, 32)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s + "f"
+	case *Unary:
+		return fmt.Sprintf("%s(%s)", x.Op, formatExpr(x.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", formatExpr(x.X), x.Op, formatExpr(x.Y))
+	case *Cond:
+		return fmt.Sprintf("(%s ? %s : %s)", formatExpr(x.C), formatExpr(x.A), formatExpr(x.B))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", formatExpr(x.X), formatExpr(x.I))
+	case *Member:
+		return fmt.Sprintf("%s.%s", formatExpr(x.X), x.Name)
+	case *Call:
+		switch {
+		case strings.HasPrefix(x.Name, "(cast)"):
+			return fmt.Sprintf("(%s)(%s)", strings.TrimPrefix(x.Name, "(cast)"), formatExpr(x.Args[0]))
+		case x.Name == "(make)float4":
+			parts := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				parts[i] = formatExpr(a)
+			}
+			return fmt.Sprintf("(float4)(%s)", strings.Join(parts, ", "))
+		}
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = formatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(parts, ", "))
+	case *Assign:
+		return fmt.Sprintf("%s %s %s", formatExpr(x.LHS), x.Op, formatExpr(x.RHS))
+	case *IncDec:
+		return fmt.Sprintf("%s%s", formatExpr(x.X), x.Op)
+	case *valueExpr:
+		return "<value>"
+	}
+	panic(fmt.Sprintf("clc: Format: unknown expression %T", e))
+}

@@ -1,0 +1,128 @@
+// Package clc compiles and executes a subset of OpenCL C — the language the
+// paper's kernels are written in — against the simulated device of
+// internal/gpusim. The subset covers what N-body kernels need: scalar int
+// and float arithmetic, the float4 vector type with .x/.y/.z/.w access and
+// (float4)(...) constructors, __global and __local pointer arguments (to
+// float, int and float4), control flow, work-item builtins (get_global_id
+// and friends), barrier(), and the math builtins of the interaction kernel
+// (sqrt, rsqrt, fma, dot, ...). Format renders a parsed program back to
+// canonical source.
+//
+// Programs are lexed and parsed into an AST once (cl.Context.CreateProgram)
+// and then interpreted per work-item. Execution is functionally exact and
+// feeds the same cost counters as hand-written kernels: every executed
+// floating-point operation is charged to the lane, and every __global /
+// __local access is charged as memory traffic. The interpreter is intended
+// for validation and small runs — it is an order of magnitude slower than
+// the Go kernels in internal/core, which remain the measurement path.
+package clc
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Punctuation.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+
+	// Operators.
+	ASSIGN    // =
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	PERCENT   // %
+	PLUSEQ    // +=
+	MINUSEQ   // -=
+	STAREQ    // *=
+	SLASHEQ   // /=
+	PLUSPLUS  // ++
+	MINUSMINU // --
+	EQ        // ==
+	NE        // !=
+	LT        // <
+	LE        // <=
+	GT        // >
+	GE        // >=
+	ANDAND    // &&
+	OROR      // ||
+	NOT       // !
+	QUESTION  // ?
+	COLON     // :
+	DOT       // .
+
+	// Keywords.
+	KWKERNEL   // __kernel or kernel
+	KWGLOBAL   // __global or global
+	KWLOCAL    // __local or local
+	KWCONST    // const
+	KWVOID     // void
+	KWINT      // int
+	KWFLOAT    // float
+	KWFLOAT4   // float4
+	KWIF       // if
+	KWELSE     // else
+	KWFOR      // for
+	KWWHILE    // while
+	KWRETURN   // return
+	KWBREAK    // break
+	KWCONTINUE // continue
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal", FLOATLIT: "float literal",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	COMMA: ",", SEMI: ";",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	PLUSPLUS: "++", MINUSMINU: "--",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||", NOT: "!", QUESTION: "?", COLON: ":", DOT: ".",
+	KWKERNEL: "__kernel", KWGLOBAL: "__global", KWLOCAL: "__local", KWCONST: "const",
+	KWVOID: "void", KWINT: "int", KWFLOAT: "float", KWFLOAT4: "float4",
+	KWIF: "if", KWELSE: "else", KWFOR: "for", KWWHILE: "while",
+	KWRETURN: "return", KWBREAK: "break", KWCONTINUE: "continue",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"__kernel": KWKERNEL, "kernel": KWKERNEL,
+	"__global": KWGLOBAL, "global": KWGLOBAL,
+	"__local": KWLOCAL, "local": KWLOCAL,
+	"const": KWCONST, "void": KWVOID, "int": KWINT, "float": KWFLOAT,
+	"float4": KWFLOAT4,
+	"if":     KWIF, "else": KWELSE, "for": KWFOR, "while": KWWHILE,
+	"return": KWRETURN, "break": KWBREAK, "continue": KWCONTINUE,
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// Pos renders the token's position for error messages.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bh"
+	"repro/internal/body"
+	"repro/internal/gpusim"
+)
+
+// bhDescStride is the int32 stride of one walk descriptor:
+// [bodyFirst, bodyCount, listBase, listLen].
+const bhDescStride = 4
+
+// bhHostData is the host-side product of the CPU half of the treecode
+// pipeline (tree build + walk/interaction-list construction), flattened into
+// the buffers the w- and jw-parallel kernels consume.
+type bhHostData struct {
+	tree  *bh.Tree
+	walks *bh.WalkSet
+
+	numNodes int
+	numWalks int
+
+	// srcF4 holds interaction sources as x,y,z,m float4s: first the tree
+	// cells (centre of mass), then the bodies in original order.
+	srcF4 []float32
+	// posmSorted holds the bodies in tree (Index) order, so a walk's bodies
+	// are a contiguous, coalescible range.
+	posmSorted []float32
+	// lists is the concatenation of every walk's interaction list; entries
+	// are indices into srcF4's float4s (cell ni -> ni, body bi ->
+	// numNodes+bi), cell entries first, direct entries second — the same
+	// order the CPU reference bh.WalkSet.Eval uses, so accumulation order
+	// (and therefore float32 rounding) matches exactly.
+	lists []int32
+	// desc holds bhDescStride int32s per walk (see bhDescStride).
+	desc []int32
+
+	// interactions is the exact interaction count of the walk set.
+	interactions int64
+
+	// Modelled host-side seconds (paper-era CPU) for the build, split for
+	// the PTPM reports.
+	treeSeconds float64
+	listSeconds float64
+}
+
+// buildBHHostData runs the CPU half of the pipeline: build the octree,
+// derive group walks with at most groupCap bodies (sub-split so no walk
+// exceeds maxBodies, the kernel's lane count), and flatten everything.
+func buildBHHostData(s *body.System, opt bh.Options, groupCap, maxBodies int, host gpusim.HostModel) (*bhHostData, error) {
+	if groupCap > maxBodies {
+		groupCap = maxBodies
+	}
+	if opt.LeafCap > groupCap {
+		opt.LeafCap = groupCap
+	}
+	tree, err := bh.Build(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	walks, err := tree.BuildWalks(groupCap)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &bhHostData{
+		tree:     tree,
+		walks:    walks,
+		numNodes: len(tree.Nodes),
+	}
+
+	// Sources: cells then bodies.
+	n := s.N()
+	d.srcF4 = make([]float32, 4*(d.numNodes+n))
+	for i := range tree.Nodes {
+		nd := &tree.Nodes[i]
+		d.srcF4[4*i+0] = nd.COM.X
+		d.srcF4[4*i+1] = nd.COM.Y
+		d.srcF4[4*i+2] = nd.COM.Z
+		d.srcF4[4*i+3] = nd.Mass
+	}
+	for bi := 0; bi < n; bi++ {
+		base := 4 * (d.numNodes + bi)
+		d.srcF4[base+0] = s.Pos[bi].X
+		d.srcF4[base+1] = s.Pos[bi].Y
+		d.srcF4[base+2] = s.Pos[bi].Z
+		d.srcF4[base+3] = s.Mass[bi]
+	}
+
+	// Bodies in tree order.
+	d.posmSorted = make([]float32, 4*n)
+	for slot, bi := range tree.Index {
+		d.posmSorted[4*slot+0] = s.Pos[bi].X
+		d.posmSorted[4*slot+1] = s.Pos[bi].Y
+		d.posmSorted[4*slot+2] = s.Pos[bi].Z
+		d.posmSorted[4*slot+3] = s.Mass[bi]
+	}
+
+	// Lists and descriptors; walks wider than maxBodies are split into
+	// sub-walks sharing one list (possible only for depth-capped leaves of
+	// pathological inputs).
+	for wi := range walks.Walks {
+		w := &walks.Walks[wi]
+		base := int32(len(d.lists))
+		for _, ni := range w.NodeList {
+			d.lists = append(d.lists, ni)
+		}
+		for _, bj := range w.DirectList {
+			d.lists = append(d.lists, int32(d.numNodes)+bj)
+		}
+		llen := int32(w.ListLen())
+		for off := int32(0); off < w.Count; off += int32(maxBodies) {
+			cnt := w.Count - off
+			if cnt > int32(maxBodies) {
+				cnt = int32(maxBodies)
+			}
+			d.desc = append(d.desc, w.First+off, cnt, base, llen)
+			d.interactions += int64(cnt) * int64(llen)
+		}
+	}
+	d.numWalks = len(d.desc) / bhDescStride
+	if d.numWalks == 0 {
+		return nil, fmt.Errorf("core: no walks produced for %d bodies", n)
+	}
+
+	d.treeSeconds = host.TreeBuildSeconds(n)
+	d.listSeconds = host.ListBuildSeconds(int64(len(d.lists)))
+	return d, nil
+}
+
+// unpermuteAcc scatters accelerations from tree order back to body order.
+func (d *bhHostData) unpermuteAcc(s *body.System, accSorted []float32) {
+	for slot, bi := range d.tree.Index {
+		s.Acc[bi].X = accSorted[4*slot+0]
+		s.Acc[bi].Y = accSorted[4*slot+1]
+		s.Acc[bi].Z = accSorted[4*slot+2]
+	}
+}
+
+// balanceQueues partitions walk ids into numQueues queues with a
+// longest-processing-time greedy heuristic on list length x body count, and
+// returns the concatenated queue contents plus per-queue [base,len] pairs.
+// This is the jw-parallel load balancing: a work-group drains its whole
+// queue, so queues must carry near-equal total work.
+func (d *bhHostData) balanceQueues(numQueues int) (queueWalks []int32, queueDesc []int32) {
+	type wcost struct {
+		id   int32
+		cost int64
+	}
+	ws := make([]wcost, d.numWalks)
+	for i := 0; i < d.numWalks; i++ {
+		cnt := int64(d.desc[i*bhDescStride+1])
+		llen := int64(d.desc[i*bhDescStride+3])
+		ws[i] = wcost{id: int32(i), cost: llen * maxI64(cnt, 1)}
+	}
+	sort.SliceStable(ws, func(a, b int) bool { return ws[a].cost > ws[b].cost })
+
+	queues := make([][]int32, numQueues)
+	load := make([]int64, numQueues)
+	for _, w := range ws {
+		q := 0
+		for k := 1; k < numQueues; k++ {
+			if load[k] < load[q] {
+				q = k
+			}
+		}
+		queues[q] = append(queues[q], w.id)
+		load[q] += w.cost
+	}
+
+	queueDesc = make([]int32, 0, 2*numQueues)
+	for _, q := range queues {
+		queueDesc = append(queueDesc, int32(len(queueWalks)), int32(len(q)))
+		queueWalks = append(queueWalks, q...)
+	}
+	return queueWalks, queueDesc
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

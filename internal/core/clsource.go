@@ -1,0 +1,112 @@
+package core
+
+// OpenCL C sources for the PP kernels, as the paper's artifact would ship
+// them. They are compiled by the internal/clc subset compiler and executed
+// on the simulated device; tests check their output against the Go plan
+// implementations (bitwise, for i-parallel: both perform the identical
+// float32 operation sequence).
+
+// IParallelCL is Nyland et al.'s tile kernel (paper Fig. 1/3): one
+// work-item per body, the j-loop staged through local memory.
+const IParallelCL = `
+// i-parallel PP force kernel: one work-item per body i, sources staged
+// tile-by-tile through local memory (GPU Gems 3, ch. 31).
+__kernel void iparallel(__global const float* posm,
+                        __global float* acc,
+                        __local float* tile,
+                        int npad, float eps2, float g) {
+    int i = get_global_id(0);
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+
+    float px = posm[4*i];
+    float py = posm[4*i+1];
+    float pz = posm[4*i+2];
+    float ax = 0.0f;
+    float ay = 0.0f;
+    float az = 0.0f;
+
+    int tiles = npad / p;
+    for (int t = 0; t < tiles; t++) {
+        int j = t * p + l;
+        tile[4*l]   = posm[4*j];
+        tile[4*l+1] = posm[4*j+1];
+        tile[4*l+2] = posm[4*j+2];
+        tile[4*l+3] = posm[4*j+3];
+        barrier(CLK_LOCAL_MEM_FENCE);
+
+        for (int k = 0; k < p; k++) {
+            float dx = tile[4*k]   - px;
+            float dy = tile[4*k+1] - py;
+            float dz = tile[4*k+2] - pz;
+            float r2 = dx*dx + dy*dy + dz*dz + eps2;
+            float inv = 1.0f / sqrt(r2);
+            float inv3 = inv * inv * inv * tile[4*k+3];
+            ax += dx * inv3;
+            ay += dy * inv3;
+            az += dz * inv3;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+
+    acc[4*i]   = ax * g;
+    acc[4*i+1] = ay * g;
+    acc[4*i+2] = az * g;
+    acc[4*i+3] = 0.0f;
+}
+`
+
+// JParallelCL is Hamada and Iitaka's chamomile kernel: one work-group per
+// body, lanes split the sources, local-memory tree reduction.
+const JParallelCL = `
+// j-parallel PP force kernel: one work-group per body i; each lane sums a
+// strided slice of the sources; partial sums reduce through local memory.
+__kernel void jparallel(__global const float* posm,
+                        __global float* acc,
+                        __local float* part,
+                        int npadj, float eps2, float g) {
+    int i = get_group_id(0);
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+
+    float px = posm[4*i];
+    float py = posm[4*i+1];
+    float pz = posm[4*i+2];
+    float ax = 0.0f;
+    float ay = 0.0f;
+    float az = 0.0f;
+
+    int tiles = npadj / p;
+    for (int t = 0; t < tiles; t++) {
+        int j = t * p + l;
+        float dx = posm[4*j]   - px;
+        float dy = posm[4*j+1] - py;
+        float dz = posm[4*j+2] - pz;
+        float r2 = dx*dx + dy*dy + dz*dz + eps2;
+        float inv = 1.0f / sqrt(r2);
+        float inv3 = inv * inv * inv * posm[4*j+3];
+        ax += dx * inv3;
+        ay += dy * inv3;
+        az += dz * inv3;
+    }
+
+    part[3*l]   = ax;
+    part[3*l+1] = ay;
+    part[3*l+2] = az;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = p / 2; s > 0; s = s / 2) {
+        if (l < s) {
+            part[3*l]   += part[3*(l+s)];
+            part[3*l+1] += part[3*(l+s)+1];
+            part[3*l+2] += part[3*(l+s)+2];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (l == 0) {
+        acc[4*i]   = part[0] * g;
+        acc[4*i+1] = part[1] * g;
+        acc[4*i+2] = part[2] * g;
+        acc[4*i+3] = 0.0f;
+    }
+}
+`

@@ -1,0 +1,47 @@
+package core
+
+// IParallelFloat4CL is the i-parallel kernel in its authentic GPU Gems 3
+// form: bodies as float4 (xyz = position, w = mass), a body_body helper, and
+// a __local float4 tile — byte-for-byte the style of the paper's era. It
+// computes the same interactions as IParallelCL; the float4 arithmetic
+// orders the component operations identically, so results match the flat
+// kernel bitwise.
+const IParallelFloat4CL = `
+// Softened pairwise interaction, GPU Gems 3 ch. 31 style.
+float4 body_body(float4 bi, float4 bj, float4 ai, float eps2) {
+    float4 r = bj - bi;
+    float dist2 = r.x*r.x + r.y*r.y + r.z*r.z + eps2;
+    float inv = 1.0f / sqrt(dist2);
+    float s = bj.w * inv * inv * inv;
+    ai.x += r.x * s;
+    ai.y += r.y * s;
+    ai.z += r.z * s;
+    return ai;
+}
+
+__kernel void iparallel4(__global const float4* posm,
+                         __global float4* acc,
+                         __local float4* tile,
+                         int npad, float eps2, float g) {
+    int i = get_global_id(0);
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+
+    float4 bi = posm[i];
+    float4 ai = (float4)(0.0f);
+
+    int tiles = npad / p;
+    for (int t = 0; t < tiles; t++) {
+        tile[l] = posm[t * p + l];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < p; k++) {
+            ai = body_body(bi, tile[k], ai, eps2);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+
+    ai = ai * g;
+    ai.w = 0.0f;
+    acc[i] = ai;
+}
+`

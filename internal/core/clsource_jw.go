@@ -1,0 +1,95 @@
+package core
+
+// JWParallelCL is the paper's jw-parallel force kernel in OpenCL C: each
+// work-group drains a host-built queue of walks; per walk, the shared
+// interaction list is staged tile-by-tile through local memory by all lanes
+// (the j idea applied inside the walk) and consumed by the lanes that carry
+// the walk's bodies. Compiled by internal/clc and validated bitwise against
+// the Go implementation in jwkernel.go.
+const JWParallelCL = `
+// jw-parallel Barnes-Hut force kernel.
+//
+// Buffers:
+//   src    - interaction sources as x,y,z,m float4s (tree cells then bodies)
+//   posm   - bodies in tree order, x,y,z,m float4s
+//   lists  - concatenated interaction lists (indices into src)
+//   desc   - per-walk [bodyFirst, bodyCount, listBase, listLen]
+//   qwalks - concatenated walk queues
+//   qdesc  - per-group [queueBase, queueLen]
+//   acc    - output accelerations, x,y,z,pad float4s in tree order
+__kernel void jwparallel(__global const float* src,
+                         __global const float* posm,
+                         __global const int* lists,
+                         __global const int* desc,
+                         __global const int* qwalks,
+                         __global const int* qdesc,
+                         __global float* acc,
+                         __local float* tile,
+                         float eps2, float g) {
+    int gid = get_group_id(0);
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+
+    int qbase = qdesc[2*gid];
+    int qlen  = qdesc[2*gid+1];
+
+    for (int qi = 0; qi < qlen; qi++) {
+        int w = qwalks[qbase + qi];
+        int first = desc[4*w];
+        int count = desc[4*w+1];
+        int base  = desc[4*w+2];
+        int llen  = desc[4*w+3];
+
+        int active = l < count;
+        float px = 0.0f;
+        float py = 0.0f;
+        float pz = 0.0f;
+        if (active) {
+            int slot = first + l;
+            px = posm[4*slot];
+            py = posm[4*slot+1];
+            pz = posm[4*slot+2];
+        }
+        float ax = 0.0f;
+        float ay = 0.0f;
+        float az = 0.0f;
+
+        int tiles = (llen + p - 1) / p;
+        for (int t = 0; t < tiles; t++) {
+            int e = t * p + l;
+            if (e < llen) {
+                int idx = lists[base + e];
+                tile[4*l]   = src[4*idx];
+                tile[4*l+1] = src[4*idx+1];
+                tile[4*l+2] = src[4*idx+2];
+                tile[4*l+3] = src[4*idx+3];
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int kmax = llen - t * p;
+            if (kmax > p) { kmax = p; }
+            if (active) {
+                for (int k = 0; k < kmax; k++) {
+                    float dx = tile[4*k]   - px;
+                    float dy = tile[4*k+1] - py;
+                    float dz = tile[4*k+2] - pz;
+                    float r2 = dx*dx + dy*dy + dz*dz + eps2;
+                    float inv = 1.0f / sqrt(r2);
+                    float inv3 = inv * inv * inv * tile[4*k+3];
+                    ax += dx * inv3;
+                    ay += dy * inv3;
+                    az += dz * inv3;
+                }
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+        }
+
+        if (active) {
+            int slot = first + l;
+            acc[4*slot]   = ax * g;
+            acc[4*slot+1] = ay * g;
+            acc[4*slot+2] = az * g;
+            acc[4*slot+3] = 0.0f;
+        }
+    }
+}
+`

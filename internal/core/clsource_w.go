@@ -1,0 +1,51 @@
+package core
+
+// WParallelCL is the w-parallel (multiple-walk) force kernel in OpenCL C:
+// one work-group per walk, lanes carry the walk's bodies, each active lane
+// streams the shared interaction list from global memory — no local-memory
+// staging, which is exactly the cost jw-parallel removes.
+const WParallelCL = `
+// w-parallel Barnes-Hut force kernel (one work-group per walk).
+__kernel void wparallel(__global const float* src,
+                        __global const float* posm,
+                        __global const int* lists,
+                        __global const int* desc,
+                        __global float* acc,
+                        float eps2, float g) {
+    int w = get_group_id(0);
+    int l = get_local_id(0);
+
+    int first = desc[4*w];
+    int count = desc[4*w+1];
+    int base  = desc[4*w+2];
+    int llen  = desc[4*w+3];
+
+    if (l >= count) { return; }
+
+    int slot = first + l;
+    float px = posm[4*slot];
+    float py = posm[4*slot+1];
+    float pz = posm[4*slot+2];
+    float ax = 0.0f;
+    float ay = 0.0f;
+    float az = 0.0f;
+
+    for (int e = 0; e < llen; e++) {
+        int idx = lists[base + e];
+        float dx = src[4*idx]   - px;
+        float dy = src[4*idx+1] - py;
+        float dz = src[4*idx+2] - pz;
+        float r2 = dx*dx + dy*dy + dz*dz + eps2;
+        float inv = 1.0f / sqrt(r2);
+        float inv3 = inv * inv * inv * src[4*idx+3];
+        ax += dx * inv3;
+        ay += dy * inv3;
+        az += dz * inv3;
+    }
+
+    acc[4*slot]   = ax * g;
+    acc[4*slot+1] = ay * g;
+    acc[4*slot+2] = az * g;
+    acc[4*slot+3] = 0.0f;
+}
+`

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/body"
+	"repro/internal/cl"
+)
+
+// Engine adapts a Plan to the force-engine interface the simulation driver
+// (internal/sim) expects, accumulating the modelled device time across the
+// run so callers can report sustained performance.
+type Engine struct {
+	Plan Plan
+
+	// Accumulated over all Accel calls.
+	KernelSeconds   float64
+	TransferSeconds float64
+	HostSeconds     float64
+	Flops           int64
+	Interactions    int64
+	Evaluations     int
+}
+
+// NewEngine wraps a plan.
+func NewEngine(p Plan) *Engine { return &Engine{Plan: p} }
+
+// Name implements the sim.Engine interface.
+func (e *Engine) Name() string { return e.Plan.Name() }
+
+// Accel implements the sim.Engine interface.
+func (e *Engine) Accel(s *body.System) (int64, error) {
+	prof, err := e.Plan.Accel(s)
+	if err != nil {
+		return 0, err
+	}
+	e.KernelSeconds += prof.Profile.KernelSeconds
+	e.TransferSeconds += prof.Profile.TransferSeconds
+	e.HostSeconds += prof.Profile.HostSeconds
+	e.Flops += prof.Flops
+	e.Interactions += prof.Interactions
+	e.Evaluations++
+	return prof.Interactions, nil
+}
+
+// TotalSeconds returns the accumulated modelled pipeline time.
+func (e *Engine) TotalSeconds() float64 {
+	return e.KernelSeconds + e.TransferSeconds + e.HostSeconds
+}
+
+// SustainedGFLOPS returns useful flops over accumulated kernel time.
+func (e *Engine) SustainedGFLOPS() float64 {
+	if e.KernelSeconds <= 0 {
+		return 0
+	}
+	return float64(e.Flops) / e.KernelSeconds / 1e9
+}
+
+// Profile returns the accumulated times as a cl.Profile.
+func (e *Engine) Profile() cl.Profile {
+	return cl.Profile{
+		KernelSeconds:   e.KernelSeconds,
+		TransferSeconds: e.TransferSeconds,
+		HostSeconds:     e.HostSeconds,
+		KernelFlops:     e.Flops,
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bh"
+	"repro/internal/gpusim"
+	"repro/internal/ic"
+	"repro/internal/pp"
+)
+
+func TestEngineAccumulates(t *testing.T) {
+	ctx := newHD5850Context(t)
+	eng := NewEngine(NewJWParallel(ctx, bh.DefaultOptions()))
+	sys := ic.Plummer(512, 1)
+
+	if eng.Name() != "jw-parallel" {
+		t.Errorf("Name = %q", eng.Name())
+	}
+	var wantInter int64
+	for i := 0; i < 3; i++ {
+		n, err := eng.Accel(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantInter += n
+	}
+	if eng.Evaluations != 3 {
+		t.Errorf("Evaluations = %d", eng.Evaluations)
+	}
+	if eng.Interactions != wantInter {
+		t.Errorf("Interactions = %d, want %d", eng.Interactions, wantInter)
+	}
+	if eng.KernelSeconds <= 0 || eng.TotalSeconds() <= eng.KernelSeconds {
+		t.Errorf("times: kernel %g total %g", eng.KernelSeconds, eng.TotalSeconds())
+	}
+	if eng.SustainedGFLOPS() <= 0 {
+		t.Error("no sustained rate")
+	}
+	p := eng.Profile()
+	if p.KernelSeconds != eng.KernelSeconds || p.KernelFlops != eng.Flops {
+		t.Error("Profile does not mirror accumulators")
+	}
+}
+
+func TestJWSmallNFallback(t *testing.T) {
+	ctx := newHD5850Context(t)
+	plan := NewJWParallel(ctx, bh.DefaultOptions())
+	plan.SmallNCutoff = 1024
+
+	// Below the cutoff: the j-parallel kernel computes the exact direct sum.
+	small := ic.Plummer(300, 5)
+	ref := small.Clone()
+	pp.Scalar(ref, pp.Params{G: plan.Opt.G, Eps: plan.Opt.Eps})
+	prof, err := plan.Accel(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prof.Plan, "fallback") {
+		t.Errorf("plan label %q does not mark the fallback", prof.Plan)
+	}
+	if prof.Interactions < 300*300 {
+		t.Errorf("fallback interactions %d below N^2", prof.Interactions)
+	}
+	if e := pp.MaxRelError(ref.Acc, small.Acc, 1e-3); e > 2e-4 {
+		t.Errorf("fallback accuracy: %g", e)
+	}
+
+	// Above the cutoff: the treecode pipeline runs (sub-quadratic work).
+	large := ic.Plummer(4096, 5)
+	prof, err = plan.Accel(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prof.Plan, "fallback") {
+		t.Error("fallback used above the cutoff")
+	}
+	if prof.Interactions >= 4096*4096 {
+		t.Errorf("treecode interactions %d not sub-quadratic", prof.Interactions)
+	}
+}
+
+func TestWParallelExactVsWalkEval(t *testing.T) {
+	opt := bh.DefaultOptions()
+	n := 2048
+	sys := ic.Plummer(n, 77)
+
+	ctx := newHD5850Context(t)
+	plan := NewWParallel(ctx, opt)
+	gpu := sys.Clone()
+	if _, err := plan.Accel(gpu); err != nil {
+		t.Fatalf("w Accel: %v", err)
+	}
+
+	cpu := sys.Clone()
+	tree, err := bh.Build(cpu, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := tree.BuildWalks(plan.GroupCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Eval()
+	for i := range cpu.Acc {
+		if cpu.Acc[i] != gpu.Acc[i] {
+			t.Fatalf("body %d: cpu walk eval %v != gpu w %v", i, cpu.Acc[i], gpu.Acc[i])
+		}
+	}
+}
+
+// TestPlanBufferReuse verifies plans reuse device buffers across calls with
+// the same N (no unbounded allocation growth in a stepping loop).
+func TestPlanBufferReuse(t *testing.T) {
+	ctx := newHD5850Context(t)
+	plan := NewIParallel(ctx, pp.DefaultParams())
+	sys := ic.Plummer(256, 1)
+	if _, err := plan.Accel(sys); err != nil {
+		t.Fatal(err)
+	}
+	before := ctx.Device().Allocated()
+	for i := 0; i < 5; i++ {
+		if _, err := plan.Accel(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := ctx.Device().Allocated(); after != before {
+		t.Errorf("i-parallel grew allocations: %d -> %d", before, after)
+	}
+
+	jw := NewJWParallel(ctx, bh.DefaultOptions())
+	if _, err := jw.Accel(sys); err != nil {
+		t.Fatal(err)
+	}
+	before = ctx.Device().Allocated()
+	for i := 0; i < 5; i++ {
+		if _, err := jw.Accel(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The jw pipeline rebuilds walks each call; list lengths can vary a
+	// little for a *moving* system, but for identical positions buffers
+	// must be reused exactly.
+	if after := ctx.Device().Allocated(); after != before {
+		t.Errorf("jw-parallel grew allocations on identical input: %d -> %d", before, after)
+	}
+}
+
+// TestStagingAblationDirection checks the design claim behind jw-parallel:
+// removing local-memory staging (reverting to per-lane streaming) slows the
+// kernel down.
+func TestStagingAblationDirection(t *testing.T) {
+	sys := ic.Plummer(2048, 9)
+	var kernel [2]float64
+	for i, disable := range []bool{false, true} {
+		ctx := newHD5850Context(t)
+		plan := NewJWParallel(ctx, bh.DefaultOptions())
+		plan.DisableLDSStaging = disable
+		prof, err := plan.Accel(sys.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernel[i] = prof.Profile.KernelSeconds
+	}
+	if kernel[1] <= kernel[0] {
+		t.Errorf("unstaged (%g) not slower than staged (%g)", kernel[1], kernel[0])
+	}
+}
+
+// TestQueueBalance verifies the LPT queue builder spreads work evenly.
+func TestQueueBalance(t *testing.T) {
+	sys := ic.Plummer(8192, 3)
+	opt := bh.DefaultOptions()
+	d, err := buildBHHostData(sys, opt, 24, 64, gpusim.PaperHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 16
+	queueWalks, queueDesc := d.balanceQueues(q)
+	if len(queueDesc) != 2*q {
+		t.Fatalf("queueDesc length %d", len(queueDesc))
+	}
+	if len(queueWalks) != d.numWalks {
+		t.Fatalf("queues hold %d walks, want %d", len(queueWalks), d.numWalks)
+	}
+	// Per-queue cost spread should be tight for thousands of walks.
+	loads := make([]int64, q)
+	for k := 0; k < q; k++ {
+		base, cnt := queueDesc[2*k], queueDesc[2*k+1]
+		for _, wid := range queueWalks[base : base+cnt] {
+			cntW := int64(d.desc[wid*bhDescStride+1])
+			llen := int64(d.desc[wid*bhDescStride+3])
+			loads[k] += cntW * llen
+		}
+	}
+	var minL, maxL int64 = loads[0], loads[0]
+	for _, l := range loads {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if float64(maxL) > 1.25*float64(minL) {
+		t.Errorf("queue imbalance: min %d max %d", minL, maxL)
+	}
+	// Every walk appears exactly once.
+	seen := make([]bool, d.numWalks)
+	for _, wid := range queueWalks {
+		if seen[wid] {
+			t.Fatalf("walk %d queued twice", wid)
+		}
+		seen[wid] = true
+	}
+}

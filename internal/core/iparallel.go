@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/body"
+	"repro/internal/cl"
+	"repro/internal/gpusim"
+	"repro/internal/pp"
+)
+
+// IParallel is Nyland et al.'s GPU Gems 3 execution plan for the PP method:
+// one work-item per body i; the j-loop is tiled, with each tile of p source
+// bodies staged cooperatively through local memory and then consumed by all
+// p lanes. In PTPM terms the space axis carries i and the time axis carries
+// j, so device occupancy is N/p work-groups — plentiful at large N, a
+// handful of groups (idle compute units) at small N, which is the plan's
+// characteristic failure mode in Figure 5.
+type IParallel struct {
+	Params pp.Params
+	// GroupSize is the work-group size p (default 256).
+	GroupSize int
+
+	ctx   *cl.Context
+	queue *cl.Queue
+
+	nPad    int
+	bufPosM *gpusim.Buffer
+	bufAcc  *gpusim.Buffer
+	hostIn  []float32
+	hostOut []float32
+}
+
+// NewIParallel creates the plan on the given context.
+func NewIParallel(ctx *cl.Context, params pp.Params) *IParallel {
+	return &IParallel{Params: params, GroupSize: 256, ctx: ctx, queue: ctx.NewQueue()}
+}
+
+// Name implements Plan.
+func (p *IParallel) Name() string { return "i-parallel" }
+
+// Kind implements Plan.
+func (p *IParallel) Kind() Kind { return KindPP }
+
+func (p *IParallel) ensureBuffers(n int) {
+	nPad := roundUp(n, p.GroupSize)
+	if nPad == p.nPad && p.bufPosM != nil {
+		return
+	}
+	dev := p.ctx.Device()
+	p.nPad = nPad
+	p.bufPosM = dev.NewBufferF32("iparallel.posm", 4*nPad)
+	p.bufAcc = dev.NewBufferF32("iparallel.acc", 4*nPad)
+	p.hostOut = make([]float32, 4*nPad)
+}
+
+// Accel implements Plan.
+func (p *IParallel) Accel(s *body.System) (*RunProfile, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: i-parallel: empty system")
+	}
+	p.ensureBuffers(n)
+	p.hostIn = flattenPadded(s, p.nPad, p.hostIn)
+	p.queue.Reset()
+	if _, err := p.queue.EnqueueWriteF32(p.bufPosM, p.hostIn); err != nil {
+		return nil, err
+	}
+
+	local := p.GroupSize
+	nPad := p.nPad
+	g := p.Params.G
+	eps2 := p.Params.Eps * p.Params.Eps
+	posm := p.bufPosM
+	out := p.bufAcc
+
+	kernel := func(wi *gpusim.Item) {
+		i := wi.GlobalID()
+		l := wi.LocalID()
+		ls := wi.LocalSize()
+		src := wi.RawGlobalF32(posm)
+		dst := wi.RawGlobalF32(out)
+		lds := wi.RawLDS()
+
+		// Load own position (4 coalesced floats).
+		wi.ChargeGlobal(16, 0)
+		px, py, pz := src[4*i], src[4*i+1], src[4*i+2]
+		var ax, ay, az float32
+
+		tiles := nPad / ls
+		for t := 0; t < tiles; t++ {
+			// Stage one source per lane into local memory.
+			j := t*ls + l
+			wi.ChargeGlobal(16, 0)
+			wi.ChargeLDS(16)
+			lds[4*l+0] = src[4*j+0]
+			lds[4*l+1] = src[4*j+1]
+			lds[4*l+2] = src[4*j+2]
+			lds[4*l+3] = src[4*j+3]
+			wi.Barrier()
+
+			// Consume the tile: ls interactions per lane out of local
+			// memory. Charged in bulk; the arithmetic below is the same
+			// softened kernel as the CPU reference.
+			wi.ChargeLDS(16 * ls)
+			wi.Flops(pp.FlopsPerInteraction * ls)
+			wi.Aux(2 * ls) // loop control and LDS address arithmetic
+			for k := 0; k < ls; k++ {
+				a := pp.AccumulateInto(px, py, pz, lds[4*k], lds[4*k+1], lds[4*k+2], lds[4*k+3], eps2)
+				ax += a.X
+				ay += a.Y
+				az += a.Z
+			}
+			wi.Barrier()
+		}
+
+		// Store the result (padding lanes write padding slots).
+		wi.ChargeGlobal(16, 0)
+		dst[4*i+0] = ax * g
+		dst[4*i+1] = ay * g
+		dst[4*i+2] = az * g
+		dst[4*i+3] = 0
+	}
+
+	ev, err := p.queue.EnqueueNDRange("iparallel.force", kernel, gpusim.LaunchParams{
+		Global:    nPad,
+		Local:     local,
+		LDSFloats: 4 * local,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.queue.EnqueueReadF32(p.bufAcc, p.hostOut); err != nil {
+		return nil, err
+	}
+	s.UnflattenAcc(p.hostOut)
+
+	interactions := int64(nPad) * int64(nPad)
+	return &RunProfile{
+		Plan:         p.Name(),
+		N:            n,
+		Interactions: interactions,
+		Flops:        interactionFlops(interactions),
+		Profile:      p.queue.Profile(),
+		Launches:     []*gpusim.Result{ev.Result},
+	}, nil
+}

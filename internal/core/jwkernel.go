@@ -1,0 +1,121 @@
+package core
+
+import (
+	"repro/internal/gpusim"
+	"repro/internal/pp"
+)
+
+// jwBuffers bundles the device buffers the jw force kernel consumes, so the
+// kernel can be shared between the single-device JWParallel plan and the
+// MultiJW extension.
+type jwBuffers struct {
+	src, pos, lists, desc *gpusim.Buffer
+	queueWalks, queueDesc *gpusim.Buffer
+	acc                   *gpusim.Buffer
+}
+
+// jwKernel builds the jw-parallel force kernel over the given buffers:
+// each work-group drains its walk queue; per walk, the interaction list is
+// staged tile-by-tile through local memory (unless staged is false, the
+// per-lane streaming ablation) and every active lane accumulates its body's
+// acceleration.
+func jwKernel(b jwBuffers, g, eps2 float32, staged bool) gpusim.KernelFunc {
+	return func(wi *gpusim.Item) {
+		gid := wi.GroupID()
+		l := wi.LocalID()
+		ls := wi.LocalSize()
+		desc := wi.RawGlobalI32(b.desc)
+		lists := wi.RawGlobalI32(b.lists)
+		src := wi.RawGlobalF32(b.src)
+		posm := wi.RawGlobalF32(b.pos)
+		acc := wi.RawGlobalF32(b.acc)
+		qw := wi.RawGlobalI32(b.queueWalks)
+		qd := wi.RawGlobalI32(b.queueDesc)
+		lds := wi.RawLDS()
+
+		if l == 0 {
+			wi.ChargeGlobal(8, 0) // queue descriptor broadcast
+		}
+		qBase := int(qd[2*gid+0])
+		qLen := int(qd[2*gid+1])
+
+		for qi := 0; qi < qLen; qi++ {
+			if l == 0 {
+				wi.ChargeGlobal(4+16, 0) // walk id + walk descriptor broadcast
+			}
+			w := int(qw[qBase+qi])
+			first := int(desc[w*bhDescStride+0])
+			count := int(desc[w*bhDescStride+1])
+			base := int(desc[w*bhDescStride+2])
+			llen := int(desc[w*bhDescStride+3])
+
+			active := l < count
+			var px, py, pz float32
+			if active {
+				slot := first + l
+				wi.ChargeGlobal(16, 0)
+				px, py, pz = posm[4*slot], posm[4*slot+1], posm[4*slot+2]
+			}
+			var ax, ay, az float32
+
+			if staged {
+				// j-parallel within the walk: stage list tiles through
+				// local memory; every lane helps stage, active lanes
+				// consume.
+				tiles := (llen + ls - 1) / ls
+				for t := 0; t < tiles; t++ {
+					e := t*ls + l
+					if e < llen {
+						idx := lists[base+e]
+						wi.ChargeGlobal(4, 16) // coalesced index + gathered float4
+						wi.ChargeLDS(16)
+						lds[4*l+0] = src[4*idx+0]
+						lds[4*l+1] = src[4*idx+1]
+						lds[4*l+2] = src[4*idx+2]
+						lds[4*l+3] = src[4*idx+3]
+					}
+					wi.Barrier()
+					kmax := llen - t*ls
+					if kmax > ls {
+						kmax = ls
+					}
+					if active {
+						wi.ChargeLDS(16 * kmax)
+						wi.Flops(pp.FlopsPerInteraction * kmax)
+						wi.Aux(2 * kmax)
+						for k := 0; k < kmax; k++ {
+							a := pp.AccumulateInto(px, py, pz,
+								lds[4*k], lds[4*k+1], lds[4*k+2], lds[4*k+3], eps2)
+							ax += a.X
+							ay += a.Y
+							az += a.Z
+						}
+					}
+					wi.Barrier()
+				}
+			} else if active {
+				// Ablation: per-lane streaming, as in w-parallel.
+				wi.ChargeGlobal(20*llen, 0)
+				wi.Flops(pp.FlopsPerInteraction * llen)
+				wi.Aux(3 * llen)
+				for e := 0; e < llen; e++ {
+					idx := lists[base+e]
+					a := pp.AccumulateInto(px, py, pz,
+						src[4*idx], src[4*idx+1], src[4*idx+2], src[4*idx+3], eps2)
+					ax += a.X
+					ay += a.Y
+					az += a.Z
+				}
+			}
+
+			if active {
+				slot := first + l
+				wi.ChargeGlobal(16, 0)
+				acc[4*slot+0] = ax * g
+				acc[4*slot+1] = ay * g
+				acc[4*slot+2] = az * g
+				acc[4*slot+3] = 0
+			}
+		}
+	}
+}

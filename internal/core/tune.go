@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bh"
+	"repro/internal/body"
+	"repro/internal/gpusim"
+)
+
+// Tuner chooses jw-parallel parameters analytically with the time-space
+// model — the use the paper puts the PTPM to: reason about a mapping's cost
+// *before* running it. Given a device and a sample workload, it evaluates
+// candidate (GroupCap, QueueTarget) pairs on the model's predicted time per
+// force evaluation (kernel plus the host list-construction the walk size
+// drives) and returns the best.
+type Tuner struct {
+	Dev  gpusim.DeviceConfig
+	Opt  bh.Options
+	Host gpusim.HostModel
+
+	// Candidate walk sizes; nil selects {8, 16, 24, 32, 48, 64}.
+	GroupCaps []int
+	// Candidate queue multipliers of ComputeUnits*MaxGroupsPerCU; nil
+	// selects {0.5, 1, 2}.
+	QueueScales []float64
+	// IncludeHost adds the modelled host list-build time to the objective
+	// (a per-step pipeline cost jw pays for small walks). Default off —
+	// kernel-only, matching the paper's Figure 4/Table 3 metric.
+	IncludeHost bool
+}
+
+// Choice is one evaluated configuration.
+type Choice struct {
+	GroupCap    int
+	QueueTarget int
+	// PredictedSeconds is the model's per-evaluation time for the tuned
+	// objective (kernel, plus host when IncludeHost).
+	PredictedSeconds float64
+	// KernelSeconds and HostSeconds split the prediction.
+	KernelSeconds float64
+	HostSeconds   float64
+	// Workload summarises the walk decomposition behind the prediction.
+	Workload BHWorkload
+}
+
+// Tune evaluates the candidates against a sample system and returns the
+// choices sorted best-first. The sample's walk statistics are computed per
+// GroupCap by running the real host pipeline (trees are cheap next to force
+// evaluation), then priced by the analytic model — no kernel runs.
+func (t *Tuner) Tune(sample *body.System) ([]Choice, error) {
+	if sample == nil || sample.N() == 0 {
+		return nil, fmt.Errorf("core: tuner needs a non-empty sample system")
+	}
+	caps := t.GroupCaps
+	if caps == nil {
+		caps = []int{8, 16, 24, 32, 48, 64}
+	}
+	scales := t.QueueScales
+	if scales == nil {
+		scales = []float64{0.5, 1, 2}
+	}
+	model := TimeSpaceModel{Dev: t.Dev}
+	baseQueues := t.Dev.ComputeUnits * t.Dev.MaxGroupsPerCU
+	local := 64
+
+	var out []Choice
+	for _, gc := range caps {
+		if gc <= 0 || gc > local {
+			return nil, fmt.Errorf("core: tuner GroupCap %d out of (0,%d]", gc, local)
+		}
+		opt := t.Opt
+		if opt.LeafCap > gc {
+			opt.LeafCap = gc
+		}
+		tree, err := bh.Build(sample.Clone(), opt)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := tree.BuildWalks(gc)
+		if err != nil {
+			return nil, err
+		}
+		_, _, meanList, _ := ws.ListStats()
+		var totalList float64
+		for i := range ws.Walks {
+			totalList += float64(ws.Walks[i].ListLen())
+		}
+		w := BHWorkload{
+			NumWalks:      len(ws.Walks),
+			MeanBodies:    ws.MeanBodies(),
+			MeanListLen:   meanList,
+			TotalListLen:  totalList,
+			TotalInterset: float64(ws.Interactions()),
+		}
+		hostSec := t.Host.TreeBuildSeconds(sample.N()) + t.Host.ListBuildSeconds(int64(totalList))
+
+		for _, sc := range scales {
+			queues := int(math.Round(float64(baseQueues) * sc))
+			if queues < 1 {
+				queues = 1
+			}
+			if queues > w.NumWalks {
+				queues = w.NumWalks
+			}
+			a := model.Analyze(DescribeJWParallel(w, local, queues))
+			c := Choice{
+				GroupCap:      gc,
+				QueueTarget:   queues,
+				KernelSeconds: a.PredictedSeconds,
+				HostSeconds:   hostSec,
+				Workload:      w,
+			}
+			c.PredictedSeconds = c.KernelSeconds
+			if t.IncludeHost {
+				c.PredictedSeconds += c.HostSeconds
+			}
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].PredictedSeconds < out[b].PredictedSeconds
+	})
+	return out, nil
+}
+
+// Apply configures a jw-parallel plan with the best choice.
+func (c Choice) Apply(p *JWParallel) {
+	p.GroupCap = c.GroupCap
+	p.QueueTarget = c.QueueTarget
+}

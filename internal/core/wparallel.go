@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bh"
+	"repro/internal/body"
+	"repro/internal/cl"
+	"repro/internal/gpusim"
+	"repro/internal/pp"
+)
+
+// WParallel is Hamada et al.'s SC'09 multiple-walk plan for the Barnes-Hut
+// treecode: the CPU builds the tree and the group walks; on the GPU, each
+// work-group executes exactly one walk, with the group's lanes carrying the
+// walk's bodies and every lane streaming the walk's interaction list from
+// global memory.
+//
+// Its two structural costs — the ones jw-parallel removes — are:
+//
+//  1. Every active lane re-reads every list entry (index + float4) from
+//     global memory, so the traffic is bodies x list rather than list.
+//  2. One work-group per walk: lanes beyond the walk's body count idle, and
+//     walks shorter than the group's list are pure per-group overhead; the
+//     spread of list lengths across groups shows up as load imbalance.
+type WParallel struct {
+	Opt bh.Options
+	// GroupCap is the maximum bodies per walk. The plan sizes it to the
+	// work-group so lanes are as full as a one-walk-per-group mapping
+	// allows. Default 64.
+	GroupCap int
+	// LocalSize is the work-group size (default 64, one wavefront).
+	LocalSize int
+	// Host models the CPU half of the pipeline.
+	Host gpusim.HostModel
+
+	ctx   *cl.Context
+	queue *cl.Queue
+
+	bufSrc, bufPos, bufLists, bufDesc, bufAcc *gpusim.Buffer
+	hostAcc                                   []float32
+}
+
+// NewWParallel creates the plan on the given context.
+func NewWParallel(ctx *cl.Context, opt bh.Options) *WParallel {
+	return &WParallel{
+		Opt:       opt,
+		GroupCap:  64,
+		LocalSize: 64,
+		Host:      gpusim.PaperHost(),
+		ctx:       ctx,
+		queue:     ctx.NewQueue(),
+	}
+}
+
+// Name implements Plan.
+func (p *WParallel) Name() string { return "w-parallel" }
+
+// Kind implements Plan.
+func (p *WParallel) Kind() Kind { return KindBH }
+
+func (p *WParallel) ensure(name string, buf **gpusim.Buffer, n int, isFloat bool) {
+	if *buf != nil && (*buf).Len() >= n && (*buf).IsFloat() == isFloat {
+		return
+	}
+	dev := p.ctx.Device()
+	if isFloat {
+		*buf = dev.NewBufferF32(name, n)
+	} else {
+		*buf = dev.NewBufferI32(name, n)
+	}
+}
+
+// Accel implements Plan.
+func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: w-parallel: empty system")
+	}
+	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
+	if err != nil {
+		return nil, err
+	}
+
+	p.ensure("wparallel.src", &p.bufSrc, len(d.srcF4), true)
+	p.ensure("wparallel.posm", &p.bufPos, len(d.posmSorted), true)
+	p.ensure("wparallel.lists", &p.bufLists, len(d.lists), false)
+	p.ensure("wparallel.desc", &p.bufDesc, len(d.desc), false)
+	p.ensure("wparallel.acc", &p.bufAcc, 4*n, true)
+	if cap(p.hostAcc) < 4*n {
+		p.hostAcc = make([]float32, 4*n)
+	}
+	p.hostAcc = p.hostAcc[:4*n]
+
+	q := p.queue
+	q.Reset()
+	q.EnqueueHostWork("tree build", d.treeSeconds)
+	q.EnqueueHostWork("walk/list build", d.listSeconds)
+	if _, err := q.EnqueueWriteF32(p.bufSrc, d.srcF4); err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueWriteF32(p.bufPos, d.posmSorted); err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueWriteI32(p.bufLists, d.lists); err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueWriteI32(p.bufDesc, d.desc); err != nil {
+		return nil, err
+	}
+
+	g := p.Opt.G
+	eps2 := p.Opt.Eps * p.Opt.Eps
+	bufSrc, bufPos, bufLists, bufDesc, bufAcc := p.bufSrc, p.bufPos, p.bufLists, p.bufDesc, p.bufAcc
+
+	kernel := func(wi *gpusim.Item) {
+		w := wi.GroupID() // one work-group per walk
+		l := wi.LocalID()
+		desc := wi.RawGlobalI32(bufDesc)
+		lists := wi.RawGlobalI32(bufLists)
+		src := wi.RawGlobalF32(bufSrc)
+		posm := wi.RawGlobalF32(bufPos)
+		acc := wi.RawGlobalF32(bufAcc)
+
+		if l == 0 {
+			wi.ChargeGlobal(16, 0) // descriptor broadcast
+		}
+		first := int(desc[w*bhDescStride+0])
+		count := int(desc[w*bhDescStride+1])
+		base := int(desc[w*bhDescStride+2])
+		llen := int(desc[w*bhDescStride+3])
+
+		if l >= count {
+			return // idle lane: the walk has fewer bodies than the group
+		}
+		slot := first + l
+		wi.ChargeGlobal(16, 0)
+		px, py, pz := posm[4*slot], posm[4*slot+1], posm[4*slot+2]
+
+		// Per-lane streaming of the shared list: each lane pays for the
+		// entry index (4B) and the source float4 (16B) itself.
+		wi.ChargeGlobal(20*llen, 0)
+		wi.Flops(pp.FlopsPerInteraction * llen)
+		wi.Aux(3 * llen)
+		var ax, ay, az float32
+		for e := 0; e < llen; e++ {
+			idx := lists[base+e]
+			a := pp.AccumulateInto(px, py, pz,
+				src[4*idx], src[4*idx+1], src[4*idx+2], src[4*idx+3], eps2)
+			ax += a.X
+			ay += a.Y
+			az += a.Z
+		}
+
+		wi.ChargeGlobal(16, 0)
+		acc[4*slot+0] = ax * g
+		acc[4*slot+1] = ay * g
+		acc[4*slot+2] = az * g
+		acc[4*slot+3] = 0
+	}
+
+	ev, err := q.EnqueueNDRange("wparallel.force", kernel, gpusim.LaunchParams{
+		Global: d.numWalks * p.LocalSize,
+		Local:  p.LocalSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := q.EnqueueReadF32(p.bufAcc, p.hostAcc); err != nil {
+		return nil, err
+	}
+	d.unpermuteAcc(s, p.hostAcc)
+
+	return &RunProfile{
+		Plan:         p.Name(),
+		N:            n,
+		Interactions: d.interactions,
+		Flops:        interactionFlops(d.interactions),
+		Profile:      q.Profile(),
+		Launches:     []*gpusim.Result{ev.Result},
+	}, nil
+}

@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedSweep is computed once: the harness is the expensive part of this
+// package's tests.
+var sharedSweep *Sweep
+
+func getSweep(t *testing.T) *Sweep {
+	t.Helper()
+	if sharedSweep == nil {
+		cfg := QuickConfig()
+		sw, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatalf("RunSweep: %v", err)
+		}
+		sharedSweep = sw
+	}
+	return sharedSweep
+}
+
+func TestSweepStructure(t *testing.T) {
+	sw := getSweep(t)
+	for _, name := range PlanNames {
+		pts, ok := sw.Points[name]
+		if !ok {
+			t.Fatalf("plan %s missing", name)
+		}
+		if len(pts) != len(sw.Config.Sizes) {
+			t.Fatalf("%s has %d points, want %d", name, len(pts), len(sw.Config.Sizes))
+		}
+		for k, pt := range pts {
+			if pt.N != sw.Config.Sizes[k] {
+				t.Errorf("%s point %d has N=%d", name, k, pt.N)
+			}
+			if pt.KernelSeconds <= 0 || pt.Interactions <= 0 || pt.Flops <= 0 {
+				t.Errorf("%s N=%d: degenerate point %+v", name, pt.N, pt)
+			}
+			if pt.Launch == nil {
+				t.Errorf("%s N=%d: no launch detail", name, pt.N)
+			}
+		}
+	}
+}
+
+// TestPaperShapeFig4 asserts the Figure 4 criteria from DESIGN.md: a
+// monotone-ish rise with saturation, on the reduced sweep.
+func TestPaperShapeFig4(t *testing.T) {
+	sw := getSweep(t)
+	jw := sw.Points["jw-parallel"]
+	first := jw[0].KernelGFLOPS
+	last := jw[len(jw)-1].KernelGFLOPS
+	if last <= first {
+		t.Errorf("jw GFLOPS not rising: %g .. %g", first, last)
+	}
+	// At N=4096 the paper is past the knee (>=300 GFLOPS).
+	for _, pt := range jw {
+		if pt.N == 4096 && pt.KernelGFLOPS < 300 {
+			t.Errorf("jw at N=4096: %g GFLOPS, want >= 300", pt.KernelGFLOPS)
+		}
+		if pt.KernelGFLOPS > 470 {
+			t.Errorf("jw at N=%d: %g GFLOPS exceeds the ~431 calibration band", pt.N, pt.KernelGFLOPS)
+		}
+	}
+}
+
+// TestPaperShapeFig5 asserts the Figure 5 ordering criteria.
+func TestPaperShapeFig5(t *testing.T) {
+	sw := getSweep(t)
+	for k, n := range sw.Config.Sizes {
+		jw := sw.Points["jw-parallel"][k]
+		w := sw.Points["w-parallel"][k]
+		ip := sw.Points["i-parallel"][k]
+		jp := sw.Points["j-parallel"][k]
+
+		// jw-parallel leads w- and j-parallel in effective (same-problem)
+		// GFLOPS at every size; i-parallel (a well-tuned direct kernel in
+		// our model) is only overtaken past the algorithmic crossover at
+		// N ~ 10^4 — EXPERIMENTS.md discusses this deviation.
+		others := []Point{w, jp}
+		if n >= 16384 {
+			others = append(others, ip)
+		}
+		for _, other := range others {
+			if n >= 1024 && jw.EffectiveGFLOPS < other.EffectiveGFLOPS {
+				t.Errorf("N=%d: jw effective %g below %s %g",
+					n, jw.EffectiveGFLOPS, other.Plan, other.EffectiveGFLOPS)
+			}
+		}
+		// jw beats w-parallel on raw GFLOPS too (same algorithm family).
+		if jw.KernelGFLOPS <= w.KernelGFLOPS {
+			t.Errorf("N=%d: jw raw %g not above w %g", n, jw.KernelGFLOPS, w.KernelGFLOPS)
+		}
+	}
+	// j-parallel beats i-parallel at the small end (the chamomile regime)...
+	if sw.Points["j-parallel"][0].KernelGFLOPS <= sw.Points["i-parallel"][0].KernelGFLOPS {
+		t.Errorf("N=%d: j-parallel %g not above i-parallel %g",
+			sw.Config.Sizes[0],
+			sw.Points["j-parallel"][0].KernelGFLOPS,
+			sw.Points["i-parallel"][0].KernelGFLOPS)
+	}
+	// ...and i-parallel wins at the large end.
+	last := len(sw.Config.Sizes) - 1
+	if sw.Points["i-parallel"][last].KernelGFLOPS <= sw.Points["j-parallel"][last].KernelGFLOPS {
+		t.Errorf("i-parallel not ahead of j-parallel at N=%d", sw.Config.Sizes[last])
+	}
+}
+
+// TestPaperShapeTable3 asserts the jw-vs-w advantage stays in a plausible
+// band (the paper reports 2-5x at its sizes; small N exaggerates it).
+func TestPaperShapeTable3(t *testing.T) {
+	sw := getSweep(t)
+	last := len(sw.Config.Sizes) - 1
+	jw := sw.Points["jw-parallel"][last].KernelSeconds
+	w := sw.Points["w-parallel"][last].KernelSeconds
+	ratio := w / jw
+	if ratio < 1.5 || ratio > 20 {
+		t.Errorf("jw vs w advantage %gx at N=%d out of plausible band",
+			ratio, sw.Config.Sizes[last])
+	}
+}
+
+func TestRenderersIncludeAllRows(t *testing.T) {
+	sw := getSweep(t)
+	for name, out := range map[string]string{
+		"fig4":   Fig4(sw),
+		"fig5":   Fig5(sw),
+		"table1": Table1(sw),
+		"table2": Table2(sw),
+		"table3": Table3(sw),
+	} {
+		for _, n := range sw.Config.Sizes {
+			if !strings.Contains(out, itoa(n)) {
+				t.Errorf("%s missing row for N=%d:\n%s", name, n, out)
+			}
+		}
+	}
+	if !strings.Contains(Fig5(sw), "jw-parallel") {
+		t.Error("fig5 missing plan columns")
+	}
+	if !strings.Contains(Table1(sw), "speedup") {
+		t.Error("table1 missing speedup column")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestTable1SpeedupGrows(t *testing.T) {
+	sw := getSweep(t)
+	// The CPU is O(N^2) at fixed rate while the GPU pipeline gains
+	// efficiency with N, so the speedup must grow along the sweep.
+	cfg := sw.Config
+	speedup := func(k int) float64 {
+		n := cfg.Sizes[k]
+		cpu := cfg.CPU.Seconds(int64(n) * int64(n) * 38)
+		return cpu / sw.Points["jw-parallel"][k].TotalSeconds()
+	}
+	if speedup(len(cfg.Sizes)-1) <= speedup(0) {
+		t.Error("speedup does not grow with N")
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Sizes = nil
+	if _, err := RunSweep(cfg); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	cfg = QuickConfig()
+	cfg.Steps = 0
+	if _, err := RunSweep(cfg); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	cfg := QuickConfig()
+	n := 2048
+
+	out, err := ThetaSweep(cfg, n, []float32{0.4, 0.8})
+	if err != nil || !strings.Contains(out, "theta") {
+		t.Fatalf("ThetaSweep: %v\n%s", err, out)
+	}
+	out, err = GroupCapSweep(cfg, n, []int{16, 48})
+	if err != nil || !strings.Contains(out, "groupCap") {
+		t.Fatalf("GroupCapSweep: %v\n%s", err, out)
+	}
+	out, err = StagingAblation(cfg, []int{1024, 2048})
+	if err != nil || !strings.Contains(out, "staging gain") {
+		t.Fatalf("StagingAblation: %v\n%s", err, out)
+	}
+	out, err = OccupancyAblation(cfg, []int{512, 2048})
+	if err != nil || !strings.Contains(out, "GFLOPS") {
+		t.Fatalf("OccupancyAblation: %v\n%s", err, out)
+	}
+	out, err = DivergenceAblation(cfg, n)
+	if err != nil || !strings.Contains(out, "divergence penalty") {
+		t.Fatalf("DivergenceAblation: %v\n%s", err, out)
+	}
+}
+
+// TestThetaTradeoffDirection checks the ablation's physics: larger theta
+// means fewer interactions and more error.
+func TestThetaTradeoffDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := QuickConfig()
+	out, err := ThetaSweep(cfg, 2048, []float32{0.3, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	row1 := strings.Fields(lines[2])
+	row2 := strings.Fields(lines[3])
+	// interactions column (index 1, with commas stripped).
+	i1 := strings.ReplaceAll(row1[1], ",", "")
+	i2 := strings.ReplaceAll(row2[1], ",", "")
+	if len(i2) >= len(i1) && i2 >= i1 {
+		t.Errorf("theta=0.9 interactions (%s) not below theta=0.3 (%s)", i2, i1)
+	}
+}

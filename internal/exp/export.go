@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// sweepJSON is the export schema: self-describing enough for downstream
+// plotting without this repository's code.
+type sweepJSON struct {
+	Device string                 `json:"device"`
+	Steps  int                    `json:"steps"`
+	Theta  float32                `json:"theta"`
+	Eps    float32                `json:"eps"`
+	Seed   uint64                 `json:"seed"`
+	Sizes  []int                  `json:"sizes"`
+	Plans  map[string][]pointJSON `json:"plans"`
+}
+
+type pointJSON struct {
+	N               int     `json:"n"`
+	Interactions    int64   `json:"interactions"`
+	Flops           int64   `json:"flops"`
+	KernelSeconds   float64 `json:"kernelSeconds"`
+	TransferSeconds float64 `json:"transferSeconds"`
+	HostSeconds     float64 `json:"hostSeconds"`
+	KernelGFLOPS    float64 `json:"kernelGflops"`
+	EffectiveGFLOPS float64 `json:"effectiveGflops"`
+}
+
+// WriteJSON exports the sweep (the data behind every figure and table) as
+// indented JSON, so external tools can re-plot the evaluation without
+// parsing ASCII tables.
+func (sw *Sweep) WriteJSON(w io.Writer) error {
+	doc := sweepJSON{
+		Device: sw.Config.Device.Name,
+		Steps:  sw.Config.Steps,
+		Theta:  sw.Config.Theta,
+		Eps:    sw.Config.Eps,
+		Seed:   sw.Config.Seed,
+		Sizes:  sw.Config.Sizes,
+		Plans:  map[string][]pointJSON{},
+	}
+	for name, pts := range sw.Points {
+		out := make([]pointJSON, len(pts))
+		for i, pt := range pts {
+			out[i] = pointJSON{
+				N:               pt.N,
+				Interactions:    pt.Interactions,
+				Flops:           pt.Flops,
+				KernelSeconds:   pt.KernelSeconds,
+				TransferSeconds: pt.TransferSeconds,
+				HostSeconds:     pt.HostSeconds,
+				KernelGFLOPS:    pt.KernelGFLOPS,
+				EffectiveGFLOPS: pt.EffectiveGFLOPS,
+			}
+		}
+		doc.Plans[name] = out
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

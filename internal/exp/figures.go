@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Fig4 renders Figure 4: jw-parallel performance (GFLOPS) against the
+// number of particles. The paper reports ~300 GFLOPS sustained from
+// N = 4096 and a peak around 431 GFLOPS on the HD 5850.
+func Fig4(sw *Sweep) string {
+	t := table.New("Figure 4 — jw-parallel performance vs number of particles "+
+		"(device: "+sw.Config.Device.Name+")",
+		"N", "GFLOPS", "kernel time", "interactions", "inter/body")
+	for _, pt := range sw.Points["jw-parallel"] {
+		t.AddRow(
+			fmt.Sprint(pt.N),
+			table.GFLOPS(pt.KernelGFLOPS),
+			table.Seconds(pt.KernelSeconds),
+			table.Count(pt.Interactions),
+			fmt.Sprintf("%.0f", float64(pt.Interactions)/float64(pt.N)),
+		)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteByte('\n')
+	b.WriteString(sparkline("jw-parallel GFLOPS", sw.Points["jw-parallel"], func(p Point) float64 {
+		return p.KernelGFLOPS
+	}))
+	return b.String()
+}
+
+// Fig5 renders Figure 5: performance of all four plans against the number
+// of particles. Two series are reported per plan:
+//
+//   - "raw" GFLOPS: the plan's own executed flops over kernel time — how
+//     fast the hardware runs the plan's arithmetic;
+//   - "effective" GFLOPS: the jw-parallel flop count at the same N over the
+//     plan's kernel time — useful work per second on the same physical
+//     problem, the basis on which the paper's jw-parallel is 2-5x ahead
+//     (the PP plans execute N^2 interactions where the treecode needs far
+//     fewer, so their raw rate overstates them).
+func Fig5(sw *Sweep) string {
+	raw := table.New("Figure 5 — plan performance vs number of particles (raw GFLOPS: own flops / kernel time)",
+		append([]string{"N"}, PlanNames...)...)
+	eff := table.New("Figure 5 (effective GFLOPS: same-problem useful flops / kernel time)",
+		append([]string{"N"}, PlanNames...)...)
+	for k, n := range sw.Config.Sizes {
+		rawRow := []string{fmt.Sprint(n)}
+		effRow := []string{fmt.Sprint(n)}
+		for _, name := range PlanNames {
+			pt := sw.Points[name][k]
+			rawRow = append(rawRow, table.GFLOPS(pt.KernelGFLOPS))
+			effRow = append(effRow, table.GFLOPS(pt.EffectiveGFLOPS))
+		}
+		raw.AddRow(rawRow...)
+		eff.AddRow(effRow...)
+	}
+	return raw.String() + "\n" + eff.String()
+}
+
+// sparkline renders a crude textual plot of a series, enough to see the
+// knee and saturation of Figure 4 in a terminal.
+func sparkline(label string, pts []Point, f func(Point) float64) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	var maxV float64
+	for _, p := range pts {
+		if v := f(p); v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (each # = %.0f):\n", label, maxV/50)
+	for _, p := range pts {
+		n := int(f(p) / maxV * 50)
+		fmt.Fprintf(&b, "%8d | %s %.1f\n", p.N, strings.Repeat("#", n), f(p))
+	}
+	return b.String()
+}

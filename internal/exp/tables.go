@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cl"
+	"repro/internal/pp"
+	"repro/internal/table"
+)
+
+// cpuCapSeconds is the point past which a CPU entry is reported as the
+// paper reports it: ">" (too long to run). One hour matches the spirit of
+// the paper's truncated rows.
+const cpuCapSeconds = 3600.0
+
+// Table1 renders Table 1: running time of the CPU implementation vs the GPU
+// jw-parallel implementation over Config.Steps steps, and their ratio. The
+// CPU baseline is the paper's: the direct O(N^2) summation on a Pentium 4
+// 3.0 GHz (modelled); the GPU column is the full jw pipeline per step
+// (host tree/list build + transfers + kernel). The paper reports a speedup
+// around 400x.
+func Table1(sw *Sweep) string {
+	cfg := sw.Config
+	t := table.New(
+		fmt.Sprintf("Table 1 — running time, CPU vs GPU jw-parallel (%d steps)", cfg.Steps),
+		"N", "CPU (PP)", "GPU (jw)", "speedup")
+	for k, n := range cfg.Sizes {
+		cpuFlops := int64(n) * int64(n) * pp.FlopsPerInteraction * int64(cfg.Steps)
+		cpuSec := cfg.CPU.Seconds(cpuFlops)
+		jw := sw.Points["jw-parallel"][k]
+		gpuSec := jw.TotalSeconds() * float64(cfg.Steps)
+		cpuCell := table.Seconds(cpuSec)
+		if cpuSec > cpuCapSeconds {
+			cpuCell = fmt.Sprintf("> %s", table.Seconds(cpuCapSeconds))
+		}
+		t.AddRow(
+			fmt.Sprint(n),
+			cpuCell,
+			table.Seconds(gpuSec),
+			fmt.Sprintf("%.0fx", cpuSec/gpuSec),
+		)
+	}
+	return t.String()
+}
+
+// Table2 renders Table 2: *total* time of the four GPU plans over
+// Config.Steps steps — kernel plus host-device transfers plus host-side
+// tree/list construction, i.e. everything a step costs.
+func Table2(sw *Sweep) string {
+	cfg := sw.Config
+	headers := append([]string{"N"}, PlanNames...)
+	headers = append(headers, "jw pipelined")
+	t := table.New(
+		fmt.Sprintf("Table 2 — total time of the GPU plans (%d steps)", cfg.Steps),
+		headers...)
+	for k, n := range cfg.Sizes {
+		row := []string{fmt.Sprint(n)}
+		for _, name := range PlanNames {
+			pt := sw.Points[name][k]
+			row = append(row, table.Seconds(pt.TotalSeconds()*float64(cfg.Steps)))
+		}
+		// The paper's implementation note (4): the CPU builds step t+1's
+		// walks while the GPU runs step t, so the steady-state jw step costs
+		// max(host, device), not their sum.
+		jw := sw.Points["jw-parallel"][k]
+		pipelined := cl.Profile{
+			KernelSeconds:   jw.KernelSeconds,
+			TransferSeconds: jw.TransferSeconds,
+			HostSeconds:     jw.HostSeconds,
+		}.PipelinedSeconds()
+		row = append(row, table.Seconds(pipelined*float64(cfg.Steps)))
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Table3 renders Table 3: *running* (kernel-only) time of the four GPU
+// plans over Config.Steps steps, plus the jw-parallel advantage over each
+// other plan — the paper's 2-5x claim.
+func Table3(sw *Sweep) string {
+	cfg := sw.Config
+	headers := append([]string{"N"}, PlanNames...)
+	headers = append(headers, "jw vs w", "jw vs best-PP")
+	t := table.New(
+		fmt.Sprintf("Table 3 — running (kernel) time of the GPU plans (%d steps)", cfg.Steps),
+		headers...)
+	for k, n := range cfg.Sizes {
+		row := []string{fmt.Sprint(n)}
+		var jw, w, bestPP float64
+		for _, name := range PlanNames {
+			pt := sw.Points[name][k]
+			sec := pt.KernelSeconds * float64(cfg.Steps)
+			row = append(row, table.Seconds(sec))
+			switch name {
+			case "jw-parallel":
+				jw = sec
+			case "w-parallel":
+				w = sec
+			case "i-parallel":
+				bestPP = sec
+			case "j-parallel":
+				if sec < bestPP {
+					bestPP = sec
+				}
+			}
+		}
+		row = append(row,
+			fmt.Sprintf("%.1fx", w/jw),
+			fmt.Sprintf("%.1fx", bestPP/jw),
+		)
+		t.AddRow(row...)
+	}
+	return t.String()
+}

@@ -1,0 +1,411 @@
+package gpusim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// KernelFunc is the body of a kernel, invoked once per work-item. Kernels
+// are Go closures over their argument buffers and scalars; all device-memory
+// traffic and arithmetic must go through the Item accessors so the cost
+// model sees it.
+type KernelFunc func(wi *Item)
+
+// LaunchParams describes a 1-D NDRange launch.
+type LaunchParams struct {
+	// Global is the total number of work-items; it must be a positive
+	// multiple of Local.
+	Global int
+	// Local is the work-group size.
+	Local int
+	// LDSFloats is the number of float32 local-memory slots allocated per
+	// work-group (like an OpenCL __local array argument).
+	LDSFloats int
+}
+
+// Item is the per-work-item execution context handed to a KernelFunc.
+type Item struct {
+	g      *groupCtx
+	global int
+	local  int
+	ln     laneCounters
+}
+
+type laneCounters struct {
+	flops          int64 // useful arithmetic (counted toward reported GFLOPS)
+	auxFlops       int64 // overhead arithmetic (indexing, loop control)
+	bytesCoalesced int64
+	bytesScattered int64
+	ldsBytes       int64
+}
+
+// GlobalID returns the work-item's global id.
+func (wi *Item) GlobalID() int { return wi.global }
+
+// LocalID returns the id within the work-group.
+func (wi *Item) LocalID() int { return wi.local }
+
+// GroupID returns the work-group id.
+func (wi *Item) GroupID() int { return wi.g.id }
+
+// LocalSize returns the work-group size.
+func (wi *Item) LocalSize() int { return wi.g.local }
+
+// GlobalSize returns the NDRange size.
+func (wi *Item) GlobalSize() int { return wi.g.globalSize }
+
+// NumGroups returns the number of work-groups in the launch.
+func (wi *Item) NumGroups() int { return wi.g.numGroups }
+
+// Flops charges n useful floating-point operations to this lane. Useful
+// flops are the numerator of reported GFLOPS (38 per body-body interaction
+// by the convention in internal/pp).
+func (wi *Item) Flops(n int) { wi.ln.flops += int64(n) }
+
+// Aux charges n overhead operations (address arithmetic, loop control,
+// reductions) to this lane: they consume ALU issue slots in the cost model
+// but are not counted as useful work.
+func (wi *Item) Aux(n int) { wi.ln.auxFlops += int64(n) }
+
+// Barrier synchronises the work-group, like OpenCL barrier(CLK_LOCAL_MEM_FENCE).
+// Work-items that have already returned do not participate (the executor
+// retires them), so uniform-exit kernels cannot deadlock.
+func (wi *Item) Barrier() { wi.g.bar.wait() }
+
+func (wi *Item) checkF32(b *Buffer, idx int) {
+	if b.f == nil {
+		panic(fmt.Sprintf("gpusim: float access to int32 buffer %q", b.name))
+	}
+	if idx < 0 || idx >= len(b.f) {
+		panic(fmt.Sprintf("gpusim: buffer %q index %d out of range [0,%d)", b.name, idx, len(b.f)))
+	}
+}
+
+func (wi *Item) checkI32(b *Buffer, idx int) {
+	if b.i == nil {
+		panic(fmt.Sprintf("gpusim: int access to float32 buffer %q", b.name))
+	}
+	if idx < 0 || idx >= len(b.i) {
+		panic(fmt.Sprintf("gpusim: buffer %q index %d out of range [0,%d)", b.name, idx, len(b.i)))
+	}
+}
+
+// LoadGlobalF32 reads a float32 from global memory with a coalesced access
+// pattern (consecutive lanes reading consecutive addresses).
+func (wi *Item) LoadGlobalF32(b *Buffer, idx int) float32 {
+	wi.checkF32(b, idx)
+	wi.ln.bytesCoalesced += 4
+	return b.f[idx]
+}
+
+// GatherGlobalF32 reads a float32 through a data-dependent index; the cost
+// model charges it the device's scatter penalty.
+func (wi *Item) GatherGlobalF32(b *Buffer, idx int) float32 {
+	wi.checkF32(b, idx)
+	wi.ln.bytesScattered += 4
+	return b.f[idx]
+}
+
+// StoreGlobalF32 writes a float32 to global memory (coalesced).
+func (wi *Item) StoreGlobalF32(b *Buffer, idx int, v float32) {
+	wi.checkF32(b, idx)
+	wi.ln.bytesCoalesced += 4
+	b.f[idx] = v
+}
+
+// ScatterGlobalF32 writes a float32 through a data-dependent index.
+func (wi *Item) ScatterGlobalF32(b *Buffer, idx int, v float32) {
+	wi.checkF32(b, idx)
+	wi.ln.bytesScattered += 4
+	b.f[idx] = v
+}
+
+// LoadGlobalI32 reads an int32 from global memory (coalesced).
+func (wi *Item) LoadGlobalI32(b *Buffer, idx int) int32 {
+	wi.checkI32(b, idx)
+	wi.ln.bytesCoalesced += 4
+	return b.i[idx]
+}
+
+// GatherGlobalI32 reads an int32 through a data-dependent index.
+func (wi *Item) GatherGlobalI32(b *Buffer, idx int) int32 {
+	wi.checkI32(b, idx)
+	wi.ln.bytesScattered += 4
+	return b.i[idx]
+}
+
+// StoreGlobalI32 writes an int32 to global memory (coalesced).
+func (wi *Item) StoreGlobalI32(b *Buffer, idx int, v int32) {
+	wi.checkI32(b, idx)
+	wi.ln.bytesCoalesced += 4
+	b.i[idx] = v
+}
+
+// LDSLen returns the number of float32 local-memory slots of the group.
+func (wi *Item) LDSLen() int { return len(wi.g.lds) }
+
+// LoadLDS reads local memory slot idx.
+func (wi *Item) LoadLDS(idx int) float32 {
+	wi.ln.ldsBytes += 4
+	return wi.g.lds[idx]
+}
+
+// StoreLDS writes local memory slot idx. Data races between work-items are
+// the kernel's responsibility, exactly as on hardware; use Barrier.
+func (wi *Item) StoreLDS(idx int, v float32) {
+	wi.ln.ldsBytes += 4
+	wi.g.lds[idx] = v
+}
+
+// AtomicAddGlobalI32 atomically adds delta to an int32 buffer element and
+// returns the new value, like OpenCL's atomic_add on __global int. The cost
+// model charges it as a scattered read-modify-write (hardware serialises
+// conflicting atomics through the memory system).
+func (wi *Item) AtomicAddGlobalI32(b *Buffer, idx int, delta int32) int32 {
+	wi.checkI32(b, idx)
+	wi.ln.bytesScattered += 8 // read + write
+	wi.ln.auxFlops++
+	return atomic.AddInt32(&b.i[idx], delta)
+}
+
+// RawGlobalF32 exposes a buffer's backing store without charging any
+// traffic. It exists so hot inner loops can run at native speed; the kernel
+// MUST charge the equivalent traffic explicitly with ChargeGlobal (tests in
+// this package and in internal/core verify the totals).
+func (wi *Item) RawGlobalF32(b *Buffer) []float32 { return b.HostF32() }
+
+// RawGlobalI32 is RawGlobalF32 for int32 buffers.
+func (wi *Item) RawGlobalI32(b *Buffer) []int32 { return b.HostI32() }
+
+// RawLDS exposes the group's local memory without charging traffic; pair
+// with ChargeLDS.
+func (wi *Item) RawLDS() []float32 { return wi.g.lds }
+
+// ChargeGlobal charges coalesced and scattered global-memory bytes in bulk.
+func (wi *Item) ChargeGlobal(coalescedBytes, scatteredBytes int) {
+	wi.ln.bytesCoalesced += int64(coalescedBytes)
+	wi.ln.bytesScattered += int64(scatteredBytes)
+}
+
+// ChargeLDS charges local-memory bytes in bulk.
+func (wi *Item) ChargeLDS(bytes int) { wi.ln.ldsBytes += int64(bytes) }
+
+// groupCtx is the shared state of one executing work-group.
+type groupCtx struct {
+	id         int
+	local      int
+	globalSize int
+	numGroups  int
+	lds        []float32
+	bar        *groupBarrier
+}
+
+// groupBarrier is a reusable barrier that tolerates work-items retiring
+// early (their slots stop being waited for).
+type groupBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	active  int
+	waiting int
+	phase   uint64
+	crossed int64
+}
+
+func newGroupBarrier(n int) *groupBarrier {
+	b := &groupBarrier{active: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *groupBarrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting >= b.active {
+		b.release()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (b *groupBarrier) retire() {
+	b.mu.Lock()
+	b.active--
+	if b.active > 0 && b.waiting >= b.active {
+		b.release()
+	}
+	b.mu.Unlock()
+}
+
+// release must be called with mu held.
+func (b *groupBarrier) release() {
+	b.waiting = 0
+	b.phase++
+	b.crossed++
+	b.cond.Broadcast()
+}
+
+// GroupCost aggregates the counted work of one work-group, the input to the
+// cost model.
+type GroupCost struct {
+	// WFMaxFlops is, summed over the group's wavefronts, the maximum
+	// per-lane issue count (useful + aux flops) — the SIMD execution time a
+	// divergent wavefront actually pays.
+	WFMaxFlops int64
+	// Flops is the total useful arithmetic across all lanes.
+	Flops int64
+	// AuxFlops is the total overhead arithmetic across all lanes.
+	AuxFlops       int64
+	BytesCoalesced int64
+	BytesScattered int64
+	LDSBytes       int64
+	Barriers       int64
+}
+
+// Result reports a completed launch.
+type Result struct {
+	Kernel string
+	Params LaunchParams
+	Groups []GroupCost
+	Timing Timing
+}
+
+// TotalFlops returns the useful arithmetic of the launch.
+func (r *Result) TotalFlops() int64 {
+	var f int64
+	for i := range r.Groups {
+		f += r.Groups[i].Flops
+	}
+	return f
+}
+
+// GFLOPS returns useful flops divided by modelled kernel time.
+func (r *Result) GFLOPS() float64 {
+	if r.Timing.KernelSeconds <= 0 {
+		return 0
+	}
+	return float64(r.TotalFlops()) / r.Timing.KernelSeconds / 1e9
+}
+
+// Launch executes the kernel over the NDRange and returns its counted work
+// and modelled timing. Execution is functionally exact: all work-items run,
+// barriers really synchronise, and buffer contents after Launch are the
+// kernel's true output. A panic inside the kernel (including buffer
+// overruns) is converted into an error identifying the kernel.
+func (d *Device) Launch(name string, fn KernelFunc, p LaunchParams) (*Result, error) {
+	if p.Local <= 0 {
+		return nil, fmt.Errorf("gpusim: kernel %s: non-positive local size %d", name, p.Local)
+	}
+	if p.Global <= 0 || p.Global%p.Local != 0 {
+		return nil, fmt.Errorf("gpusim: kernel %s: global size %d not a positive multiple of local %d",
+			name, p.Global, p.Local)
+	}
+	if p.LDSFloats*4 > d.Config.LDSPerCU {
+		return nil, fmt.Errorf("gpusim: kernel %s: LDS request %d bytes exceeds %d per CU",
+			name, p.LDSFloats*4, d.Config.LDSPerCU)
+	}
+	numGroups := p.Global / p.Local
+	res := &Result{Kernel: name, Params: p, Groups: make([]GroupCost, numGroups)}
+
+	var firstErr error
+	var errMu sync.Mutex
+	reportErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numGroups {
+		workers = numGroups
+	}
+	groupCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gid := range groupCh {
+				d.runGroup(name, fn, p, gid, numGroups, &res.Groups[gid], reportErr)
+			}
+		}()
+	}
+	for gid := 0; gid < numGroups; gid++ {
+		groupCh <- gid
+	}
+	close(groupCh)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Timing = d.cost(res)
+	return res, nil
+}
+
+// runGroup executes one work-group: its work-items run as goroutines in
+// lockstep at barriers.
+func (d *Device) runGroup(name string, fn KernelFunc, p LaunchParams, gid, numGroups int,
+	cost *GroupCost, reportErr func(error)) {
+
+	g := &groupCtx{
+		id:         gid,
+		local:      p.Local,
+		globalSize: p.Global,
+		numGroups:  numGroups,
+		bar:        newGroupBarrier(p.Local),
+	}
+	if p.LDSFloats > 0 {
+		g.lds = make([]float32, p.LDSFloats)
+	}
+	lanes := make([]laneCounters, p.Local)
+
+	var wg sync.WaitGroup
+	for l := 0; l < p.Local; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			defer g.bar.retire()
+			defer func() {
+				if r := recover(); r != nil {
+					reportErr(fmt.Errorf("gpusim: kernel %s: work-item global=%d local=%d group=%d panicked: %v",
+						name, gid*p.Local+l, l, gid, r))
+				}
+			}()
+			wi := &Item{g: g, global: gid*p.Local + l, local: l}
+			fn(wi)
+			lanes[l] = wi.ln
+		}(l)
+	}
+	wg.Wait()
+
+	wf := d.Config.WavefrontSize
+	for base := 0; base < p.Local; base += wf {
+		var maxIssue int64
+		end := base + wf
+		if end > p.Local {
+			end = p.Local
+		}
+		for l := base; l < end; l++ {
+			if issue := lanes[l].flops + lanes[l].auxFlops; issue > maxIssue {
+				maxIssue = issue
+			}
+		}
+		cost.WFMaxFlops += maxIssue
+	}
+	for l := range lanes {
+		cost.Flops += lanes[l].flops
+		cost.AuxFlops += lanes[l].auxFlops
+		cost.BytesCoalesced += lanes[l].bytesCoalesced
+		cost.BytesScattered += lanes[l].bytesScattered
+		cost.LDSBytes += lanes[l].ldsBytes
+	}
+	cost.Barriers = g.bar.crossed
+}

@@ -1,0 +1,66 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one entry of the Chrome trace-event format ("X" = complete
+// event with explicit duration), viewable in chrome://tracing or Perfetto.
+type traceEvent struct {
+	Name     string         `json:"name"`
+	Category string         `json:"cat"`
+	Phase    string         `json:"ph"`
+	TS       float64        `json:"ts"`  // microseconds
+	Dur      float64        `json:"dur"` // microseconds
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace exports the modelled schedule of a launch as Chrome trace JSON:
+// one track per compute unit, one slice per work-group, annotated with the
+// group's bounding resource and cycle count. It is a debugging aid for the
+// PTPM analyses (an unbalanced schedule or a memory-bound cliff is obvious
+// at a glance).
+func (d *Device) WriteTrace(w io.Writer, results ...*Result) error {
+	var events []traceEvent
+	usPerCycle := 1e6 / d.Config.ClockHz
+	var offset float64
+	for _, r := range results {
+		sched := append([]ScheduledGroup(nil), r.Timing.Schedule...)
+		sort.Slice(sched, func(a, b int) bool {
+			if sched[a].CU != sched[b].CU {
+				return sched[a].CU < sched[b].CU
+			}
+			return sched[a].StartCycle < sched[b].StartCycle
+		})
+		for _, sg := range sched {
+			events = append(events, traceEvent{
+				Name:     fmt.Sprintf("%s g%d", r.Kernel, sg.Group),
+				Category: sg.BoundedBy,
+				Phase:    "X",
+				TS:       offset + sg.StartCycle*usPerCycle,
+				Dur:      sg.GroupCycles * usPerCycle,
+				PID:      0,
+				TID:      sg.CU,
+				Args: map[string]any{
+					"bound":  sg.BoundedBy,
+					"cycles": sg.GroupCycles,
+					"flops":  r.Groups[sg.Group].Flops,
+				},
+			})
+		}
+		offset += r.Timing.Cycles * usPerCycle
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+		"otherData": map[string]any{
+			"device": d.Config.Name,
+		},
+	})
+}

@@ -1,0 +1,182 @@
+// Package ic generates the initial conditions used by the paper's
+// experiments and by the examples: a Plummer sphere (the standard
+// astrophysical N-body test case), a uniform cube, a cold rotating disk, and
+// a two-cluster collision. All generators are deterministic given a seed.
+package ic
+
+import (
+	"math"
+
+	"repro/internal/body"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// Plummer samples n bodies from a Plummer sphere of total mass 1 and scale
+// radius 1 (G = 1 units), in virial equilibrium, using the classic
+// Aarseth-Henon-Wielen rejection sampling for velocities. The result is
+// recentred so that the centre of mass and total momentum are exactly zero.
+func Plummer(n int, seed uint64) *body.System {
+	r := rng.New(seed)
+	s := body.NewSystem(n)
+	m := float32(1.0 / float64(n))
+	for i := 0; i < n; i++ {
+		// Radius from the cumulative mass profile M(r) = r^3/(1+r^2)^(3/2).
+		// Clamp the mass fraction away from 1 to avoid unbounded radii.
+		mf := 0.999 * r.Float64()
+		rad := 1 / math.Sqrt(math.Pow(mf, -2.0/3.0)-1)
+		ux, uy, uz := r.UnitSphere()
+		s.Pos[i] = vec.V3{X: float32(rad * ux), Y: float32(rad * uy), Z: float32(rad * uz)}
+
+		// Speed: rejection-sample q = v/v_esc from g(q) = q^2 (1-q^2)^(7/2).
+		var q float64
+		for {
+			q = r.Float64()
+			g := r.Float64() * 0.1
+			if g < q*q*math.Pow(1-q*q, 3.5) {
+				break
+			}
+		}
+		vesc := math.Sqrt2 * math.Pow(1+rad*rad, -0.25)
+		v := q * vesc
+		vx, vy, vz := r.UnitSphere()
+		s.Vel[i] = vec.V3{X: float32(v * vx), Y: float32(v * vy), Z: float32(v * vz)}
+		s.Mass[i] = m
+	}
+	s.Recenter()
+	return s
+}
+
+// UniformCube places n equal-mass bodies uniformly in a cube of the given
+// side, with zero velocities (a cold collapse setup).
+func UniformCube(n int, side float64, seed uint64) *body.System {
+	r := rng.New(seed)
+	s := body.NewSystem(n)
+	m := float32(1.0 / float64(n))
+	for i := 0; i < n; i++ {
+		s.Pos[i] = vec.V3{
+			X: float32(r.Float64Range(-side/2, side/2)),
+			Y: float32(r.Float64Range(-side/2, side/2)),
+			Z: float32(r.Float64Range(-side/2, side/2)),
+		}
+		s.Mass[i] = m
+	}
+	s.Recenter()
+	return s
+}
+
+// Disk generates a cold, thin, rotating disk of n bodies orbiting a central
+// mass fraction. Radii follow an exponential surface-density profile with
+// the given scale length; each body receives the circular velocity of the
+// enclosed mass, giving an approximately rotationally supported disk.
+func Disk(n int, scale float64, seed uint64) *body.System {
+	r := rng.New(seed)
+	s := body.NewSystem(n)
+	const centralFrac = 0.25
+	m := float32((1 - centralFrac) / float64(n-1))
+
+	// Body 0 is the central mass.
+	s.Mass[0] = float32(centralFrac)
+
+	type polar struct{ rad, phi float64 }
+	ps := make([]polar, n)
+	for i := 1; i < n; i++ {
+		// Inverse-CDF sampling of an exponential disk truncated at 5 scale
+		// lengths, via rejection on the radius.
+		var rad float64
+		for {
+			rad = -scale * math.Log(1-r.Float64())
+			if rad < 5*scale && rad > 0.05*scale {
+				break
+			}
+		}
+		phi := 2 * math.Pi * r.Float64()
+		ps[i] = polar{rad, phi}
+		s.Pos[i] = vec.V3{
+			X: float32(rad * math.Cos(phi)),
+			Y: float32(rad * math.Sin(phi)),
+			Z: float32(0.05 * scale * r.NormFloat64()),
+		}
+		s.Mass[i] = m
+	}
+	// Circular velocities from the enclosed mass (central + disk interior).
+	for i := 1; i < n; i++ {
+		rad := ps[i].rad
+		enclosed := float64(centralFrac)
+		for j := 1; j < n; j++ {
+			if j != i && ps[j].rad < rad {
+				enclosed += float64(m)
+			}
+		}
+		v := math.Sqrt(enclosed / rad)
+		s.Vel[i] = vec.V3{
+			X: float32(-v * math.Sin(ps[i].phi)),
+			Y: float32(v * math.Cos(ps[i].phi)),
+		}
+	}
+	s.Recenter()
+	return s
+}
+
+// Collision builds two Plummer spheres of n/2 bodies each, separated along x
+// by the given distance and approaching with the given relative speed — the
+// cluster-collision scenario used by the collision example.
+func Collision(n int, separation, speed float64, seed uint64) *body.System {
+	half := n / 2
+	a := Plummer(half, seed)
+	b := Plummer(n-half, seed+1)
+	s := body.NewSystem(n)
+	dx := float32(separation / 2)
+	dv := float32(speed / 2)
+	for i := 0; i < half; i++ {
+		bb := a.Body(i)
+		bb.Pos.X -= dx
+		bb.Vel.X += dv
+		bb.Mass /= 2
+		s.SetBody(i, bb)
+	}
+	for i := half; i < n; i++ {
+		bb := b.Body(i - half)
+		bb.Pos.X += dx
+		bb.Vel.X -= dv
+		bb.Mass /= 2
+		s.SetBody(i, bb)
+	}
+	s.Recenter()
+	return s
+}
+
+// Hernquist samples n bodies from a Hernquist (1990) sphere of total mass 1
+// and scale radius 1 — the standard model for elliptical galaxies and dark
+// matter bulges, with a steeper centre and heavier tail than Plummer. The
+// enclosed-mass profile M(r) = r^2/(1+r)^2 inverts in closed form, and the
+// velocities use a Gaussian approximation to the local velocity dispersion
+// (Hernquist's eq. 10 simplified), adequate for force-calculation workloads
+// (the system is close to, though not exactly in, equilibrium).
+func Hernquist(n int, seed uint64) *body.System {
+	r := rng.New(seed)
+	s := body.NewSystem(n)
+	m := float32(1.0 / float64(n))
+	for i := 0; i < n; i++ {
+		// Invert M(r) = (r/(1+r))^2: r = sqrt(M)/(1-sqrt(M)).
+		mf := 0.98 * r.Float64() // truncate the infinite tail
+		sq := math.Sqrt(mf)
+		rad := sq / (1 - sq)
+		ux, uy, uz := r.UnitSphere()
+		s.Pos[i] = vec.V3{X: float32(rad * ux), Y: float32(rad * uy), Z: float32(rad * uz)}
+
+		// 1-D dispersion approximation: sigma^2 ~ GM/(12a) * r(1+r)^3 *
+		// [ ... ] is cumbersome; the simpler local circular-speed scaling
+		// sigma ~ 0.5 * v_circ(r) keeps the system bound and near-virial.
+		vc := math.Sqrt(rad) / (1 + rad)
+		sigma := 0.55 * vc
+		s.Vel[i] = vec.V3{
+			X: float32(sigma * r.NormFloat64()),
+			Y: float32(sigma * r.NormFloat64()),
+			Z: float32(sigma * r.NormFloat64()),
+		}
+		s.Mass[i] = m
+	}
+	s.Recenter()
+	return s
+}

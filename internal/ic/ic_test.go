@@ -1,0 +1,241 @@
+package ic
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/body"
+	"repro/internal/pp"
+)
+
+func TestPlummerBasics(t *testing.T) {
+	for _, n := range []int{2, 10, 1000} {
+		s := Plummer(n, 1)
+		if s.N() != n {
+			t.Fatalf("N = %d, want %d", s.N(), n)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid system: %v", err)
+		}
+		if m := s.TotalMass(); math.Abs(m-1) > 1e-4 {
+			t.Errorf("n=%d: total mass %g, want 1", n, m)
+		}
+		if com := s.CenterOfMass(); com.Norm() > 1e-4 {
+			t.Errorf("n=%d: COM %v, want origin", n, com)
+		}
+		if p := s.Momentum(); p.Norm() > 1e-4 {
+			t.Errorf("n=%d: momentum %v, want zero", n, p)
+		}
+	}
+}
+
+func TestPlummerDeterministic(t *testing.T) {
+	a := Plummer(100, 42)
+	b := Plummer(100, 42)
+	for i := 0; i < 100; i++ {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("body %d differs between identical seeds", i)
+		}
+	}
+	c := Plummer(100, 43)
+	if a.Pos[0] == c.Pos[0] {
+		t.Error("different seeds produced identical first body")
+	}
+}
+
+func TestPlummerVirial(t *testing.T) {
+	// A Plummer sphere is in virial equilibrium: 2K + U ~ 0, so the virial
+	// ratio -K/U should be ~0.5. Sampling noise at n=4000 keeps it within
+	// a few percent.
+	s := Plummer(4000, 5)
+	k := s.KineticEnergy()
+	u := s.PotentialEnergy(1, 0)
+	ratio := -k / u
+	if ratio < 0.40 || ratio > 0.60 {
+		t.Errorf("virial ratio -K/U = %g, want ~0.5 (K=%g U=%g)", ratio, k, u)
+	}
+}
+
+func TestPlummerMassProfile(t *testing.T) {
+	// Half-mass radius of a unit Plummer sphere is ~1.305 scale radii.
+	s := Plummer(8000, 9)
+	inside := 0
+	for i := range s.Pos {
+		if s.Pos[i].Norm() < 1.305 {
+			inside++
+		}
+	}
+	frac := float64(inside) / float64(s.N())
+	if frac < 0.44 || frac > 0.56 {
+		t.Errorf("mass inside half-mass radius: %g, want ~0.5", frac)
+	}
+}
+
+func TestUniformCube(t *testing.T) {
+	s := UniformCube(2000, 2.0, 3)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := s.Bounds()
+	sz := b.Size()
+	if sz.X > 2.01 || sz.Y > 2.01 || sz.Z > 2.01 {
+		t.Errorf("cube bounds exceed side: %v", sz)
+	}
+	if sz.X < 1.8 {
+		t.Errorf("cube suspiciously small: %v", sz)
+	}
+	for i := range s.Vel {
+		if v := s.Vel[i].Norm(); v > 1e-3 {
+			t.Fatalf("cold cube has velocity %g at body %d", v, i)
+		}
+	}
+}
+
+func TestDiskRotates(t *testing.T) {
+	s := Disk(500, 1.0, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The disk should carry substantial net angular momentum about z.
+	l := s.AngularMomentum()
+	if l.Z <= 0.1 {
+		t.Errorf("disk Lz = %g, want clearly positive", l.Z)
+	}
+	// And it should be thin: z-extent much smaller than the radial extent.
+	b := s.Bounds()
+	if b.Size().Z > 0.5*b.Size().X {
+		t.Errorf("disk not thin: size %v", b.Size())
+	}
+}
+
+func TestDiskRoughlyCircular(t *testing.T) {
+	// Each disk body should be near its circular speed, so radial velocity
+	// components are small relative to tangential ones in aggregate.
+	s := Disk(500, 1.0, 8)
+	var radial, tangential float64
+	for i := 1; i < s.N(); i++ {
+		p := s.Pos[i].D3()
+		v := s.Vel[i].D3()
+		r := math.Hypot(p.X, p.Y)
+		if r == 0 {
+			continue
+		}
+		radial += math.Abs((p.X*v.X + p.Y*v.Y) / r)
+		tangential += math.Abs((p.X*v.Y - p.Y*v.X) / r)
+	}
+	if radial > 0.2*tangential {
+		t.Errorf("radial/tangential speed ratio %g, want << 1", radial/tangential)
+	}
+}
+
+func TestCollisionGeometry(t *testing.T) {
+	s := Collision(1000, 4.0, 0.5, 6)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.TotalMass(); math.Abs(m-1) > 1e-4 {
+		t.Errorf("total mass %g, want 1", m)
+	}
+	// Two clusters approaching: bodies on the left move right and vice
+	// versa, in aggregate.
+	var leftVx, rightVx float64
+	var nl, nr int
+	for i := range s.Pos {
+		if s.Pos[i].X < 0 {
+			leftVx += float64(s.Vel[i].X)
+			nl++
+		} else {
+			rightVx += float64(s.Vel[i].X)
+			nr++
+		}
+	}
+	if nl == 0 || nr == 0 {
+		t.Fatal("collision clusters not separated")
+	}
+	if leftVx/float64(nl) <= 0 {
+		t.Errorf("left cluster mean vx = %g, want > 0", leftVx/float64(nl))
+	}
+	if rightVx/float64(nr) >= 0 {
+		t.Errorf("right cluster mean vx = %g, want < 0", rightVx/float64(nr))
+	}
+}
+
+func TestCollisionOddN(t *testing.T) {
+	s := Collision(101, 4.0, 0.5, 6)
+	if s.N() != 101 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkloadsHaveFiniteForces guards against generators producing
+// coincident bodies that blow up even the softened kernel.
+func TestWorkloadsHaveFiniteForces(t *testing.T) {
+	params := pp.DefaultParams()
+	workloads := map[string]*body.System{
+		"plummer":   Plummer(256, 11),
+		"cube":      UniformCube(256, 2, 11),
+		"disk":      Disk(256, 1, 11),
+		"collision": Collision(256, 4, 0.5, 11),
+	}
+	for name, sys := range workloads {
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("%s: invalid system: %v", name, err)
+		}
+		pp.Scalar(sys, params)
+		for i := range sys.Acc {
+			a := sys.Acc[i].D3()
+			if math.IsNaN(a.Norm()) || math.IsInf(a.Norm(), 0) {
+				t.Fatalf("%s: non-finite acceleration at body %d", name, i)
+			}
+		}
+	}
+}
+
+func TestHernquistProfile(t *testing.T) {
+	s := Hernquist(8000, 21)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.TotalMass(); math.Abs(m-1) > 1e-4 {
+		t.Errorf("total mass %g", m)
+	}
+	// Analytic half-mass radius: M(r)=1/2 -> r = sqrt(.5)/(1-sqrt(.5)) ~ 2.414,
+	// pulled inward by the 0.98 truncation (the removed 2% tail carries the
+	// outermost mass, so the sampled median sits near r(M=0.49) ~ 2.33).
+	radii := make([]float64, s.N())
+	com := s.CenterOfMass()
+	for i := range s.Pos {
+		radii[i] = s.Pos[i].D3().Sub(com).Norm()
+	}
+	sort.Float64s(radii)
+	rHalf := radii[len(radii)/2]
+	if rHalf < 2.0 || rHalf > 2.8 {
+		t.Errorf("half-mass radius %g, want ~2.3-2.4", rHalf)
+	}
+	// Bound and roughly virial.
+	k := s.KineticEnergy()
+	u := s.PotentialEnergy(1, 0)
+	ratio := -k / u
+	if ratio < 0.3 || ratio > 0.8 {
+		t.Errorf("virial ratio %g", ratio)
+	}
+	// Much more centrally concentrated than Plummer: r10 well inside.
+	r10 := radii[len(radii)/10]
+	if r10 > 0.5 {
+		t.Errorf("r10 = %g, want < 0.5 (steep Hernquist centre)", r10)
+	}
+}
+
+func TestHernquistDeterministic(t *testing.T) {
+	a := Hernquist(64, 9)
+	b := Hernquist(64, 9)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

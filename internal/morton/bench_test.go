@@ -1,0 +1,48 @@
+package morton
+
+import (
+	"testing"
+
+	"repro/internal/ic"
+	"repro/internal/rng"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Encode(uint32(i), uint32(i>>1), uint32(i>>2))
+	}
+	_ = sink
+}
+
+func BenchmarkKeys(b *testing.B) {
+	s := ic.Plummer(65536, 1)
+	var keys []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys = Keys(s, keys)
+	}
+}
+
+func BenchmarkRadixSort(b *testing.B) {
+	r := rng.New(1)
+	base := make([]uint64, 1<<16)
+	for i := range base {
+		base[i] = r.Uint64()
+	}
+	keys := make([]uint64, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, base)
+		RadixSortKeys(keys, nil)
+	}
+}
+
+func BenchmarkSortSystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := ic.Plummer(16384, uint64(i))
+		b.StartTimer()
+		SortSystem(s)
+	}
+}

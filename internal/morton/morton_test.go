@@ -1,0 +1,155 @@
+package morton
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ic"
+	"repro/internal/vec"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= (1 << Bits) - 1
+		y &= (1 << Bits) - 1
+		z &= (1 << Bits) - 1
+		gx, gy, gz := Decode(Encode(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y, z uint32
+		want    uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 0b001},
+		{0, 1, 0, 0b010},
+		{0, 0, 1, 0b100},
+		{1, 1, 1, 0b111},
+		{2, 0, 0, 0b001000},
+		{3, 3, 3, 0b111111},
+	}
+	for _, c := range cases {
+		if got := Encode(c.x, c.y, c.z); got != c.want {
+			t.Errorf("Encode(%d,%d,%d) = %#b, want %#b", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}
+
+func TestEncodeMonotoneInOctants(t *testing.T) {
+	// Points in the low octant sort before points in the high octant.
+	lo := Encode(1, 1, 1)
+	hi := Encode(1<<20, 1<<20, 1<<20)
+	if lo >= hi {
+		t.Errorf("octant ordering violated: %d >= %d", lo, hi)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	b := vec.AABB{Min: vec.V3{X: 0, Y: 0, Z: 0}, Max: vec.V3{X: 1, Y: 1, Z: 1}}
+	ix, iy, iz := Quantize(vec.V3{X: 0, Y: 0, Z: 0}, b)
+	if ix != 0 || iy != 0 || iz != 0 {
+		t.Errorf("Quantize(min) = %d,%d,%d", ix, iy, iz)
+	}
+	ix, iy, iz = Quantize(vec.V3{X: 1, Y: 1, Z: 1}, b)
+	const last = 1<<Bits - 1
+	if ix != last || iy != last || iz != last {
+		t.Errorf("Quantize(max) = %d,%d,%d, want %d", ix, iy, iz, last)
+	}
+	// Out-of-bounds points clamp.
+	ix, _, _ = Quantize(vec.V3{X: -5, Y: 0.5, Z: 0.5}, b)
+	if ix != 0 {
+		t.Errorf("Quantize clamped low = %d", ix)
+	}
+	// Degenerate (zero-extent) axis maps to 0.
+	flat := vec.AABB{Min: vec.V3{X: 0, Y: 0, Z: 0}, Max: vec.V3{X: 1, Y: 0, Z: 1}}
+	_, iy, _ = Quantize(vec.V3{X: 0.5, Y: 0, Z: 0.5}, flat)
+	if iy != 0 {
+		t.Errorf("degenerate axis index = %d", iy)
+	}
+}
+
+func TestRadixSortMatchesStdSort(t *testing.T) {
+	f := func(keys []uint64) bool {
+		mine := append([]uint64(nil), keys...)
+		ref := append([]uint64(nil), keys...)
+		RadixSortKeys(mine, nil)
+		sort.Slice(ref, func(a, b int) bool { return ref[a] < ref[b] })
+		for i := range mine {
+			if mine[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadixSortCarriesIndices(t *testing.T) {
+	keys := []uint64{5, 1, 4, 1, 3}
+	idx := []int32{0, 1, 2, 3, 4}
+	RadixSortKeys(keys, idx)
+	wantKeys := []uint64{1, 1, 3, 4, 5}
+	wantIdx := []int32{1, 3, 4, 2, 0} // stable
+	for i := range keys {
+		if keys[i] != wantKeys[i] || idx[i] != wantIdx[i] {
+			t.Fatalf("got keys=%v idx=%v", keys, idx)
+		}
+	}
+}
+
+func TestRadixSortIdxLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched idx")
+		}
+	}()
+	RadixSortKeys([]uint64{1, 2}, []int32{0})
+}
+
+func TestSortSystemIsSpatial(t *testing.T) {
+	s := ic.Plummer(512, 3)
+	orig := s.Clone()
+	perm := SortSystem(s)
+
+	// The permutation must be a bijection and the bodies must be the same
+	// multiset.
+	seen := make([]bool, len(perm))
+	for newI, oldI := range perm {
+		if seen[oldI] {
+			t.Fatalf("old index %d used twice", oldI)
+		}
+		seen[oldI] = true
+		if s.Pos[newI] != orig.Pos[oldI] || s.Mass[newI] != orig.Mass[oldI] {
+			t.Fatalf("body %d not moved consistently", newI)
+		}
+	}
+
+	// Keys must now be non-decreasing.
+	keys := Keys(s, nil)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatalf("keys not sorted at %d", i)
+		}
+	}
+
+	// Spatial locality: consecutive bodies should be much closer on average
+	// than random pairs.
+	var adjacent, random float64
+	for i := 1; i < s.N(); i++ {
+		adjacent += float64(s.Pos[i].Sub(s.Pos[i-1]).Norm())
+		j := (i * 7919) % s.N()
+		random += float64(s.Pos[i].Sub(s.Pos[j]).Norm())
+	}
+	if adjacent > 0.7*random {
+		t.Errorf("Morton order not local: adjacent=%g random=%g", adjacent, random)
+	}
+}

@@ -1,0 +1,48 @@
+package pp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ic"
+)
+
+func BenchmarkScalar(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			s := ic.Plummer(n, 1)
+			params := DefaultParams()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Scalar(s, params)
+			}
+			b.ReportMetric(float64(n)*float64(n)*FlopsPerInteraction, "flops/op")
+		})
+	}
+}
+
+func BenchmarkTiled(b *testing.B) {
+	for _, tile := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("tile=%d", tile), func(b *testing.B) {
+			s := ic.Plummer(4096, 1)
+			params := DefaultParams()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Tiled(s, params, tile)
+			}
+		})
+	}
+}
+
+func BenchmarkParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := ic.Plummer(4096, 1)
+			params := DefaultParams()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Parallel(s, params, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+// Package pp implements the particle-particle (PP) direct-summation force
+// calculation of Section 2.1 of the paper: every body interacts with every
+// other body through the softened gravitational kernel
+//
+//	a_i = G * sum_j m_j * r_ij / (|r_ij|^2 + eps^2)^(3/2)
+//
+// Three CPU variants are provided. Scalar is the reference against which
+// every other engine in the repository (including the GPU plans) is
+// validated; Tiled adds cache blocking; Parallel distributes the i-loop over
+// goroutines. All variants compute identical interactions and account the
+// conventional 38 floating-point operations per interaction used by the GPU
+// N-body literature when reporting GFLOPS.
+package pp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/body"
+	"repro/internal/vec"
+)
+
+// FlopsPerInteraction is the conventional operation count charged per
+// body-body interaction when converting interaction rates to GFLOPS
+// (20 arithmetic ops plus the cost of the reciprocal square root expanded to
+// its Newton-iteration sequence), following Nyland et al. and Hamada et al.
+const FlopsPerInteraction = 38
+
+// Params configures the force kernel.
+type Params struct {
+	G   float32 // gravitational constant
+	Eps float32 // Plummer softening length; must be > 0 for collision safety
+}
+
+// DefaultParams returns the parameter set used by the paper's experiments:
+// G = 1 (model units) and a softening of 0.05 scale radii.
+func DefaultParams() Params { return Params{G: 1, Eps: 0.05} }
+
+// AccumulateInto adds the softened acceleration exerted by a source at
+// position (sx,sy,sz) with mass sm onto the body at (px,py,pz). It is the
+// single shared inner kernel so that every engine computes bit-comparable
+// interactions.
+func AccumulateInto(px, py, pz, sx, sy, sz, sm, eps2 float32) vec.V3 {
+	dx := sx - px
+	dy := sy - py
+	dz := sz - pz
+	r2 := dx*dx + dy*dy + dz*dz + eps2
+	if r2 == 0 {
+		// Coincident bodies with zero softening: define the force as zero
+		// rather than NaN, so unsoftened configurations stay finite. With
+		// any eps > 0 this branch never triggers.
+		return vec.V3{}
+	}
+	inv := 1 / float32(math.Sqrt(float64(r2)))
+	inv3 := inv * inv * inv * sm
+	return vec.V3{X: dx * inv3, Y: dy * inv3, Z: dz * inv3}
+}
+
+// Scalar computes accelerations for every body with the straightforward
+// O(N^2) double loop and stores them in s.Acc. It returns the number of
+// interactions evaluated. The self-interaction (i == j) is included: with a
+// non-zero softening it contributes exactly zero force, which matches what
+// the GPU kernels do to keep their inner loops branch-free.
+func Scalar(s *body.System, p Params) (interactions int64) {
+	n := s.N()
+	eps2 := p.Eps * p.Eps
+	for i := 0; i < n; i++ {
+		pi := s.Pos[i]
+		var acc vec.V3
+		for j := 0; j < n; j++ {
+			pj := s.Pos[j]
+			acc = acc.Add(AccumulateInto(pi.X, pi.Y, pi.Z, pj.X, pj.Y, pj.Z, s.Mass[j], eps2))
+		}
+		s.Acc[i] = acc.Scale(p.G)
+	}
+	return int64(n) * int64(n)
+}
+
+// Tiled computes the same accelerations with the j-loop blocked into tiles
+// of the given size, improving cache locality for large N. A tile size of 0
+// selects a default of 256 bodies (32 KiB of position data, matching the
+// local-memory tile the GPU plans stage).
+func Tiled(s *body.System, p Params, tile int) (interactions int64) {
+	if tile <= 0 {
+		tile = 256
+	}
+	n := s.N()
+	eps2 := p.Eps * p.Eps
+	s.ZeroAcc()
+	for j0 := 0; j0 < n; j0 += tile {
+		j1 := j0 + tile
+		if j1 > n {
+			j1 = n
+		}
+		for i := 0; i < n; i++ {
+			pi := s.Pos[i]
+			acc := s.Acc[i]
+			for j := j0; j < j1; j++ {
+				pj := s.Pos[j]
+				acc = acc.Add(AccumulateInto(pi.X, pi.Y, pi.Z, pj.X, pj.Y, pj.Z, s.Mass[j], eps2))
+			}
+			s.Acc[i] = acc
+		}
+	}
+	for i := range s.Acc {
+		s.Acc[i] = s.Acc[i].Scale(p.G)
+	}
+	return int64(n) * int64(n)
+}
+
+// Parallel distributes the i-loop of the direct sum across workers
+// goroutines (GOMAXPROCS when workers <= 0). Each worker owns a disjoint
+// slice of the acceleration array, so no synchronisation beyond the final
+// join is needed.
+func Parallel(s *body.System, p Params, workers int) (interactions int64) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := s.N()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return Scalar(s, p)
+	}
+	eps2 := p.Eps * p.Eps
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				pi := s.Pos[i]
+				var acc vec.V3
+				for j := 0; j < n; j++ {
+					pj := s.Pos[j]
+					acc = acc.Add(AccumulateInto(pi.X, pi.Y, pi.Z, pj.X, pj.Y, pj.Z, s.Mass[j], eps2))
+				}
+				s.Acc[i] = acc.Scale(p.G)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return int64(n) * int64(n)
+}
+
+// PotentialAt returns the softened potential at body i due to all other
+// bodies, used by accuracy diagnostics.
+func PotentialAt(s *body.System, p Params, i int) float64 {
+	eps2 := float64(p.Eps) * float64(p.Eps)
+	pi := s.Pos[i].D3()
+	var pot float64
+	for j := 0; j < s.N(); j++ {
+		if j == i {
+			continue
+		}
+		d := s.Pos[j].D3().Sub(pi)
+		pot -= float64(s.Mass[j]) / math.Sqrt(d.Norm2()+eps2)
+	}
+	return float64(p.G) * pot
+}
+
+// MaxRelError returns the maximum relative acceleration error of got with
+// respect to want, using |want| + floor as the denominator so that
+// near-cancelling accelerations do not blow the metric up. Engines are
+// validated against Scalar with this metric.
+func MaxRelError(want, got []vec.V3, floor float32) float64 {
+	var worst float64
+	for i := range want {
+		d := want[i].Sub(got[i]).Norm()
+		den := want[i].Norm() + floor
+		if r := float64(d / den); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// RMSRelError returns the root-mean-square relative acceleration error, the
+// accuracy metric of the theta-sweep ablation.
+func RMSRelError(want, got []vec.V3, floor float32) float64 {
+	var sum float64
+	for i := range want {
+		d := want[i].Sub(got[i]).Norm()
+		den := want[i].Norm() + floor
+		r := float64(d / den)
+		sum += r * r
+	}
+	if len(want) == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(len(want)))
+}

@@ -1,0 +1,182 @@
+package pp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/body"
+	"repro/internal/ic"
+	"repro/internal/vec"
+)
+
+func TestTwoBodyAnalytic(t *testing.T) {
+	// Two unit masses at distance 2, no softening: |a| = G m / r^2 = 0.25.
+	s := body.FromBodies([]body.Body{
+		{Pos: vec.V3{X: -1}, Mass: 1},
+		{Pos: vec.V3{X: 1}, Mass: 1},
+	})
+	Scalar(s, Params{G: 1, Eps: 0})
+	if math.Abs(float64(s.Acc[0].X)-0.25) > 1e-6 {
+		t.Errorf("a0.x = %g, want 0.25", s.Acc[0].X)
+	}
+	if math.Abs(float64(s.Acc[1].X)+0.25) > 1e-6 {
+		t.Errorf("a1.x = %g, want -0.25", s.Acc[1].X)
+	}
+	if s.Acc[0].Y != 0 || s.Acc[0].Z != 0 {
+		t.Errorf("off-axis acceleration: %v", s.Acc[0])
+	}
+}
+
+func TestSofteningReducesForce(t *testing.T) {
+	mk := func(eps float32) float32 {
+		s := body.FromBodies([]body.Body{
+			{Pos: vec.V3{X: -0.5}, Mass: 1},
+			{Pos: vec.V3{X: 0.5}, Mass: 1},
+		})
+		Scalar(s, Params{G: 1, Eps: eps})
+		return s.Acc[0].X
+	}
+	if !(mk(1.0) < mk(0.1) && mk(0.1) < mk(0)) {
+		t.Errorf("softening does not monotonically reduce force: %g %g %g", mk(0), mk(0.1), mk(1.0))
+	}
+}
+
+func TestSelfInteractionIsZero(t *testing.T) {
+	s := body.FromBodies([]body.Body{{Pos: vec.V3{X: 3, Y: -1, Z: 2}, Mass: 5}})
+	Scalar(s, Params{G: 1, Eps: 0.05})
+	if s.Acc[0] != (vec.V3{}) {
+		t.Errorf("single body acceleration = %v, want zero", s.Acc[0])
+	}
+}
+
+func TestNewtonThirdLaw(t *testing.T) {
+	// Sum of m_i a_i must vanish: internal forces cancel pairwise.
+	s := ic.Plummer(300, 8)
+	Scalar(s, DefaultParams())
+	var f vec.D3
+	for i := range s.Acc {
+		f = f.Add(s.Acc[i].D3().Scale(float64(s.Mass[i])))
+	}
+	// float32 accumulation leaves a small residue; compare against the
+	// typical force magnitude.
+	var scale float64
+	for i := range s.Acc {
+		scale += s.Acc[i].D3().Norm() * float64(s.Mass[i])
+	}
+	if f.Norm() > 1e-5*scale {
+		t.Errorf("net internal force %v (relative %g)", f, f.Norm()/scale)
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	params := DefaultParams()
+	for _, n := range []int{1, 2, 17, 64, 100, 257} {
+		ref := ic.Plummer(n, uint64(n))
+		Scalar(ref, params)
+		for name, run := range map[string]func(*body.System) int64{
+			"tiled-16":   func(s *body.System) int64 { return Tiled(s, params, 16) },
+			"tiled-def":  func(s *body.System) int64 { return Tiled(s, params, 0) },
+			"parallel-3": func(s *body.System) int64 { return Parallel(s, params, 3) },
+			"parallel-0": func(s *body.System) int64 { return Parallel(s, params, 0) },
+		} {
+			s := ic.Plummer(n, uint64(n))
+			inter := run(s)
+			if inter != int64(n)*int64(n) {
+				t.Errorf("n=%d %s: interactions = %d", n, name, inter)
+			}
+			if e := MaxRelError(ref.Acc, s.Acc, 1e-4); e > 1e-4 {
+				t.Errorf("n=%d %s: max rel error %g", n, name, e)
+			}
+		}
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	params := DefaultParams()
+	s1 := ic.Plummer(128, 4)
+	s2 := s1.Clone()
+	shift := vec.V3{X: 10, Y: -20, Z: 5}
+	for i := range s2.Pos {
+		s2.Pos[i] = s2.Pos[i].Add(shift)
+	}
+	Scalar(s1, params)
+	Scalar(s2, params)
+	if e := MaxRelError(s1.Acc, s2.Acc, 1e-3); e > 1e-2 {
+		t.Errorf("accelerations not translation invariant: %g", e)
+	}
+}
+
+func TestAccumulateIntoProperties(t *testing.T) {
+	// Force points from the body toward the source, scaled by source mass.
+	f := func(px, py, pz, sx, sy, sz int16, m uint8) bool {
+		p := vec.V3{X: float32(px) / 100, Y: float32(py) / 100, Z: float32(pz) / 100}
+		q := vec.V3{X: float32(sx) / 100, Y: float32(sy) / 100, Z: float32(sz) / 100}
+		mass := float32(m)/64 + 0.1
+		a := AccumulateInto(p.X, p.Y, p.Z, q.X, q.Y, q.Z, mass, 0.01)
+		d := q.Sub(p)
+		// a must be parallel to d with a non-negative coefficient.
+		cross := vec.V3{
+			X: a.Y*d.Z - a.Z*d.Y,
+			Y: a.Z*d.X - a.X*d.Z,
+			Z: a.X*d.Y - a.Y*d.X,
+		}
+		if float64(cross.Norm()) > 1e-5*(1+float64(a.Norm())*float64(d.Norm())) {
+			return false
+		}
+		return a.Dot(d) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulateIntoMassLinearity(t *testing.T) {
+	a1 := AccumulateInto(0, 0, 0, 1, 2, 3, 1, 0.01)
+	a2 := AccumulateInto(0, 0, 0, 1, 2, 3, 2, 0.01)
+	if math.Abs(float64(a2.X-2*a1.X)) > 1e-6 {
+		t.Errorf("force not linear in source mass: %v vs %v", a1, a2)
+	}
+}
+
+func TestPotentialAt(t *testing.T) {
+	s := body.FromBodies([]body.Body{
+		{Pos: vec.V3{X: 0}, Mass: 1},
+		{Pos: vec.V3{X: 2}, Mass: 3},
+	})
+	// phi at body 0: -G*3/sqrt(4+eps^2)
+	got := PotentialAt(s, Params{G: 2, Eps: 0}, 0)
+	if math.Abs(got-(-3)) > 1e-9 {
+		t.Errorf("PotentialAt = %g, want -3", got)
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	want := []vec.V3{{X: 1}, {Y: 2}}
+	got := []vec.V3{{X: 1.1}, {Y: 2}}
+	if e := MaxRelError(want, got, 0); math.Abs(e-0.1/1.0) > 1e-5 {
+		t.Errorf("MaxRelError = %g", e)
+	}
+	rms := RMSRelError(want, got, 0)
+	wantRMS := math.Sqrt(0.1 * 0.1 / 2)
+	if math.Abs(rms-wantRMS) > 1e-5 {
+		t.Errorf("RMSRelError = %g, want %g", rms, wantRMS)
+	}
+	if RMSRelError(nil, nil, 1) != 0 {
+		t.Error("empty RMS not zero")
+	}
+}
+
+func TestParallelWorkerEdgeCases(t *testing.T) {
+	params := DefaultParams()
+	// More workers than bodies, and exactly one worker, must both work.
+	for _, workers := range []int{1, 5, 100} {
+		s := ic.Plummer(3, 1)
+		ref := s.Clone()
+		Scalar(ref, params)
+		Parallel(s, params, workers)
+		if e := MaxRelError(ref.Acc, s.Acc, 1e-4); e > 1e-5 {
+			t.Errorf("workers=%d: error %g", workers, e)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bh"
+	"repro/internal/body"
+	"repro/internal/ic"
+	"repro/internal/integrate"
+	"repro/internal/pp"
+)
+
+func TestRunDirectEngine(t *testing.T) {
+	s := ic.Plummer(128, 1)
+	eng := &DirectEngine{Params: pp.DefaultParams()}
+	snaps, err := Run(s, eng, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 20, SnapshotEvery: 5, G: 1, Eps: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots: step 0, 5, 10, 15, 20.
+	if len(snaps) != 5 {
+		t.Fatalf("got %d snapshots, want 5", len(snaps))
+	}
+	if snaps[0].Step != 0 || snaps[4].Step != 20 {
+		t.Errorf("snapshot steps: first %d last %d", snaps[0].Step, snaps[4].Step)
+	}
+	if d := snaps[4].Time - 0.2; d > 1e-6 || d < -1e-6 {
+		t.Errorf("final time %g, want 0.2", snaps[4].Time)
+	}
+	if snaps[4].Interactions != 21*128*128 { // priming + 20 steps
+		t.Errorf("interactions %d, want %d", snaps[4].Interactions, 21*128*128)
+	}
+	if drift := EnergyDrift(snaps); drift > 1e-2 {
+		t.Errorf("energy drift %g", drift)
+	}
+}
+
+func TestRunTreeEngine(t *testing.T) {
+	s := ic.Plummer(256, 2)
+	eng := &TreeEngine{Opt: bh.DefaultOptions()}
+	snaps, err := Run(s, eng, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 10, G: 1, Eps: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift := EnergyDrift(snaps); drift > 1e-2 {
+		t.Errorf("energy drift %g", drift)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	s := ic.Plummer(8, 1)
+	eng := &DirectEngine{Params: pp.DefaultParams()}
+	if _, err := Run(s, eng, &integrate.Leapfrog{}, Config{DT: 0, Steps: 1}); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := Run(s, eng, &integrate.Leapfrog{}, Config{DT: 0.01, Steps: -1}); err == nil {
+		t.Error("negative steps accepted")
+	}
+}
+
+type failingEngine struct{ after int }
+
+func (e *failingEngine) Name() string { return "failing" }
+func (e *failingEngine) Accel(s *body.System) (int64, error) {
+	e.after--
+	if e.after < 0 {
+		return 0, errors.New("synthetic failure")
+	}
+	s.ZeroAcc()
+	return 1, nil
+}
+
+func TestRunPropagatesEngineError(t *testing.T) {
+	s := ic.Plummer(8, 1)
+	_, err := Run(s, &failingEngine{after: 3}, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 10, G: 1, Eps: 0.05,
+	})
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("err = %v, want synthetic failure", err)
+	}
+}
+
+func TestRunLogsSnapshots(t *testing.T) {
+	s := ic.Plummer(16, 3)
+	var buf bytes.Buffer
+	_, err := Run(s, &DirectEngine{Params: pp.DefaultParams()}, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 2, SnapshotEvery: 1, G: 1, Eps: 0.05, Log: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 3 { // steps 0, 1, 2
+		t.Errorf("logged %d lines, want 3:\n%s", lines, buf.String())
+	}
+	if !strings.Contains(buf.String(), "E=") {
+		t.Error("log lines lack energy")
+	}
+}
+
+func TestRunZeroSteps(t *testing.T) {
+	s := ic.Plummer(8, 1)
+	snaps, err := Run(s, &DirectEngine{Params: pp.DefaultParams()}, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 0, G: 1, Eps: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Step != 0 {
+		t.Errorf("zero-step run snapshots: %+v", snaps)
+	}
+}
+
+func TestEnergyDrift(t *testing.T) {
+	if EnergyDrift(nil) != 0 {
+		t.Error("empty drift not zero")
+	}
+	snaps := []Snapshot{{Total: -2}, {Total: -2.1}, {Total: -1.95}}
+	if d := EnergyDrift(snaps); d < 0.049 || d > 0.051 {
+		t.Errorf("drift = %g, want 0.05", d)
+	}
+	zero := []Snapshot{{Total: 0}, {Total: 0.5}}
+	if d := EnergyDrift(zero); d != 0.5 {
+		t.Errorf("zero-baseline drift = %g", d)
+	}
+}
+
+func TestDirectEngineWorkerModes(t *testing.T) {
+	s := ic.Plummer(64, 4)
+	scalar := &DirectEngine{Params: pp.DefaultParams(), Workers: 1}
+	n, err := scalar.Accel(s.Clone())
+	if err != nil || n != 64*64 {
+		t.Fatalf("scalar: n=%d err=%v", n, err)
+	}
+	par := &DirectEngine{Params: pp.DefaultParams()}
+	n, err = par.Accel(s.Clone())
+	if err != nil || n != 64*64 {
+		t.Fatalf("parallel: n=%d err=%v", n, err)
+	}
+	if scalar.Name() != "cpu-pp" {
+		t.Errorf("Name = %q", scalar.Name())
+	}
+}
+
+func TestTreeEngineName(t *testing.T) {
+	eng := &TreeEngine{Opt: bh.DefaultOptions()}
+	if eng.Name() != "cpu-bh" {
+		t.Errorf("Name = %q", eng.Name())
+	}
+	if _, err := eng.Accel(body.NewSystem(0)); err == nil {
+		t.Error("empty system accepted by tree engine")
+	}
+}
