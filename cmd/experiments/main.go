@@ -17,17 +17,19 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		sizes   = flag.String("sizes", "", "comma-separated body counts (default: the paper's 1024..65536 sweep)")
-		steps   = flag.Int("steps", 100, "steps per table entry (the paper uses 100)")
-		seed    = flag.Uint64("seed", 0, "workload seed (0 = the default)")
-		theta   = flag.Float64("theta", 0.6, "treecode opening angle")
-		quick   = flag.Bool("quick", false, "use a reduced sweep (smoke test)")
-		verbose = flag.Bool("v", false, "print per-point progress")
-		jsonOut = flag.String("json", "", "also write the sweep data as JSON to this file")
+		sizes     = flag.String("sizes", "", "comma-separated body counts (default: the paper's 1024..65536 sweep)")
+		steps     = flag.Int("steps", 100, "steps per table entry (the paper uses 100)")
+		seed      = flag.Uint64("seed", 0, "workload seed (0 = the default)")
+		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
+		quick     = flag.Bool("quick", false, "use a reduced sweep (smoke test)")
+		verbose   = flag.Bool("v", false, "print per-point progress")
+		jsonOut   = flag.String("json", "", "also write the sweep data (incl. flat per-experiment results) as JSON to this file")
+		metricsTo = flag.String("metrics", "", "write a JSON telemetry metrics snapshot of the sweep to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +55,9 @@ func main() {
 	cfg.Theta = float32(*theta)
 	if *verbose {
 		cfg.Progress = os.Stderr
+	}
+	if *metricsTo != "" {
+		cfg.Obs = obs.New()
 	}
 
 	what := "all"
@@ -81,6 +86,19 @@ func main() {
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote sweep data to %s\n", *jsonOut)
+		}
+		if *metricsTo != "" {
+			f, err := os.Create(*metricsTo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := cfg.Obs.Metrics.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsTo)
 		}
 	}
 

@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/bh"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/ic"
 	"repro/internal/integrate"
+	"repro/internal/obs"
 	"repro/internal/pp"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -32,21 +35,38 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 4096, "number of bodies")
-		engine   = flag.String("engine", "jw-parallel", "force engine: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel, w-parallel, jw-parallel, jw-parallel-x2, jw-parallel-x4")
-		workload = flag.String("workload", "plummer", "initial conditions: plummer, hernquist, cube, disk, collision")
-		steps    = flag.Int("steps", 100, "number of time steps")
-		dt       = flag.Float64("dt", 0.01, "time step")
-		theta    = flag.Float64("theta", 0.6, "treecode opening angle")
-		eps      = flag.Float64("eps", 0.05, "softening length")
-		integr   = flag.String("integrator", "leapfrog", "integrator: euler, leapfrog, verlet")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		every    = flag.Int("snapshot", 0, "record energy every k steps (0: start/end only; costs O(N^2) each)")
-		save     = flag.String("save", "", "write the final state to this snapshot file")
-		load     = flag.String("load", "", "start from this snapshot file instead of generating a workload")
-		showDiag = flag.Bool("diag", false, "print astrophysical diagnostics before and after the run")
+		n         = flag.Int("n", 4096, "number of bodies")
+		engine    = flag.String("engine", "jw-parallel", "force engine: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel, w-parallel, jw-parallel, jw-parallel-x2, jw-parallel-x4")
+		workload  = flag.String("workload", "plummer", "initial conditions: plummer, hernquist, cube, disk, collision")
+		steps     = flag.Int("steps", 100, "number of time steps")
+		dt        = flag.Float64("dt", 0.01, "time step")
+		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
+		eps       = flag.Float64("eps", 0.05, "softening length")
+		integr    = flag.String("integrator", "leapfrog", "integrator: euler, leapfrog, verlet")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		every     = flag.Int("snapshot", 0, "record energy every k steps (0: start/end only; costs O(N^2) each)")
+		save      = flag.String("save", "", "write the final state to this snapshot file")
+		load      = flag.String("load", "", "start from this snapshot file instead of generating a workload")
+		showDiag  = flag.Bool("diag", false, "print astrophysical diagnostics before and after the run")
+		metricsTo = flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run")
+		traceTo   = flag.String("trace", "", "write a merged host+device Chrome trace to this file after the run")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar (incl. live metrics) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	var o *obs.Obs
+	if *metricsTo != "" || *traceTo != "" || *debugAddr != "" {
+		o = obs.New()
+	}
+	if *debugAddr != "" {
+		o.Metrics.Publish("nbody.metrics")
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "nbody: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", *debugAddr)
+	}
 
 	var sys *body.System
 	startTime := 0.0
@@ -71,7 +91,7 @@ func main() {
 	opt.Theta = float32(*theta)
 	opt.Eps = float32(*eps)
 
-	eng, pe, err := makeEngine(*engine, params, opt)
+	eng, pe, err := makeEngine(*engine, params, opt, o)
 	if err != nil {
 		fail(err)
 	}
@@ -95,6 +115,7 @@ func main() {
 		G:             1,
 		Eps:           *eps,
 		Log:           os.Stdout,
+		Obs:           o,
 	})
 	if err != nil {
 		fail(err)
@@ -116,6 +137,49 @@ func main() {
 		fmt.Printf("modelled device time: kernel %.4gs, total %.4gs (%.1f GFLOPS sustained)\n",
 			pe.KernelSeconds, pe.TotalSeconds(), pe.SustainedGFLOPS())
 	}
+	if *metricsTo != "" {
+		if err := writeMetrics(*metricsTo, o); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsTo)
+	}
+	if *traceTo != "" {
+		if err := writeTrace(*traceTo, o, pe); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote merged host+device trace to %s (open in Perfetto / chrome://tracing)\n", *traceTo)
+	}
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON.
+func writeMetrics(path string, o *obs.Obs) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := o.Metrics.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace merges the host spans with the device schedule of the last
+// kernel launches (when a GPU plan ran) into one Chrome trace.
+func writeTrace(path string, o *obs.Obs, pe *core.Engine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var launches []*gpusim.Result
+	if pe != nil {
+		launches = pe.LastLaunches
+	}
+	if err := cl.WriteMergedTrace(f, o.Trace, gpusim.HD5850(), launches...); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func makeWorkload(kind string, n int, seed uint64) (*body.System, error) {
@@ -134,7 +198,8 @@ func makeWorkload(kind string, n int, seed uint64) (*body.System, error) {
 	return nil, fmt.Errorf("unknown workload %q", kind)
 }
 
-func makeEngine(name string, params pp.Params, opt bh.Options) (sim.Engine, *core.Engine, error) {
+func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs) (sim.Engine, *core.Engine, error) {
+	opt.Trace = o.Tracer() // spans the CPU treecode engines too
 	switch name {
 	case "cpu-pp":
 		return &sim.DirectEngine{Params: params}, nil, nil
@@ -167,6 +232,7 @@ func makeEngine(name string, params pp.Params, opt bh.Options) (sim.Engine, *cor
 		return nil, nil, fmt.Errorf("unknown engine %q", name)
 	}
 	pe := core.NewEngine(plan)
+	pe.SetObs(o)
 	return pe, pe, nil
 }
 

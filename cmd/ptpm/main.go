@@ -16,17 +16,19 @@ import (
 
 	"repro/internal/bh"
 	"repro/internal/body"
+	"repro/internal/cl"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gpusim"
 	"repro/internal/ic"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
 		n         = flag.Int("n", 16384, "number of bodies")
 		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
-		tracePath = flag.String("trace", "", "write a Chrome trace of the jw-parallel schedule to this file")
+		tracePath = flag.String("trace", "", "write a merged host+device Chrome trace of the measured runs to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +65,9 @@ func main() {
 	cfg := exp.DefaultConfig()
 	cfg.Sizes = []int{*n}
 	cfg.Theta = float32(*theta)
+	if *tracePath != "" {
+		cfg.Obs = obs.New()
+	}
 	sw, err := exp.RunSweep(cfg)
 	if err != nil {
 		fail(err)
@@ -84,11 +89,13 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
-		d := gpusim.MustNewDevice(dev)
-		if err := d.WriteTrace(f, jwLaunch); err != nil {
+		// One file, three views: wall-clock host spans (tree build, walk/list
+		// construction), the modelled queue pipeline, and the jw-parallel
+		// kernel's per-CU device schedule.
+		if err := cl.WriteMergedTrace(f, cfg.Obs.Trace, dev, jwLaunch); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote jw-parallel schedule trace to %s (open in chrome://tracing)\n", *tracePath)
+		fmt.Printf("wrote merged host+device trace to %s (open in Perfetto / chrome://tracing)\n", *tracePath)
 	}
 }
 

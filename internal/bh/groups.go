@@ -54,6 +54,8 @@ func (t *Tree) BuildWalks(groupCap int) (*WalkSet, error) {
 	if groupCap <= 0 {
 		groupCap = 64
 	}
+	sp := t.Opt.Trace.Start("walk/list build", "host").Track("bh").Arg("groupCap", groupCap)
+	defer sp.End()
 	n := int32(t.sys.N())
 	ws := &WalkSet{Tree: t, GroupCap: groupCap}
 	for first := int32(0); first < n; first += int32(groupCap) {
@@ -107,6 +109,7 @@ func (t *Tree) BuildWalks(groupCap int) (*WalkSet, error) {
 			return nil, err
 		}
 	}
+	sp.Arg("walks", len(ws.Walks)).Arg("interactions", ws.Interactions())
 	return ws, nil
 }
 

@@ -21,6 +21,8 @@ import (
 // reflect the *new* geometry only through the updated summaries — callers
 // decide the rebuild cadence; see sim-level tests for the error growth).
 func (t *Tree) Refit() {
+	sp := t.Opt.Trace.Start("tree refit", "host").Track("bh").Arg("nodes", len(t.Nodes))
+	defer sp.End()
 	t.refit(0)
 	if t.quads != nil {
 		t.computeQuad(0)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/body"
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
@@ -50,6 +51,10 @@ type Options struct {
 	Eps float32
 	// G is the gravitational constant used by force evaluation.
 	G float32
+	// Trace, when non-nil, receives wall-clock spans for the host-side
+	// pipeline stages (tree build, refit, group-walk construction) — the
+	// "host work" half of the paper's time breakdown.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions returns the configuration of the paper's experiments.
@@ -90,6 +95,8 @@ func Build(s *body.System, opt Options) (*Tree, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("bh: cannot build a tree over zero bodies")
 	}
+	sp := opt.Trace.Start("tree build", "host").Track("bh").Arg("n", n)
+	defer sp.End()
 	t := &Tree{
 		Nodes: make([]Node, 0, 2*n/opt.LeafCap+16),
 		Index: make([]int32, n),
@@ -109,6 +116,7 @@ func Build(s *body.System, opt Options) (*Tree, error) {
 	half *= 1.0001
 	t.build(center, half, 0, int32(n), 0)
 	t.summarize(0)
+	sp.Arg("nodes", len(t.Nodes))
 	return t, nil
 }
 

@@ -10,8 +10,10 @@ package cl
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 )
 
 // Context owns a device.
@@ -65,16 +67,62 @@ type Queue struct {
 	ctx    *Context
 	now    float64
 	events []*Event
+	obs    *obs.Obs
 }
 
 // NewQueue creates a command queue on the context.
 func (c *Context) NewQueue() *Queue { return &Queue{ctx: c} }
 
+// SetObs attaches a telemetry bundle: every subsequent command emits a
+// modelled-timeline span and updates the registry's cl.* metrics. A nil
+// bundle (the default) disables instrumentation at the cost of one nil
+// check per command.
+func (q *Queue) SetObs(o *obs.Obs) { q.obs = o }
+
 func (q *Queue) push(name string, kind EventKind, dur float64, bytes int64, res *gpusim.Result) *Event {
 	e := &Event{Name: name, Kind: kind, Start: q.now, End: q.now + dur, Bytes: bytes, Result: res}
 	q.now = e.End
 	q.events = append(q.events, e)
+	if q.obs != nil {
+		q.observe(e)
+	}
 	return e
+}
+
+// observe reports one completed command to the attached telemetry bundle.
+func (q *Queue) observe(e *Event) {
+	o := q.obs
+	var args map[string]any
+	switch e.Kind {
+	case KindTransfer:
+		o.Counter("cl.transfers").Inc()
+		o.Counter("cl.transfer.bytes").Add(e.Bytes)
+		o.Histogram("cl.transfer.ms", nil).Observe(e.Seconds() * 1e3)
+		args = map[string]any{"bytes": e.Bytes}
+	case KindKernel:
+		o.Counter("cl.kernel.launches").Inc()
+		o.Histogram("cl.kernel.ms", nil).Observe(e.Seconds() * 1e3)
+		if r := e.Result; r != nil {
+			t := &r.Timing
+			o.Gauge("gpu.occupancy.wavefronts").Set(float64(t.OccupancyWavefronts))
+			o.Gauge("gpu.alu.utilization").Set(t.ALUUtilization)
+			o.Gauge("gpu.divergence.factor").Set(t.DivergenceFactor)
+			o.Counter("gpu.groups.alu_bound").Add(int64(t.ALUBoundGroups))
+			o.Counter("gpu.groups.mem_bound").Add(int64(t.MemBoundGroups))
+			o.Counter("gpu.groups.lds_bound").Add(int64(t.LDSBoundGroups))
+			args = map[string]any{
+				"flops":               r.TotalFlops(),
+				"groups":              len(r.Groups),
+				"occupancyWavefronts": t.OccupancyWavefronts,
+				"aluUtilization":      t.ALUUtilization,
+				"divergenceFactor":    t.DivergenceFactor,
+			}
+		}
+	case KindHost:
+		o.Counter("cl.host.ops").Inc()
+		o.Histogram("cl.host.ms", nil).Observe(e.Seconds() * 1e3)
+	}
+	o.Tracer().AddModelled(e.Name, string(e.Kind), string(e.Kind), e.Start, e.Seconds(), args)
 }
 
 // EnqueueWriteF32 copies host data into a device buffer, charging a PCIe
@@ -165,6 +213,21 @@ func (p Profile) PipelinedSeconds() float64 {
 		return p.HostSeconds
 	}
 	return dev
+}
+
+// WriteMergedTrace writes one Chrome/Perfetto trace JSON containing the full
+// picture of a run: the tracer's host-side wall-clock spans (IC generation,
+// tree build, walk/list construction), its modelled queue pipeline spans
+// (host work, transfers, kernel commands), and the per-CU device schedule of
+// the given kernel launches — each on its own trace process, so the paper's
+// pipelining argument (note 4: CPU builds step t+1's tree while the GPU
+// integrates step t) can be inspected end to end in one timeline.
+func WriteMergedTrace(w io.Writer, tr *obs.Tracer, cfg gpusim.DeviceConfig, results ...*gpusim.Result) error {
+	events := tr.TraceEvents()
+	events = append(events, gpusim.TraceEvents(cfg, obs.PIDDeviceBase, results...)...)
+	return obs.WriteChromeTrace(w, map[string]any{
+		"device": cfg.Name,
+	}, events)
 }
 
 // Profile aggregates the queue's event log.

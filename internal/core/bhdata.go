@@ -57,6 +57,8 @@ func buildBHHostData(s *body.System, opt bh.Options, groupCap, maxBodies int, ho
 	if opt.LeafCap > groupCap {
 		opt.LeafCap = groupCap
 	}
+	sp := opt.Trace.Start("host data build", "host").Track("bh").Arg("n", s.N())
+	defer sp.End()
 	tree, err := bh.Build(s, opt)
 	if err != nil {
 		return nil, err

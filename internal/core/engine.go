@@ -3,6 +3,8 @@ package core
 import (
 	"repro/internal/body"
 	"repro/internal/cl"
+	"repro/internal/gpusim"
+	"repro/internal/obs"
 )
 
 // Engine adapts a Plan to the force-engine interface the simulation driver
@@ -18,6 +20,12 @@ type Engine struct {
 	Flops           int64
 	Interactions    int64
 	Evaluations     int
+
+	// LastLaunches holds the device results of the most recent Accel call,
+	// for trace export (cl.WriteMergedTrace) and PTPM reports.
+	LastLaunches []*gpusim.Result
+
+	obs *obs.Obs
 }
 
 // NewEngine wraps a plan.
@@ -25,6 +33,15 @@ func NewEngine(p Plan) *Engine { return &Engine{Plan: p} }
 
 // Name implements the sim.Engine interface.
 func (e *Engine) Name() string { return e.Plan.Name() }
+
+// SetObs implements obs.Observable, forwarding the bundle to the plan (and
+// through it to the bh pipeline and the cl queues).
+func (e *Engine) SetObs(o *obs.Obs) {
+	e.obs = o
+	if p, ok := e.Plan.(obs.Observable); ok {
+		p.SetObs(o)
+	}
+}
 
 // Accel implements the sim.Engine interface.
 func (e *Engine) Accel(s *body.System) (int64, error) {
@@ -38,6 +55,12 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 	e.Flops += prof.Flops
 	e.Interactions += prof.Interactions
 	e.Evaluations++
+	e.LastLaunches = prof.Launches
+	if e.obs != nil {
+		e.obs.Counter("engine.evaluations").Inc()
+		e.obs.Gauge("engine.model.total.seconds").Set(e.TotalSeconds())
+		e.obs.Gauge("engine.sustained.gflops").Set(e.SustainedGFLOPS())
+	}
 	return prof.Interactions, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/pp"
 )
 
@@ -23,6 +24,7 @@ type IParallel struct {
 
 	ctx   *cl.Context
 	queue *cl.Queue
+	obs   *obs.Obs
 
 	nPad    int
 	bufPosM *gpusim.Buffer
@@ -42,6 +44,12 @@ func (p *IParallel) Name() string { return "i-parallel" }
 // Kind implements Plan.
 func (p *IParallel) Kind() Kind { return KindPP }
 
+// SetObs implements obs.Observable.
+func (p *IParallel) SetObs(o *obs.Obs) {
+	p.obs = o
+	p.queue.SetObs(o)
+}
+
 func (p *IParallel) ensureBuffers(n int) {
 	nPad := roundUp(n, p.GroupSize)
 	if nPad == p.nPad && p.bufPosM != nil {
@@ -60,6 +68,8 @@ func (p *IParallel) Accel(s *body.System) (*RunProfile, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: i-parallel: empty system")
 	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
+	defer sp.End()
 	p.ensureBuffers(n)
 	p.hostIn = flattenPadded(s, p.nPad, p.hostIn)
 	p.queue.Reset()
@@ -136,12 +146,14 @@ func (p *IParallel) Accel(s *body.System) (*RunProfile, error) {
 	s.UnflattenAcc(p.hostOut)
 
 	interactions := int64(nPad) * int64(nPad)
-	return &RunProfile{
+	rp := &RunProfile{
 		Plan:         p.Name(),
 		N:            n,
 		Interactions: interactions,
 		Flops:        interactionFlops(interactions),
 		Profile:      p.queue.Profile(),
 		Launches:     []*gpusim.Result{ev.Result},
-	}, nil
+	}
+	observeRun(p.obs, rp)
+	return rp, nil
 }

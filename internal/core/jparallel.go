@@ -6,6 +6,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/pp"
 )
 
@@ -28,6 +29,7 @@ type JParallel struct {
 
 	ctx   *cl.Context
 	queue *cl.Queue
+	obs   *obs.Obs
 
 	n, nPadJ int
 	bufPosM  *gpusim.Buffer
@@ -46,6 +48,12 @@ func (p *JParallel) Name() string { return "j-parallel" }
 
 // Kind implements Plan.
 func (p *JParallel) Kind() Kind { return KindPP }
+
+// SetObs implements obs.Observable.
+func (p *JParallel) SetObs(o *obs.Obs) {
+	p.obs = o
+	p.queue.SetObs(o)
+}
 
 func (p *JParallel) ensureBuffers(n int) {
 	nPadJ := roundUp(n, p.GroupSize)
@@ -66,6 +74,8 @@ func (p *JParallel) Accel(s *body.System) (*RunProfile, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: j-parallel: empty system")
 	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
+	defer sp.End()
 	p.ensureBuffers(n)
 	p.hostIn = flattenPadded(s, p.nPadJ, p.hostIn)
 	p.queue.Reset()
@@ -149,12 +159,14 @@ func (p *JParallel) Accel(s *body.System) (*RunProfile, error) {
 	s.UnflattenAcc(p.hostOut)
 
 	interactions := int64(n) * int64(nPadJ)
-	return &RunProfile{
+	rp := &RunProfile{
 		Plan:         p.Name(),
 		N:            n,
 		Interactions: interactions,
 		Flops:        interactionFlops(interactions),
 		Profile:      p.queue.Profile(),
 		Launches:     []*gpusim.Result{ev.Result},
-	}, nil
+	}
+	observeRun(p.obs, rp)
+	return rp, nil
 }

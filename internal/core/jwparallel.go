@@ -7,6 +7,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/pp"
 )
 
@@ -57,6 +58,7 @@ type JWParallel struct {
 	ctx      *cl.Context
 	queue    *cl.Queue
 	fallback *JParallel
+	obs      *obs.Obs
 
 	bufSrc, bufPos, bufLists, bufDesc *gpusim.Buffer
 	bufQueueWalks, bufQueueDesc       *gpusim.Buffer
@@ -78,6 +80,18 @@ func NewJWParallel(ctx *cl.Context, opt bh.Options) *JWParallel {
 
 // Name implements Plan.
 func (p *JWParallel) Name() string { return "jw-parallel" }
+
+// SetObs implements obs.Observable: spans cover the whole pipeline (tree
+// build, walk construction, uploads, kernel, download) and the registry
+// receives the per-step breakdown.
+func (p *JWParallel) SetObs(o *obs.Obs) {
+	p.obs = o
+	p.Opt.Trace = o.Tracer()
+	p.queue.SetObs(o)
+	if p.fallback != nil {
+		p.fallback.SetObs(o)
+	}
+}
 
 // Kind implements Plan.
 func (p *JWParallel) Kind() Kind { return KindBH }
@@ -115,9 +129,12 @@ func (p *JWParallel) Accel(s *body.System) (*RunProfile, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: jw-parallel: empty system")
 	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
+	defer sp.End()
 	if p.SmallNCutoff > 0 && n < p.SmallNCutoff {
 		if p.fallback == nil {
 			p.fallback = NewJParallel(p.ctx, pp.Params{G: p.Opt.G, Eps: p.Opt.Eps})
+			p.fallback.SetObs(p.obs)
 		}
 		prof, err := p.fallback.Accel(s)
 		if err != nil {
@@ -130,6 +147,7 @@ func (p *JWParallel) Accel(s *body.System) (*RunProfile, error) {
 	if err != nil {
 		return nil, err
 	}
+	observeBHData(p.obs, d)
 	numQueues := p.numQueues(d.numWalks)
 	queueWalks, queueDesc := d.balanceQueues(numQueues)
 
@@ -195,12 +213,14 @@ func (p *JWParallel) Accel(s *body.System) (*RunProfile, error) {
 	}
 	d.unpermuteAcc(s, p.hostAcc)
 
-	return &RunProfile{
+	rp := &RunProfile{
 		Plan:         p.Name(),
 		N:            n,
 		Interactions: d.interactions,
 		Flops:        interactionFlops(d.interactions),
 		Profile:      q.Profile(),
 		Launches:     []*gpusim.Result{ev.Result},
-	}, nil
+	}
+	observeRun(p.obs, rp)
+	return rp, nil
 }

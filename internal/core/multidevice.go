@@ -8,6 +8,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 )
 
 // MultiJW extends the paper's jw-parallel plan to several GPUs — the
@@ -40,6 +41,7 @@ type MultiJW struct {
 
 	ctxs []*cl.Context
 	devs []*deviceState
+	obs  *obs.Obs
 }
 
 // deviceState holds one device's queue and buffers.
@@ -67,6 +69,16 @@ func (p *MultiJW) Name() string { return fmt.Sprintf("jw-parallel x%d", p.Device
 // Kind implements Plan.
 func (p *MultiJW) Kind() Kind { return KindBH }
 
+// SetObs implements obs.Observable. Every device queue reports into the
+// same bundle; per-device spans are distinguished by command names.
+func (p *MultiJW) SetObs(o *obs.Obs) {
+	p.obs = o
+	p.Opt.Trace = o.Tracer()
+	for _, ds := range p.devs {
+		ds.queue.SetObs(o)
+	}
+}
+
 func (p *MultiJW) init() error {
 	if p.Devices <= 0 {
 		return fmt.Errorf("core: multi-jw: %d devices", p.Devices)
@@ -80,7 +92,9 @@ func (p *MultiJW) init() error {
 			return err
 		}
 		p.ctxs = append(p.ctxs, ctx)
-		p.devs = append(p.devs, &deviceState{queue: ctx.NewQueue()})
+		ds := &deviceState{queue: ctx.NewQueue()}
+		ds.queue.SetObs(p.obs)
+		p.devs = append(p.devs, ds)
 	}
 	return nil
 }
@@ -194,10 +208,13 @@ func (p *MultiJW) Accel(s *body.System) (*RunProfile, error) {
 	if err := p.init(); err != nil {
 		return nil, err
 	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n).Arg("devices", p.Devices)
+	defer sp.End()
 	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
 	if err != nil {
 		return nil, err
 	}
+	observeBHData(p.obs, d)
 	shards := p.shardWalks(d)
 
 	prof := cl.Profile{HostSeconds: d.treeSeconds + d.listSeconds}
@@ -275,12 +292,14 @@ func (p *MultiJW) Accel(s *body.System) (*RunProfile, error) {
 	prof.KernelSeconds = maxKernel
 	prof.TransferSeconds = maxTransfer
 
-	return &RunProfile{
+	rp := &RunProfile{
 		Plan:         p.Name(),
 		N:            n,
 		Interactions: d.interactions,
 		Flops:        interactionFlops(d.interactions),
 		Profile:      prof,
 		Launches:     launches,
-	}, nil
+	}
+	observeRun(p.obs, rp)
+	return rp, nil
 }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// Walk-list-length buckets: walks on real workloads carry tens to a few
+// thousand interaction-list entries.
+var listLenBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// observeBHData reports the host half of the treecode pipeline (the paper's
+// "host work" column): walk count, per-walk interaction-list lengths, and
+// the modelled tree/list build seconds.
+func observeBHData(o *obs.Obs, d *bhHostData) {
+	if o == nil {
+		return
+	}
+	o.Gauge("bh.walks").Set(float64(d.numWalks))
+	o.Gauge("bh.nodes").Set(float64(d.numNodes))
+	h := o.Histogram("bh.walk.list_len", listLenBuckets)
+	for i := 0; i < d.numWalks; i++ {
+		h.Observe(float64(d.desc[i*bhDescStride+3]))
+	}
+	o.Histogram("bh.tree_build.model_ms", nil).Observe(d.treeSeconds * 1e3)
+	o.Histogram("bh.list_build.model_ms", nil).Observe(d.listSeconds * 1e3)
+}
+
+// observeRun reports one completed force evaluation to the registry: the
+// per-step kernel/total breakdown the paper's tables are made of.
+func observeRun(o *obs.Obs, r *RunProfile) {
+	if o == nil {
+		return
+	}
+	o.Counter("plan.accels").Inc()
+	o.Counter("plan.interactions").Add(r.Interactions)
+	o.Counter("plan.flops").Add(r.Flops)
+	o.Histogram("plan.kernel.ms", nil).Observe(r.Profile.KernelSeconds * 1e3)
+	o.Histogram("plan.total.ms", nil).Observe(r.Profile.TotalSeconds() * 1e3)
+	o.Gauge("plan.last.kernel.gflops").Set(r.KernelGFLOPS())
+	o.Gauge("plan.last.total.gflops").Set(r.TotalGFLOPS())
+}

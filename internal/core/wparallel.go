@@ -7,6 +7,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/pp"
 )
 
@@ -36,6 +37,7 @@ type WParallel struct {
 
 	ctx   *cl.Context
 	queue *cl.Queue
+	obs   *obs.Obs
 
 	bufSrc, bufPos, bufLists, bufDesc, bufAcc *gpusim.Buffer
 	hostAcc                                   []float32
@@ -59,6 +61,13 @@ func (p *WParallel) Name() string { return "w-parallel" }
 // Kind implements Plan.
 func (p *WParallel) Kind() Kind { return KindBH }
 
+// SetObs implements obs.Observable.
+func (p *WParallel) SetObs(o *obs.Obs) {
+	p.obs = o
+	p.Opt.Trace = o.Tracer()
+	p.queue.SetObs(o)
+}
+
 func (p *WParallel) ensure(name string, buf **gpusim.Buffer, n int, isFloat bool) {
 	if *buf != nil && (*buf).Len() >= n && (*buf).IsFloat() == isFloat {
 		return
@@ -77,10 +86,13 @@ func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: w-parallel: empty system")
 	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
+	defer sp.End()
 	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
 	if err != nil {
 		return nil, err
 	}
+	observeBHData(p.obs, d)
 
 	p.ensure("wparallel.src", &p.bufSrc, len(d.srcF4), true)
 	p.ensure("wparallel.posm", &p.bufPos, len(d.posmSorted), true)
@@ -171,12 +183,14 @@ func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
 	}
 	d.unpermuteAcc(s, p.hostAcc)
 
-	return &RunProfile{
+	rp := &RunProfile{
 		Plan:         p.Name(),
 		N:            n,
 		Interactions: d.interactions,
 		Flops:        interactionFlops(d.interactions),
 		Profile:      q.Profile(),
 		Launches:     []*gpusim.Result{ev.Result},
-	}, nil
+	}
+	observeRun(p.obs, rp)
+	return rp, nil
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/ic"
+	"repro/internal/obs"
 	"repro/internal/pp"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	CPU    gpusim.CPUModel
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
+	// Obs, when non-nil, is wired into every plan: the sweep feeds the
+	// metrics registry (kernel-ms, transfer bytes, walk statistics, ...) and
+	// the tracer, so a run can end with a machine-readable snapshot.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns the paper's configuration: N from 1K to 64K over
@@ -138,6 +143,11 @@ func (c Config) newPlans() (map[string]core.Plan, error) {
 			plans[name] = core.NewWParallel(ctx, c.bhOptions())
 		case "jw-parallel":
 			plans[name] = core.NewJWParallel(ctx, c.bhOptions())
+		}
+		if c.Obs != nil {
+			if p, ok := plans[name].(obs.Observable); ok {
+				p.SetObs(c.Obs)
+			}
 		}
 	}
 	return plans, nil

@@ -15,6 +15,18 @@ type sweepJSON struct {
 	Seed   uint64                 `json:"seed"`
 	Sizes  []int                  `json:"sizes"`
 	Plans  map[string][]pointJSON `json:"plans"`
+	// Results flattens the sweep to one record per (plan, N) experiment —
+	// the shape benchmark dashboards and regression checks consume directly.
+	Results []resultJSON `json:"results"`
+}
+
+// resultJSON is one experiment in the flat listing.
+type resultJSON struct {
+	Plan     string  `json:"plan"`
+	N        int     `json:"n"`
+	KernelMS float64 `json:"kernelMs"`
+	TotalMS  float64 `json:"totalMs"`
+	GFLOPS   float64 `json:"gflops"`
 }
 
 type pointJSON struct {
@@ -56,6 +68,18 @@ func (sw *Sweep) WriteJSON(w io.Writer) error {
 			}
 		}
 		doc.Plans[name] = out
+	}
+	// Flat listing in the paper's presentation order, sizes ascending.
+	for _, name := range PlanNames {
+		for _, pt := range sw.Points[name] {
+			doc.Results = append(doc.Results, resultJSON{
+				Plan:     pt.Plan,
+				N:        pt.N,
+				KernelMS: pt.KernelSeconds * 1e3,
+				TotalMS:  pt.TotalSeconds() * 1e3,
+				GFLOPS:   pt.KernelGFLOPS,
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -217,6 +217,20 @@ func TestDivergenceUsesWavefrontMax(t *testing.T) {
 	if g.Flops != 2*(0+1+2+3+4+5+6+7+8+9+10+11+12+13+14+15)/2 {
 		t.Errorf("Flops = %d", g.Flops)
 	}
+	// Divergence factor: wavefront-max total 22 vs convergent
+	// mean-per-lane (120/16) * 2 wavefronts = 15.
+	want := 22.0 / 15.0
+	if got := res.Timing.DivergenceFactor; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("DivergenceFactor = %g, want %g", got, want)
+	}
+}
+
+func TestDivergenceFactorUniformIsOne(t *testing.T) {
+	d := testDev(t)
+	res := launchUniform(t, d, 2, 100, 16, 0, 0)
+	if got := res.Timing.DivergenceFactor; got < 1-1e-9 || got > 1+1e-9 {
+		t.Errorf("uniform kernel DivergenceFactor = %g, want 1", got)
+	}
 }
 
 func TestKernelPanicBecomesError(t *testing.T) {

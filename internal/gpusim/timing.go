@@ -23,6 +23,11 @@ type Timing struct {
 	// ALUBoundGroups / MemBoundGroups / LDSBoundGroups count which resource
 	// dominated each group.
 	ALUBoundGroups, MemBoundGroups, LDSBoundGroups int
+	// DivergenceFactor is the wavefront-max issue count the SIMD hardware
+	// actually pays divided by the mean per-lane issue count (what a
+	// perfectly convergent kernel would pay): 1.0 means no divergence, 2.0
+	// means wavefronts idled half their lanes' issue slots on average.
+	DivergenceFactor float64
 	// Schedule is the per-CU placement of groups (for trace export).
 	Schedule []ScheduledGroup
 }
@@ -115,6 +120,19 @@ func (d *Device) cost(r *Result) Timing {
 		}
 		groupCycles[i] = cycles + float64(g.Barriers)*c.BarrierCycles + c.GroupLaunchCycles
 		bounds[i] = bound
+	}
+
+	var wfMaxTotal, issuedTotal int64
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		wfMaxTotal += g.WFMaxFlops
+		issuedTotal += g.Flops + g.AuxFlops
+	}
+	if issuedTotal > 0 && r.Params.Local > 0 {
+		convergent := float64(issuedTotal) / float64(r.Params.Local) * float64(wfPerGroup)
+		if convergent > 0 {
+			t.DivergenceFactor = float64(wfMaxTotal) / convergent
+		}
 	}
 
 	t.Schedule, t.Cycles = schedule(groupCycles, bounds, c.ComputeUnits)

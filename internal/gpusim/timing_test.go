@@ -1,8 +1,6 @@
 package gpusim
 
 import (
-	"bytes"
-	"encoding/json"
 	"math"
 	"testing"
 )
@@ -211,37 +209,6 @@ func TestALUUtilizationBounded(t *testing.T) {
 	u := res.Timing.ALUUtilization
 	if u <= 0 || u > 1 {
 		t.Errorf("ALU utilization %g out of (0,1]", u)
-	}
-}
-
-func TestWriteTrace(t *testing.T) {
-	d := testDev(t)
-	res := launchUniform(t, d, 4, 100, 16, 0, 0)
-	var buf bytes.Buffer
-	if err := d.WriteTrace(&buf, res); err != nil {
-		t.Fatal(err)
-	}
-	var doc struct {
-		TraceEvents []struct {
-			Name string  `json:"name"`
-			Ph   string  `json:"ph"`
-			Dur  float64 `json:"dur"`
-			TID  int     `json:"tid"`
-		} `json:"traceEvents"`
-	}
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatalf("trace is not valid JSON: %v", err)
-	}
-	if len(doc.TraceEvents) != 4 {
-		t.Fatalf("trace has %d events, want 4", len(doc.TraceEvents))
-	}
-	for _, e := range doc.TraceEvents {
-		if e.Ph != "X" || e.Dur <= 0 {
-			t.Errorf("bad event %+v", e)
-		}
-		if e.TID < 0 || e.TID >= d.Config.ComputeUnits {
-			t.Errorf("event on CU %d", e.TID)
-		}
 	}
 }
 

@@ -1,35 +1,29 @@
 package gpusim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/obs"
 )
 
-// traceEvent is one entry of the Chrome trace-event format ("X" = complete
-// event with explicit duration), viewable in chrome://tracing or Perfetto.
-type traceEvent struct {
-	Name     string         `json:"name"`
-	Category string         `json:"cat"`
-	Phase    string         `json:"ph"`
-	TS       float64        `json:"ts"`  // microseconds
-	Dur      float64        `json:"dur"` // microseconds
-	PID      int            `json:"pid"`
-	TID      int            `json:"tid"`
-	Args     map[string]any `json:"args,omitempty"`
-}
-
-// WriteTrace exports the modelled schedule of a launch as Chrome trace JSON:
-// one track per compute unit, one slice per work-group, annotated with the
-// group's bounding resource and cycle count. It is a debugging aid for the
-// PTPM analyses (an unbalanced schedule or a memory-bound cliff is obvious
-// at a glance).
-func (d *Device) WriteTrace(w io.Writer, results ...*Result) error {
-	var events []traceEvent
-	usPerCycle := 1e6 / d.Config.ClockHz
+// TraceEvents converts the modelled schedules of the given launches into
+// Chrome trace events on the device described by cfg: one trace *process*
+// per Result (pid = basePID+i, named after the kernel), one *thread* per
+// compute unit, one slice per work-group annotated with the group's bounding
+// resource and cycle count. Results are laid out sequentially on the
+// timeline, as an in-order queue would execute them. Metadata
+// (process_name / thread_name) events are included so multi-kernel traces
+// stay legible in Perfetto.
+func TraceEvents(cfg DeviceConfig, basePID int, results ...*Result) []obs.TraceEvent {
+	var events []obs.TraceEvent
+	usPerCycle := 1e6 / cfg.ClockHz
 	var offset float64
-	for _, r := range results {
+	for ri, r := range results {
+		pid := basePID + ri
+		events = append(events, obs.ProcessNameEvent(pid,
+			fmt.Sprintf("device: %s (modelled)", r.Kernel)))
 		sched := append([]ScheduledGroup(nil), r.Timing.Schedule...)
 		sort.Slice(sched, func(a, b int) bool {
 			if sched[a].CU != sched[b].CU {
@@ -37,14 +31,20 @@ func (d *Device) WriteTrace(w io.Writer, results ...*Result) error {
 			}
 			return sched[a].StartCycle < sched[b].StartCycle
 		})
+		cus := map[int]bool{}
 		for _, sg := range sched {
-			events = append(events, traceEvent{
+			if !cus[sg.CU] {
+				cus[sg.CU] = true
+				events = append(events, obs.ThreadNameEvent(pid, sg.CU,
+					fmt.Sprintf("CU %d", sg.CU)))
+			}
+			events = append(events, obs.TraceEvent{
 				Name:     fmt.Sprintf("%s g%d", r.Kernel, sg.Group),
 				Category: sg.BoundedBy,
 				Phase:    "X",
 				TS:       offset + sg.StartCycle*usPerCycle,
 				Dur:      sg.GroupCycles * usPerCycle,
-				PID:      0,
+				PID:      pid,
 				TID:      sg.CU,
 				Args: map[string]any{
 					"bound":  sg.BoundedBy,
@@ -55,12 +55,22 @@ func (d *Device) WriteTrace(w io.Writer, results ...*Result) error {
 		}
 		offset += r.Timing.Cycles * usPerCycle
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"traceEvents":     events,
-		"displayTimeUnit": "ns",
-		"otherData": map[string]any{
-			"device": d.Config.Name,
-		},
-	})
+	return events
+}
+
+// TraceEvents is the method form of the package-level TraceEvents for the
+// device's own configuration.
+func (d *Device) TraceEvents(basePID int, results ...*Result) []obs.TraceEvent {
+	return TraceEvents(d.Config, basePID, results...)
+}
+
+// WriteTrace exports the modelled schedule of one or more launches as Chrome
+// trace JSON, viewable in chrome://tracing or Perfetto. It is a debugging
+// aid for the PTPM analyses (an unbalanced schedule or a memory-bound cliff
+// is obvious at a glance). For the merged host+device view, see
+// cl.WriteMergedTrace.
+func (d *Device) WriteTrace(w io.Writer, results ...*Result) error {
+	return obs.WriteChromeTrace(w, map[string]any{
+		"device": d.Config.Name,
+	}, d.TraceEvents(obs.PIDDeviceBase, results...))
 }

@@ -1,0 +1,61 @@
+package obs
+
+import "testing"
+
+// The disabled path must be free: instrumented code holds nil pointers and
+// every call must reduce to a nil check. These benchmarks pin that floor
+// (~sub-ns/op); the plan-level proof lives in internal/core's obs benchmark.
+
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkNilSpanStartEnd(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		tr.Start("x", "host").End()
+	}
+}
+
+func BenchmarkNilObsFanout(b *testing.B) {
+	var o *Obs
+	for i := 0; i < b.N; i++ {
+		sp := o.Start("step", "host")
+		o.Counter("steps").Inc()
+		o.Gauge("g").Set(1)
+		sp.End()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("h", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Start("x", "host").End()
+	}
+	b.StopTimer()
+	if len(tr.Spans()) != b.N {
+		b.Fatal("span loss")
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1.5)
+	r.Histogram("z", nil).Observe(3)
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d, want 0", v)
+	}
+	if v := r.Gauge("y").Value(); v != 0 {
+		t.Fatalf("nil gauge value = %g, want 0", v)
+	}
+	if s := r.Histogram("z", nil).Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram count = %d, want 0", s.Count)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	r.Publish("obs_test_nil") // must not panic
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps").Add(3)
+	r.Counter("steps").Inc()
+	if got := r.Counter("steps").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	r.Gauge("occupancy").Set(0.75)
+	if got := r.Gauge("occupancy").Value(); got != 0.75 {
+		t.Fatalf("gauge = %g, want 0.75", got)
+	}
+
+	h := r.Histogram("ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("histogram count = %d, want 5", s.Count)
+	}
+	want := []int64{1, 2, 1, 1} // <=1, <=10, <=100, overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Min != 0.5 || s.Max != 500 {
+		t.Fatalf("min/max = %g/%g, want 0.5/500", s.Min, s.Max)
+	}
+	if s.Sum != 560.5 {
+		t.Fatalf("sum = %g, want 560.5", s.Sum)
+	}
+
+	// Same name returns the same metric; first-creation bounds win.
+	if r.Histogram("ms", []float64{7}) != h {
+		t.Fatal("histogram identity lost across lookups")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h", nil).Observe(float64(i))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryJSONAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transfers").Add(2)
+	r.Gauge("gflops").Set(123.4)
+	r.Histogram("kernel_ms", nil).Observe(1.25)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if s.Counters["transfers"] != 2 || s.Gauges["gflops"] != 123.4 {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+	if h := s.Histograms["kernel_ms"]; h.Count != 1 || h.Mean != 1.25 {
+		t.Fatalf("histogram round-trip mismatch: %+v", h)
+	}
+
+	r.Publish("obs_test_registry")
+	r.Publish("obs_test_registry") // second publish must not panic
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published to expvar")
+	}
+	var s2 Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s2); err != nil {
+		t.Fatalf("expvar payload not JSON: %v", err)
+	}
+	if s2.Counters["transfers"] != 2 {
+		t.Fatalf("expvar snapshot mismatch: %+v", s2)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Domain tells which clock a span's timestamps live on. The distinction
+// matters because this repository runs a *simulated* device: host code is
+// measured in real wall-clock time, while queue commands and kernel
+// schedules carry modelled (cost-model) time. The trace exporter keeps the
+// two on separate trace processes so neither timeline lies about the other.
+type Domain int
+
+// Span domains.
+const (
+	// DomainWall timestamps are microseconds of real time since the
+	// tracer's epoch.
+	DomainWall Domain = iota
+	// DomainModelled timestamps are microseconds on the simulated device /
+	// queue timeline.
+	DomainModelled
+)
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	Name     string
+	Category string
+	// Track groups spans onto one horizontal row ("thread") of the trace;
+	// empty means the category is the track.
+	Track   string
+	Domain  Domain
+	StartUS float64 // microseconds since the domain's origin
+	DurUS   float64
+	Args    map[string]any
+}
+
+// Tracer collects spans. It is safe for concurrent use; a nil *Tracer is a
+// no-op, so instrumentation costs a nil check when tracing is disabled.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []SpanRecord
+}
+
+// NewTracer returns a tracer whose wall-clock epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is an open wall-clock span; End records it. A nil *Span (from a nil
+// tracer) ignores every call.
+type Span struct {
+	t     *Tracer
+	rec   SpanRecord
+	start time.Time
+}
+
+// Start opens a wall-clock span. The returned span must be closed with End.
+func (t *Tracer) Start(name, category string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, start: time.Now(), rec: SpanRecord{Name: name, Category: category, Domain: DomainWall}}
+}
+
+// Track assigns the span to a named trace row and returns the span.
+func (s *Span) Track(track string) *Span {
+	if s != nil {
+		s.rec.Track = track
+	}
+	return s
+}
+
+// Arg attaches an attribute and returns the span.
+func (s *Span) Arg(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.rec.Args == nil {
+		s.rec.Args = make(map[string]any, 4)
+	}
+	s.rec.Args[key] = value
+	return s
+}
+
+// End closes the span and records it on the tracer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.rec.StartUS = float64(s.start.Sub(s.t.epoch)) / float64(time.Microsecond)
+	s.rec.DurUS = float64(end.Sub(s.start)) / float64(time.Microsecond)
+	s.t.add(s.rec)
+}
+
+// AddModelled records a span on the modelled timeline (start and duration in
+// *seconds* of simulated time, matching the cl/gpusim cost-model units).
+func (t *Tracer) AddModelled(name, category, track string, startSec, durSec float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(SpanRecord{
+		Name:     name,
+		Category: category,
+		Track:    track,
+		Domain:   DomainModelled,
+		StartUS:  startSec * 1e6,
+		DurUS:    durSec * 1e6,
+		Args:     args,
+	})
+}
+
+func (t *Tracer) add(rec SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of all finished spans in recording order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Reset drops all recorded spans and restarts the wall-clock epoch.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.epoch = time.Now()
+	t.mu.Unlock()
+}

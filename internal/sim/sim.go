@@ -6,10 +6,12 @@ package sim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/bh"
 	"repro/internal/body"
 	"repro/internal/integrate"
+	"repro/internal/obs"
 	"repro/internal/pp"
 )
 
@@ -68,6 +70,19 @@ type Snapshot struct {
 	Potential    float64
 	Total        float64
 	Interactions int64 // cumulative since the start of the run
+	// WallSeconds is the real time spent inside integrator steps since the
+	// start of the run (diagnostics excluded).
+	WallSeconds float64
+	// EngineSeconds is the engine-reported accumulated time — for the GPU
+	// plans, the modelled device pipeline time (see core.Engine). Zero when
+	// the engine does not report timing.
+	EngineSeconds float64
+}
+
+// TimedEngine is optionally implemented by engines that account their own
+// accumulated time (core.Engine reports the modelled device pipeline time).
+type TimedEngine interface {
+	TotalSeconds() float64
 }
 
 // Config configures a run.
@@ -83,6 +98,9 @@ type Config struct {
 	G, Eps float64
 	// Log, when non-nil, receives a one-line report per snapshot.
 	Log io.Writer
+	// Obs, when non-nil, receives a span per integrator step and per-step
+	// timing metrics (sim.step.ms histogram, sim.steps counter).
+	Obs *obs.Obs
 }
 
 // Run advances the system and returns the recorded snapshots.
@@ -102,8 +120,11 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 		return n
 	}
 
+	timed, _ := eng.(TimedEngine)
+
 	var snaps []Snapshot
 	var cumInteractions int64
+	var wallSeconds float64
 	record := func(step int) {
 		k := s.KineticEnergy()
 		p := s.PotentialEnergy(cfg.G, cfg.Eps)
@@ -114,17 +135,28 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 			Potential:    p,
 			Total:        k + p,
 			Interactions: cumInteractions,
+			WallSeconds:  wallSeconds,
+		}
+		if timed != nil {
+			sn.EngineSeconds = timed.TotalSeconds()
 		}
 		snaps = append(snaps, sn)
 		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "step %6d  t=%8.4f  E=%+.6f  K=%.6f  U=%+.6f  interactions=%d\n",
-				sn.Step, sn.Time, sn.Total, sn.Kinetic, sn.Potential, sn.Interactions)
+			fmt.Fprintf(cfg.Log, "step %6d  t=%8.4f  E=%+.6f  K=%.6f  U=%+.6f  interactions=%d  wall=%.3fs  engine=%.4fs\n",
+				sn.Step, sn.Time, sn.Total, sn.Kinetic, sn.Potential, sn.Interactions, sn.WallSeconds, sn.EngineSeconds)
 		}
 	}
 
 	record(0)
 	for step := 1; step <= cfg.Steps; step++ {
+		sp := cfg.Obs.Start("step", "sim").Track(eng.Name()).Arg("step", step)
+		begin := time.Now()
 		cumInteractions += integ.Step(s, cfg.DT, force)
+		stepSeconds := time.Since(begin).Seconds()
+		sp.End()
+		wallSeconds += stepSeconds
+		cfg.Obs.Counter("sim.steps").Inc()
+		cfg.Obs.Histogram("sim.step.ms", obs.DefaultMillisBuckets).Observe(stepSeconds * 1e3)
 		if engineErr != nil {
 			return snaps, fmt.Errorf("sim: engine %s failed at step %d: %w", eng.Name(), step, engineErr)
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/ic"
 	"repro/internal/integrate"
+	"repro/internal/obs"
 	"repro/internal/pp"
 )
 
@@ -102,6 +103,69 @@ func TestRunLogsSnapshots(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "E=") {
 		t.Error("log lines lack energy")
+	}
+}
+
+// timedTestEngine reports a fixed amount of accumulated time per Accel call.
+type timedTestEngine struct {
+	calls int
+}
+
+func (e *timedTestEngine) Name() string { return "timed" }
+func (e *timedTestEngine) Accel(s *body.System) (int64, error) {
+	e.calls++
+	s.ZeroAcc()
+	return int64(s.N()), nil
+}
+func (e *timedTestEngine) TotalSeconds() float64 { return 0.25 * float64(e.calls) }
+
+func TestRunRecordsTiming(t *testing.T) {
+	s := ic.Plummer(16, 5)
+	o := obs.New()
+	var buf bytes.Buffer
+	eng := &timedTestEngine{}
+	snaps, err := Run(s, eng, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 4, SnapshotEvery: 2, G: 1, Eps: 0.05, Log: &buf, Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := snaps[len(snaps)-1]
+	if last.WallSeconds <= 0 {
+		t.Errorf("final WallSeconds = %g, want > 0", last.WallSeconds)
+	}
+	// Priming call + one per step: 5 calls by the final snapshot.
+	if want := 0.25 * 5; last.EngineSeconds != want {
+		t.Errorf("final EngineSeconds = %g, want %g", last.EngineSeconds, want)
+	}
+	if snaps[0].WallSeconds != 0 || snaps[0].EngineSeconds != 0 {
+		t.Errorf("step-0 snapshot timing: wall=%g engine=%g", snaps[0].WallSeconds, snaps[0].EngineSeconds)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].WallSeconds < snaps[i-1].WallSeconds {
+			t.Errorf("WallSeconds not monotone: %g after %g", snaps[i].WallSeconds, snaps[i-1].WallSeconds)
+		}
+	}
+	if !strings.Contains(buf.String(), "wall=") || !strings.Contains(buf.String(), "engine=") {
+		t.Errorf("log lines lack timing:\n%s", buf.String())
+	}
+
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["sim.steps"]; got != 4 {
+		t.Errorf("sim.steps counter = %d, want 4", got)
+	}
+	h, ok := snap.Histograms["sim.step.ms"]
+	if !ok || h.Count != 4 {
+		t.Errorf("sim.step.ms histogram = %+v, want 4 observations", h)
+	}
+	var stepSpans int
+	for _, sp := range o.Trace.Spans() {
+		if sp.Name == "step" && sp.Category == "sim" {
+			stepSpans++
+		}
+	}
+	if stepSpans != 4 {
+		t.Errorf("got %d step spans, want 4", stepSpans)
 	}
 }
 
