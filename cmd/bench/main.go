@@ -1,0 +1,201 @@
+// Command bench runs the tracked performance sweep — the four GPU execution
+// plans over the paper's N range on the simulated HD 5850 — and emits a
+// versioned, machine-readable BENCH_<date>.json (point estimates, repeat
+// variance, and per-point perf reports: critical-path attribution plus
+// roofline/occupancy analysis per kernel).
+//
+// With -baseline it compares the fresh sweep against a committed baseline
+// using per-metric regression thresholds and exits non-zero when any metric
+// worsened past its allowance:
+//
+//	bench -quick -out BENCH_smoke.json            # CI smoke sweep
+//	bench -baseline BENCH_BASELINE.json           # regression gate
+//	bench -write-baseline BENCH_BASELINE.json     # refresh the baseline
+//
+// Exit codes: 0 ok, 1 regression detected, 2 usage / runtime error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "reduced sweep for CI smoke jobs (fewer sizes, fewer repeats)")
+		sizes      = flag.String("sizes", "", "comma-separated body counts (default: the tracked sweep)")
+		repeats    = flag.Int("repeats", 0, "timed repetitions per point (default: sweep default)")
+		plans      = flag.String("plans", "", "comma-separated plans (default: all four)")
+		theta      = flag.Float64("theta", 0.6, "treecode opening angle")
+		eps        = flag.Float64("eps", 0.05, "softening length")
+		seed       = flag.Uint64("seed", 20110511, "workload seed")
+		device     = flag.String("device", "hd5850", "device model: hd5850, hd5870, gtx280, test")
+		clockScale = flag.Float64("clock-scale", 1.0, "multiply the device engine clock (for sensitivity checks)")
+		out        = flag.String("out", "", "output JSON path (default BENCH_<date>.json; '-' for stdout)")
+		baseline   = flag.String("baseline", "", "compare against this baseline JSON; exit 1 on regression")
+		writeBase  = flag.String("write-baseline", "", "also write the report to this path (baseline refresh)")
+		maxRegress = flag.Float64("max-regress", 0.05, "allowed relative worsening per metric vs the baseline")
+		trace      = flag.String("trace", "", "write the merged host+device Chrome trace of the final point here")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "bench: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := perf.DefaultBenchConfig()
+	if *quick {
+		cfg = perf.QuickBenchConfig()
+	}
+	if *sizes != "" {
+		ns, err := parseSizes(*sizes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Sizes = ns
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+	if *plans != "" {
+		cfg.Plans = strings.Split(*plans, ",")
+	}
+	cfg.Theta = float32(*theta)
+	cfg.Eps = float32(*eps)
+	cfg.Seed = *seed
+	dev, err := deviceModel(*device)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *clockScale <= 0 {
+		fatalf("non-positive -clock-scale %g", *clockScale)
+	}
+	dev.ClockHz *= *clockScale
+	cfg.Device = dev
+	// Human-readable output moves to stderr when the JSON goes to stdout.
+	info := os.Stdout
+	if *out == "-" {
+		info = os.Stderr
+	}
+	cfg.Progress = info
+
+	var traceFile *os.File
+	if *trace != "" {
+		traceFile, err = os.Create(*trace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.TraceOut = traceFile
+	}
+
+	fmt.Fprintf(info, "bench: %s, sizes %v, %d repeats\n", dev.Name, cfg.Sizes, cfg.Repeats)
+	rep, err := perf.RunBench(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(info, "wrote merged trace to %s\n", *trace)
+	}
+
+	outPath := *out
+	if outPath == "" {
+		outPath = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	if outPath == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	} else if err := writeReport(outPath, rep); err != nil {
+		fatalf("%v", err)
+	} else {
+		fmt.Fprintf(info, "wrote %s (%d points, schema v%d)\n", outPath, len(rep.Points), rep.SchemaVersion)
+	}
+	if *writeBase != "" {
+		if err := writeReport(*writeBase, rep); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(info, "wrote baseline %s\n", *writeBase)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := perf.ReadBenchReport(*baseline)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	th := perf.Thresholds{
+		KernelMS: *maxRegress, TotalMS: *maxRegress,
+		GFLOPS: *maxRegress, Occupancy: *maxRegress,
+	}
+	regs, warns, err := perf.Compare(base, rep, th)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "bench: warning: %s\n", w)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d regression(s) vs %s:\n", len(regs), *baseline)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(info, "no regressions vs %s (threshold %.0f%%)\n", *baseline, *maxRegress*100)
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func deviceModel(name string) (gpusim.DeviceConfig, error) {
+	switch name {
+	case "hd5850":
+		return gpusim.HD5850(), nil
+	case "hd5870":
+		return gpusim.HD5870(), nil
+	case "gtx280":
+		return gpusim.GTX280Class(), nil
+	case "test":
+		return gpusim.TestDevice(), nil
+	}
+	return gpusim.DeviceConfig{}, fmt.Errorf("unknown device %q (hd5850, hd5870, gtx280, test)", name)
+}
+
+func writeReport(path string, rep *perf.BenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -85,7 +85,8 @@ func main() {
 				os.Exit(1)
 			}
 			f.Close()
-			fmt.Fprintf(os.Stderr, "wrote sweep data to %s\n", *jsonOut)
+			fmt.Fprintf(os.Stderr, "wrote sweep data to %s (schema v%d, device model included)\n",
+				*jsonOut, exp.SweepSchemaVersion)
 		}
 		if *metricsTo != "" {
 			f, err := os.Create(*metricsTo)

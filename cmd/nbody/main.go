@@ -28,6 +28,7 @@ import (
 	"repro/internal/ic"
 	"repro/internal/integrate"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/pp"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -51,11 +52,14 @@ func main() {
 		metricsTo = flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run")
 		traceTo   = flag.String("trace", "", "write a merged host+device Chrome trace to this file after the run")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar (incl. live metrics) on this address, e.g. localhost:6060")
+		perfTo    = flag.String("perf-report", "", "write the perf report (critical path + roofline) of the run to this file (GPU engines only)")
+		tolEnergy = flag.Float64("tol-energy", 0, "watchdog: halt when |E-E0|/|E0| exceeds this (0 disables)")
+		tolMom    = flag.Float64("tol-momentum", 0, "watchdog: halt when ||P-P0|| exceeds this (0 disables)")
 	)
 	flag.Parse()
 
 	var o *obs.Obs
-	if *metricsTo != "" || *traceTo != "" || *debugAddr != "" {
+	if *metricsTo != "" || *traceTo != "" || *debugAddr != "" || *perfTo != "" {
 		o = obs.New()
 	}
 	if *debugAddr != "" {
@@ -108,6 +112,13 @@ func main() {
 			fmt.Println("initial:", sum)
 		}
 	}
+	var dog *perf.Watchdog
+	if *tolEnergy > 0 || *tolMom > 0 {
+		dog = &perf.Watchdog{Tol: perf.Tolerances{
+			MaxEnergyDrift:   *tolEnergy,
+			MaxMomentumDrift: *tolMom,
+		}}
+	}
 	snaps, err := sim.Run(sys, eng, ig, sim.Config{
 		DT:            float32(*dt),
 		Steps:         *steps,
@@ -116,6 +127,7 @@ func main() {
 		Eps:           *eps,
 		Log:           os.Stdout,
 		Obs:           o,
+		Watchdog:      dog,
 	})
 	if err != nil {
 		fail(err)
@@ -149,6 +161,31 @@ func main() {
 		}
 		fmt.Printf("wrote merged host+device trace to %s (open in Perfetto / chrome://tracing)\n", *traceTo)
 	}
+	if *perfTo != "" {
+		if pe == nil || pe.LastProfile == nil {
+			fail(fmt.Errorf("-perf-report requires a GPU engine (got %s)", eng.Name()))
+		}
+		if err := writePerfReport(*perfTo, o, pe); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote perf report to %s\n", *perfTo)
+	}
+}
+
+// writePerfReport builds the critical-path + roofline analysis of the run's
+// final force evaluation (the span bundle covers the whole run, so the stage
+// attribution aggregates every step).
+func writePerfReport(path string, o *obs.Obs, pe *core.Engine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep := perf.BuildPlanReport(gpusim.HD5850(), pe.LastProfile, o.Trace.Spans())
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the registry snapshot as indented JSON.

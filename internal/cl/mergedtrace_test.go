@@ -1,0 +1,131 @@
+package cl
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/obs"
+)
+
+// decodeTrace parses a merged-trace document written by WriteMergedTrace.
+func decodeTrace(t *testing.T, raw []byte) (events []obs.TraceEvent, otherData map[string]any) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, raw)
+	}
+	return doc.TraceEvents, doc.OtherData
+}
+
+func launchOnce(t *testing.T, q *Queue, name string, n int) *gpusim.Result {
+	t.Helper()
+	buf := q.ctx.Device().NewBufferF32(name+".buf", n)
+	ev, err := q.EnqueueNDRange(name, func(wi *gpusim.Item) {
+		wi.LoadGlobalF32(buf, wi.GlobalID()%n)
+		wi.Flops(4)
+	}, gpusim.LaunchParams{Global: n, Local: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev.Result
+}
+
+// TestWriteMergedTraceEmpty locks the degenerate cases: a tracer with no
+// spans and no kernel results must still produce a valid, loadable document
+// with an empty (not null) traceEvents array.
+func TestWriteMergedTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	o := obs.New()
+	if err := WriteMergedTrace(&buf, o.Trace, gpusim.TestDevice()); err != nil {
+		t.Fatalf("WriteMergedTrace(empty): %v", err)
+	}
+	events, other := decodeTrace(t, buf.Bytes())
+	if events == nil {
+		t.Error("traceEvents is null, want []")
+	}
+	if len(events) != 0 {
+		t.Errorf("empty bundle produced %d events", len(events))
+	}
+	if other["device"] != "test-device" {
+		t.Errorf("otherData device = %v", other["device"])
+	}
+}
+
+// TestWriteMergedTraceNilTracer: observers are optional everywhere else in
+// the stack (obs is nil-safe), so the trace writer must accept a nil tracer.
+func TestWriteMergedTraceNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, nil, gpusim.TestDevice()); err != nil {
+		t.Fatalf("WriteMergedTrace(nil tracer): %v", err)
+	}
+	events, _ := decodeTrace(t, buf.Bytes())
+	if len(events) != 0 {
+		t.Errorf("nil tracer produced %d events", len(events))
+	}
+}
+
+// TestWriteMergedTraceMultiKernel checks the merged layout for a realistic
+// bundle: host wall spans and modelled pipeline spans from an observed
+// queue, plus two kernel launches that must land on consecutive device PIDs
+// with process_name metadata naming each kernel.
+func TestWriteMergedTraceMultiKernel(t *testing.T) {
+	ctx := newTestContext(t)
+	o := obs.New()
+	q := ctx.NewQueue()
+	q.SetObs(o)
+
+	sp := o.Start("setup", "host")
+	r1 := launchOnce(t, q, "alpha.force", 32)
+	r2 := launchOnce(t, q, "beta.reduce", 16)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, o.Trace, ctx.Device().Config, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeTrace(t, buf.Bytes())
+
+	var hostSpans, pipelineSpans int
+	devicePIDs := map[int]bool{}
+	processNames := map[int]string{}
+	for _, ev := range events {
+		switch {
+		case ev.Phase == "M" && ev.Name == "process_name" && ev.PID >= obs.PIDDeviceBase:
+			processNames[ev.PID], _ = ev.Args["name"].(string)
+		case ev.Phase != "X":
+		case ev.PID == obs.PIDHost:
+			hostSpans++
+		case ev.PID == obs.PIDPipeline:
+			pipelineSpans++
+		case ev.PID >= obs.PIDDeviceBase:
+			devicePIDs[ev.PID] = true
+		}
+	}
+	if hostSpans == 0 {
+		t.Error("no host wall spans in merged trace")
+	}
+	if pipelineSpans == 0 {
+		t.Error("no modelled pipeline spans in merged trace")
+	}
+	want := map[int]bool{obs.PIDDeviceBase: true, obs.PIDDeviceBase + 1: true}
+	for pid := range want {
+		if !devicePIDs[pid] {
+			t.Errorf("no device slices on pid %d (got %v)", pid, devicePIDs)
+		}
+	}
+	if len(devicePIDs) != 2 {
+		t.Errorf("device slices on %d PIDs, want 2: %v", len(devicePIDs), devicePIDs)
+	}
+	if n := processNames[obs.PIDDeviceBase]; !strings.Contains(n, "alpha.force") {
+		t.Errorf("pid %d process_name = %q, want alpha.force", obs.PIDDeviceBase, n)
+	}
+	if n := processNames[obs.PIDDeviceBase+1]; !strings.Contains(n, "beta.reduce") {
+		t.Errorf("pid %d process_name = %q, want beta.reduce", obs.PIDDeviceBase+1, n)
+	}
+}

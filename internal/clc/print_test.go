@@ -11,7 +11,7 @@ import (
 // repository ships plus small grammar-coverage programs.
 var printerSources = []string{
 	`__kernel void k(__global float* x, int n) {
-	for (int i = 0; i < n; i++) { x[i] = (float)i * 2.0f; }
+	if (get_global_id(0) == 0) { for (int i = 0; i < n; i++) { x[i] = (float)i * 2.0f; } }
 }`,
 	`float helper(float a, float b) { return a < b ? a : b + 1.0f; }
 __kernel void k(__global float* x) {

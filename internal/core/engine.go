@@ -24,6 +24,9 @@ type Engine struct {
 	// LastLaunches holds the device results of the most recent Accel call,
 	// for trace export (cl.WriteMergedTrace) and PTPM reports.
 	LastLaunches []*gpusim.Result
+	// LastProfile is the full run profile of the most recent Accel call,
+	// for perf-report export (perf.BuildPlanReport).
+	LastProfile *RunProfile
 
 	obs *obs.Obs
 }
@@ -56,6 +59,7 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 	e.Interactions += prof.Interactions
 	e.Evaluations++
 	e.LastLaunches = prof.Launches
+	e.LastProfile = prof
 	if e.obs != nil {
 		e.obs.Counter("engine.evaluations").Inc()
 		e.obs.Gauge("engine.model.total.seconds").Set(e.TotalSeconds())

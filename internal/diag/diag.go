@@ -110,13 +110,18 @@ func VelocityDispersion(s *body.System) float64 {
 	return math.Sqrt(sum / m / 3)
 }
 
-// VirialRatio returns -K/U for the softened potential; 0.5 is equilibrium.
-func VirialRatio(s *body.System, g, eps float64) float64 {
-	u := s.PotentialEnergy(g, eps)
+// VirialFromEnergies returns the virial ratio -K/U given the kinetic and
+// potential energies, or 0 when the potential is zero. 0.5 is equilibrium.
+func VirialFromEnergies(k, u float64) float64 {
 	if u == 0 {
 		return 0
 	}
-	return -s.KineticEnergy() / u
+	return -k / u
+}
+
+// VirialRatio returns -K/U for the softened potential; 0.5 is equilibrium.
+func VirialRatio(s *body.System, g, eps float64) float64 {
+	return VirialFromEnergies(s.KineticEnergy(), s.PotentialEnergy(g, eps))
 }
 
 // Summary is a one-call bundle of the standard diagnostics.
@@ -155,9 +160,7 @@ func Summarize(s *body.System, g, eps float64) (Summary, error) {
 		Momentum:        s.Momentum(),
 		AngularMomentum: s.AngularMomentum(),
 	}
-	if u != 0 {
-		sum.VirialRatio = -k / u
-	}
+	sum.VirialRatio = VirialFromEnergies(k, u)
 	return sum, nil
 }
 

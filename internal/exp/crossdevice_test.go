@@ -151,4 +151,20 @@ func TestSweepWriteJSON(t *testing.T) {
 	if doc["device"] == "" || doc["steps"] == float64(0) {
 		t.Error("metadata missing")
 	}
+	if doc["schema_version"] != float64(SweepSchemaVersion) {
+		t.Errorf("schema_version = %v, want %d", doc["schema_version"], SweepSchemaVersion)
+	}
+	dm, ok := doc["device_model"].(map[string]any)
+	if !ok {
+		t.Fatalf("device_model missing: %v", doc["device_model"])
+	}
+	// The full cost-model parameters must ride along so two documents can
+	// be judged comparable without this repo's source.
+	if dm["Name"] != cfg.Device.Name {
+		t.Errorf("device_model name = %v, want %s", dm["Name"], cfg.Device.Name)
+	}
+	if dm["ComputeUnits"] != float64(cfg.Device.ComputeUnits) ||
+		dm["ClockHz"] != cfg.Device.ClockHz {
+		t.Errorf("device_model params missing: %v", dm)
+	}
 }

@@ -3,18 +3,29 @@ package exp
 import (
 	"encoding/json"
 	"io"
+
+	"repro/internal/gpusim"
 )
+
+// SweepSchemaVersion identifies the sweep-export JSON layout. Bump on
+// breaking changes so downstream consumers can refuse mismatched documents.
+// Version 2 added schema_version itself and the full device_model block.
+const SweepSchemaVersion = 2
 
 // sweepJSON is the export schema: self-describing enough for downstream
 // plotting without this repository's code.
 type sweepJSON struct {
-	Device string                 `json:"device"`
-	Steps  int                    `json:"steps"`
-	Theta  float32                `json:"theta"`
-	Eps    float32                `json:"eps"`
-	Seed   uint64                 `json:"seed"`
-	Sizes  []int                  `json:"sizes"`
-	Plans  map[string][]pointJSON `json:"plans"`
+	SchemaVersion int    `json:"schema_version"`
+	Device        string `json:"device"`
+	// DeviceModel embeds the full cost-model parameters the sweep ran
+	// against: two documents are only comparable when these match.
+	DeviceModel gpusim.DeviceConfig    `json:"device_model"`
+	Steps       int                    `json:"steps"`
+	Theta       float32                `json:"theta"`
+	Eps         float32                `json:"eps"`
+	Seed        uint64                 `json:"seed"`
+	Sizes       []int                  `json:"sizes"`
+	Plans       map[string][]pointJSON `json:"plans"`
 	// Results flattens the sweep to one record per (plan, N) experiment —
 	// the shape benchmark dashboards and regression checks consume directly.
 	Results []resultJSON `json:"results"`
@@ -45,13 +56,15 @@ type pointJSON struct {
 // parsing ASCII tables.
 func (sw *Sweep) WriteJSON(w io.Writer) error {
 	doc := sweepJSON{
-		Device: sw.Config.Device.Name,
-		Steps:  sw.Config.Steps,
-		Theta:  sw.Config.Theta,
-		Eps:    sw.Config.Eps,
-		Seed:   sw.Config.Seed,
-		Sizes:  sw.Config.Sizes,
-		Plans:  map[string][]pointJSON{},
+		SchemaVersion: SweepSchemaVersion,
+		Device:        sw.Config.Device.Name,
+		DeviceModel:   sw.Config.Device,
+		Steps:         sw.Config.Steps,
+		Theta:         sw.Config.Theta,
+		Eps:           sw.Config.Eps,
+		Seed:          sw.Config.Seed,
+		Sizes:         sw.Config.Sizes,
+		Plans:         map[string][]pointJSON{},
 	}
 	for name, pts := range sw.Points {
 		out := make([]pointJSON, len(pts))

@@ -284,6 +284,27 @@ func (r *Result) TotalFlops() int64 {
 	return f
 }
 
+// TotalAuxFlops returns the overhead arithmetic (indexing, loop control,
+// reductions) of the launch.
+func (r *Result) TotalAuxFlops() int64 {
+	var f int64
+	for i := range r.Groups {
+		f += r.Groups[i].AuxFlops
+	}
+	return f
+}
+
+// TotalBytes returns the global-memory traffic of the launch, split into
+// coalesced and scattered bytes — the denominator of the launch's arithmetic
+// intensity in a roofline analysis.
+func (r *Result) TotalBytes() (coalesced, scattered int64) {
+	for i := range r.Groups {
+		coalesced += r.Groups[i].BytesCoalesced
+		scattered += r.Groups[i].BytesScattered
+	}
+	return coalesced, scattered
+}
+
 // GFLOPS returns useful flops divided by modelled kernel time.
 func (r *Result) GFLOPS() float64 {
 	if r.Timing.KernelSeconds <= 0 {

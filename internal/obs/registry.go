@@ -97,6 +97,56 @@ type HistogramSnapshot struct {
 	Min    float64   `json:"min"`
 	Max    float64   `json:"max"`
 	Mean   float64   `json:"mean"`
+	// P50/P95/P99 are quantile estimates interpolated from the fixed
+	// buckets (see Quantile); exact only up to bucket resolution.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts by
+// linear interpolation inside the bucket where the cumulative count crosses
+// q*Count. The estimate is clamped to the observed [Min, Max], which also
+// bounds the first and the overflow bucket (whose edges are otherwise open).
+// It returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) < target {
+			cum += float64(c)
+			continue
+		}
+		lo := s.Min
+		if i > 0 && i-1 < len(s.Bounds) {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (target - cum) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return s.Max
 }
 
 // Snapshot copies the histogram's state (zero value for nil).
@@ -116,6 +166,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	if h.n > 0 {
 		s.Mean = h.sum / float64(h.n)
+		s.P50 = s.Quantile(0.50)
+		s.P95 = s.Quantile(0.95)
+		s.P99 = s.Quantile(0.99)
 	}
 	return s
 }

@@ -128,3 +128,77 @@ func TestRegistryJSONAndExpvar(t *testing.T) {
 		t.Fatalf("expvar snapshot mismatch: %+v", s2)
 	}
 }
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 20, 30, 40})
+	// 100 uniform samples over (0, 40]: quantiles should land close to the
+	// uniform-distribution values despite the coarse buckets.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q, want, tol float64
+	}{
+		{0.50, 20, 1.0},
+		{0.95, 38, 1.0},
+		{0.99, 39.6, 1.0},
+		{0.25, 10, 1.0},
+	} {
+		if got := s.Quantile(tc.q); got < tc.want-tc.tol || got > tc.want+tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g +/- %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Errorf("snapshot percentile fields don't match Quantile: %+v", s)
+	}
+
+	// Extremes clamp to the observed range.
+	if got := s.Quantile(0); got != s.Min {
+		t.Errorf("Quantile(0) = %g, want min %g", got, s.Min)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("Quantile(1) = %g, want max %g", got, s.Max)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %g, want 0", got)
+	}
+
+	// A single observation: every quantile is that observation.
+	r := NewRegistry()
+	h := r.Histogram("one", []float64{1, 2, 3})
+	h.Observe(2.5)
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := s.Quantile(q)
+		if got < 2 || got > 2.5 {
+			t.Errorf("single-sample Quantile(%g) = %g, want within (2, 2.5]", q, got)
+		}
+	}
+
+	// All samples in the overflow bucket: estimates stay within [min, max].
+	h2 := r.Histogram("over", []float64{1})
+	h2.Observe(100)
+	h2.Observe(300)
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.5); got < 100 || got > 300 {
+		t.Errorf("overflow-bucket Quantile(0.5) = %g, want within [100, 300]", got)
+	}
+
+	// JSON export carries the percentile fields.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Histograms["over"].P50 == 0 {
+		t.Errorf("p50 missing from JSON export: %+v", snap.Histograms["over"])
+	}
+}

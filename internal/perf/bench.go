@@ -1,0 +1,276 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/bh"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/ic"
+	"repro/internal/obs"
+	"repro/internal/pp"
+)
+
+// BenchSchemaVersion identifies the BENCH_*.json layout; bump on breaking
+// changes so baseline comparisons refuse to diff incompatible files.
+const BenchSchemaVersion = 1
+
+// PlanNames lists the four plans in the paper's presentation order.
+var PlanNames = []string{"i-parallel", "j-parallel", "w-parallel", "jw-parallel"}
+
+// BenchConfig parameterises a benchmark sweep.
+type BenchConfig struct {
+	// Plans to sweep; nil selects all four of PlanNames.
+	Plans []string
+	// Sizes is the body-count sweep (ascending).
+	Sizes []int
+	// Repeats is the number of timed repetitions per (plan, N) point; the
+	// modelled metrics are deterministic, so the repeats exist to estimate
+	// wall-clock variance (and to catch nondeterminism if it ever appears).
+	Repeats int
+	// Theta, Eps and Seed configure the workload/treecode as in the paper.
+	Theta, Eps float32
+	Seed       uint64
+	// Device is the modelled GPU.
+	Device gpusim.DeviceConfig
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+	// TraceOut, when non-nil, receives the merged host+device Chrome trace
+	// of the sweep's final point.
+	TraceOut io.Writer
+}
+
+// DefaultBenchConfig returns the tracked sweep: the lower half of the
+// paper's N range (where the plan regimes differ most) on the HD 5850 model.
+func DefaultBenchConfig() BenchConfig {
+	return BenchConfig{
+		Sizes:   []int{1024, 2048, 4096, 8192, 16384},
+		Repeats: 3,
+		Theta:   0.6,
+		Eps:     0.05,
+		Seed:    20110511,
+		Device:  gpusim.HD5850(),
+	}
+}
+
+// QuickBenchConfig returns a reduced sweep for CI smoke jobs and tests.
+func QuickBenchConfig() BenchConfig {
+	c := DefaultBenchConfig()
+	c.Sizes = []int{512, 1024, 2048}
+	c.Repeats = 2
+	return c
+}
+
+// Stat summarises repeated observations of one metric.
+type Stat struct {
+	Mean    float64 `json:"mean"`
+	Std     float64 `json:"std"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Samples int     `json:"samples"`
+}
+
+// newStat computes the summary of xs (population standard deviation).
+func newStat(xs []float64) Stat {
+	s := Stat{Samples: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// BenchPoint is one (plan, N) measurement: repeat statistics over the
+// modelled times plus the full perf report of the final evaluation.
+type BenchPoint struct {
+	Plan string `json:"plan"`
+	N    int    `json:"n"`
+
+	KernelMS     Stat `json:"kernelMs"`
+	TransferMS   Stat `json:"transferMs"`
+	HostMS       Stat `json:"hostMs"`
+	TotalMS      Stat `json:"totalMs"`
+	WallMS       Stat `json:"wallMs"` // real time per evaluation on this machine
+	KernelGFLOPS Stat `json:"kernelGflops"`
+
+	Report PlanReport `json:"report"`
+}
+
+// BenchReport is the versioned, machine-readable product of a sweep — the
+// BENCH_<date>.json schema.
+type BenchReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at,omitempty"`
+	// DeviceModel pins every cost-model parameter the numbers depend on, so
+	// baselines are comparable (or detectably incomparable) across
+	// device-model changes.
+	DeviceModel gpusim.DeviceConfig `json:"device_model"`
+	Plans       []string            `json:"plans"`
+	Sizes       []int               `json:"sizes"`
+	Repeats     int                 `json:"repeats"`
+	Theta       float32             `json:"theta"`
+	Eps         float32             `json:"eps"`
+	Seed        uint64              `json:"seed"`
+	Points      []BenchPoint        `json:"points"`
+}
+
+// Point returns the point for (plan, n), or nil.
+func (r *BenchReport) Point(plan string, n int) *BenchPoint {
+	for i := range r.Points {
+		if r.Points[i].Plan == plan && r.Points[i].N == n {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// newPlan constructs one of the four plans on a fresh device context.
+func newPlan(name string, dev gpusim.DeviceConfig, theta, eps float32) (core.Plan, error) {
+	ctx, err := cl.NewContext(dev)
+	if err != nil {
+		return nil, err
+	}
+	params := pp.Params{G: 1, Eps: eps}
+	opt := bh.DefaultOptions()
+	opt.Theta = theta
+	opt.Eps = eps
+	switch name {
+	case "i-parallel":
+		return core.NewIParallel(ctx, params), nil
+	case "j-parallel":
+		return core.NewJParallel(ctx, params), nil
+	case "w-parallel":
+		return core.NewWParallel(ctx, opt), nil
+	case "jw-parallel":
+		return core.NewJWParallel(ctx, opt), nil
+	}
+	return nil, fmt.Errorf("perf: unknown plan %q", name)
+}
+
+// RunBench sweeps the configured plans over the configured sizes. Each point
+// runs Repeats force evaluations on a fresh plan instance (first evaluation
+// warm — buffers allocated — before timing starts), collects repeat
+// statistics, and builds the perf report from the final evaluation's span
+// bundle and launch results.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	plans := cfg.Plans
+	if len(plans) == 0 {
+		plans = PlanNames
+	}
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("perf: empty size sweep")
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		DeviceModel:   cfg.Device,
+		Plans:         plans,
+		Sizes:         cfg.Sizes,
+		Repeats:       repeats,
+		Theta:         cfg.Theta,
+		Eps:           cfg.Eps,
+		Seed:          cfg.Seed,
+	}
+
+	var lastObs *obs.Obs
+	var lastLaunches []*gpusim.Result
+	for _, n := range cfg.Sizes {
+		sys := ic.Plummer(n, cfg.Seed)
+		for _, name := range plans {
+			plan, err := newPlan(name, cfg.Device, cfg.Theta, cfg.Eps)
+			if err != nil {
+				return nil, err
+			}
+			o := obs.New()
+			if ob, ok := plan.(obs.Observable); ok {
+				ob.SetObs(o)
+			}
+			// Warm-up: allocate buffers and page in the pipeline so wall
+			// statistics measure steady-state evaluations.
+			if _, err := plan.Accel(sys.Clone()); err != nil {
+				return nil, fmt.Errorf("perf: %s at N=%d: %w", name, n, err)
+			}
+
+			var kernel, transfer, host, total, wall, gflops []float64
+			var prof *core.RunProfile
+			for r := 0; r < repeats; r++ {
+				// The final repeat's span bundle feeds the attribution, so
+				// it must cover exactly one evaluation.
+				if r == repeats-1 {
+					o.Trace.Reset()
+				}
+				in := sys.Clone()
+				begin := time.Now()
+				prof, err = plan.Accel(in)
+				wallSec := time.Since(begin).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("perf: %s at N=%d: %w", name, n, err)
+				}
+				kernel = append(kernel, prof.Profile.KernelSeconds*1e3)
+				transfer = append(transfer, prof.Profile.TransferSeconds*1e3)
+				host = append(host, prof.Profile.HostSeconds*1e3)
+				total = append(total, prof.Profile.TotalSeconds()*1e3)
+				wall = append(wall, wallSec*1e3)
+				gflops = append(gflops, prof.KernelGFLOPS())
+			}
+
+			pt := BenchPoint{
+				Plan:         name,
+				N:            n,
+				KernelMS:     newStat(kernel),
+				TransferMS:   newStat(transfer),
+				HostMS:       newStat(host),
+				TotalMS:      newStat(total),
+				WallMS:       newStat(wall),
+				KernelGFLOPS: newStat(gflops),
+				Report:       BuildPlanReport(cfg.Device, prof, o.Trace.Spans()),
+			}
+			rep.Points = append(rep.Points, pt)
+			lastObs, lastLaunches = o, prof.Launches
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "  %-12s N=%-7d kernel=%8.3fms  %7.1f GFLOPS  occ=%s  %s\n",
+					name, n, pt.KernelMS.Mean, pt.KernelGFLOPS.Mean,
+					occupancySummary(pt.Report), pt.Report.Attribution.CriticalSide+"-bound")
+			}
+		}
+	}
+	if cfg.TraceOut != nil && lastObs != nil {
+		if err := cl.WriteMergedTrace(cfg.TraceOut, lastObs.Trace, cfg.Device, lastLaunches...); err != nil {
+			return nil, fmt.Errorf("perf: merged trace: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// occupancySummary renders the first kernel's occupancy as "8/24".
+func occupancySummary(r PlanReport) string {
+	if len(r.Kernels) == 0 {
+		return "-"
+	}
+	k := r.Kernels[0]
+	return fmt.Sprintf("%d/%d", k.OccupancyWavefronts, k.MaxWavefrontsPerCU)
+}

@@ -1,0 +1,251 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+// benchConfig is a tiny sweep on the real HD 5850 model: small enough for
+// unit tests, real enough that the occupancy regimes show.
+func benchConfig() BenchConfig {
+	cfg := DefaultBenchConfig()
+	cfg.Sizes = []int{256, 1024}
+	cfg.Repeats = 2
+	return cfg
+}
+
+// sharedBench caches the sweep across tests (the harness is the slow part).
+var sharedBench *BenchReport
+
+func getBench(t *testing.T) *BenchReport {
+	t.Helper()
+	if sharedBench == nil {
+		rep, err := RunBench(benchConfig())
+		if err != nil {
+			t.Fatalf("RunBench: %v", err)
+		}
+		sharedBench = rep
+	}
+	return sharedBench
+}
+
+func TestRunBenchStructure(t *testing.T) {
+	rep := getBench(t)
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Errorf("schema version = %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
+	}
+	if len(rep.Points) != len(PlanNames)*2 {
+		t.Fatalf("points = %d, want %d", len(rep.Points), len(PlanNames)*2)
+	}
+	for _, pt := range rep.Points {
+		if pt.KernelMS.Mean <= 0 || pt.KernelMS.Samples != 2 {
+			t.Errorf("%s N=%d: degenerate kernel stat %+v", pt.Plan, pt.N, pt.KernelMS)
+		}
+		if pt.WallMS.Mean <= 0 {
+			t.Errorf("%s N=%d: no wall time", pt.Plan, pt.N)
+		}
+		if len(pt.Report.Kernels) == 0 {
+			t.Errorf("%s N=%d: no kernel reports", pt.Plan, pt.N)
+		}
+		if pt.Report.Attribution.Spans == 0 {
+			t.Errorf("%s N=%d: attribution consumed no spans", pt.Plan, pt.N)
+		}
+		// The modelled kernel time is deterministic across repeats.
+		if pt.KernelMS.Std != 0 {
+			t.Errorf("%s N=%d: modelled kernel time varies across repeats: %+v",
+				pt.Plan, pt.N, pt.KernelMS)
+		}
+	}
+}
+
+// TestBenchOccupancyRegimes asserts the paper's explanation falls out of the
+// reports: at small N i-parallel cannot generate enough work-groups to cover
+// the device (most CUs sit idle), while jw-parallel spreads its walk queues
+// across CUs and keeps the device fuller. DeviceFill is the device-wide
+// resident-wavefront fraction that captures this.
+func TestBenchOccupancyRegimes(t *testing.T) {
+	rep := getBench(t)
+	ipSmall := rep.Point("i-parallel", 256)
+	jwSmall := rep.Point("jw-parallel", 256)
+	ipBig := rep.Point("i-parallel", 1024)
+	if ipSmall == nil || jwSmall == nil || ipBig == nil {
+		t.Fatal("missing points")
+	}
+	ipFill := ipSmall.Report.Kernels[0].DeviceFill
+	jwFill := jwSmall.Report.Kernels[0].DeviceFill
+	if ipFill >= jwFill {
+		t.Errorf("i-parallel device fill %.4f not below jw-parallel %.4f at N=256", ipFill, jwFill)
+	}
+	if ipSmall.Report.Kernels[0].ActiveCUs >= jwSmall.Report.Kernels[0].ActiveCUs {
+		t.Errorf("i-parallel active CUs %d not below jw-parallel %d at N=256",
+			ipSmall.Report.Kernels[0].ActiveCUs, jwSmall.Report.Kernels[0].ActiveCUs)
+	}
+	if ipFill >= ipBig.Report.Kernels[0].DeviceFill {
+		t.Errorf("i-parallel device fill does not recover with N: %.4f at 256 vs %.4f at 1024",
+			ipFill, ipBig.Report.Kernels[0].DeviceFill)
+	}
+	// The BH plans' pipelines include host tree/list work; the PP plans' do
+	// not. Attribution must reflect that.
+	if jwSmall.Report.Attribution.StageSeconds[StageTree] <= 0 {
+		t.Error("jw-parallel attribution missing tree build stage")
+	}
+	if ipSmall.Report.Attribution.StageSeconds[StageTree] != 0 {
+		t.Error("i-parallel attribution has a tree build stage")
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	rep := getBench(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "\"schema_version\": 1") {
+		t.Error("schema_version missing from JSON")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatalf("ReadBenchReport: %v", err)
+	}
+	if got.SchemaVersion != rep.SchemaVersion || len(got.Points) != len(rep.Points) {
+		t.Fatalf("round trip lost data: %d points v%d", len(got.Points), got.SchemaVersion)
+	}
+	if got.DeviceModel != rep.DeviceModel {
+		t.Fatal("device model did not round-trip")
+	}
+}
+
+func TestCompareNoRegressionAgainstSelf(t *testing.T) {
+	rep := getBench(t)
+	regs, warns, err := Compare(rep, rep, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("self-comparison warned: %v", warns)
+	}
+}
+
+// TestCompareDetectsSlowedDevice is the acceptance check: a deliberately
+// slowed device model must fail the baseline comparison.
+func TestCompareDetectsSlowedDevice(t *testing.T) {
+	base := getBench(t)
+	slow := benchConfig()
+	slow.Device.ClockHz *= 0.5 // half the engine clock
+	cur, err := RunBench(slow)
+	if err != nil {
+		t.Fatalf("RunBench(slow): %v", err)
+	}
+	regs, warns, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) == 0 {
+		t.Fatal("halved device clock produced no regressions")
+	}
+	foundKernel := false
+	for _, r := range regs {
+		if r.Metric == "kernel_ms" && r.Change > 0.5 {
+			foundKernel = true
+		}
+		if s := r.String(); !strings.Contains(s, r.Plan) {
+			t.Errorf("Regression.String() = %q", s)
+		}
+	}
+	if !foundKernel {
+		t.Errorf("no kernel_ms regression >50%% in %v", regs)
+	}
+	if len(warns) == 0 {
+		t.Error("device-model change produced no warning")
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	rep := getBench(t)
+	other := *rep
+	other.SchemaVersion = rep.SchemaVersion + 1
+	if _, _, err := Compare(rep, &other, DefaultThresholds()); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestCompareDisjointPointsWarns(t *testing.T) {
+	rep := getBench(t)
+	other := *rep
+	other.Points = []BenchPoint{{Plan: "i-parallel", N: 999999}}
+	_, warns, err := Compare(rep, &other, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) == 0 {
+		t.Fatal("disjoint comparison produced no warning")
+	}
+}
+
+func TestRunBenchValidation(t *testing.T) {
+	cfg := benchConfig()
+	cfg.Sizes = nil
+	if _, err := RunBench(cfg); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	cfg = benchConfig()
+	cfg.Plans = []string{"no-such-plan"}
+	if _, err := RunBench(cfg); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}
+
+func TestRunBenchTraceOut(t *testing.T) {
+	cfg := QuickBenchConfig()
+	cfg.Sizes = []int{256}
+	cfg.Repeats = 1
+	cfg.Plans = []string{"jw-parallel"}
+	var trace bytes.Buffer
+	cfg.TraceOut = &trace
+	if _, err := RunBench(cfg); err != nil {
+		t.Fatalf("RunBench: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+}
+
+func TestStat(t *testing.T) {
+	s := newStat([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Samples != 4 {
+		t.Errorf("stat = %+v", s)
+	}
+	if !near(s.Std, 1.118033988749895) {
+		t.Errorf("std = %g", s.Std)
+	}
+	if z := newStat(nil); z.Samples != 0 || z.Mean != 0 {
+		t.Errorf("empty stat = %+v", z)
+	}
+}
+
+func TestNewPlanCoversAll(t *testing.T) {
+	for _, name := range PlanNames {
+		p, err := newPlan(name, gpusim.TestDevice(), 0.6, 0.05)
+		if err != nil || p == nil {
+			t.Errorf("newPlan(%s): %v", name, err)
+		}
+	}
+}

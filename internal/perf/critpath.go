@@ -1,0 +1,110 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Attribution is the critical-path breakdown of a span bundle: how the
+// modelled pipeline time of one or more force evaluations splits across
+// stages, and which serial chain bounds the step time.
+//
+// Two totals matter. SerialSeconds is the sum of every stage — the paper's
+// "total time" basis (Table 2), where host and device work are serialised.
+// PipelinedSeconds is the steady-state step time under the paper's
+// double-buffering note (4): the CPU builds step t+1's tree and lists while
+// the GPU runs step t's transfers and kernels, so the slower of the two
+// chains sets the pace and *is* the critical path.
+type Attribution struct {
+	// StageSeconds is the modelled time summed per stage.
+	StageSeconds map[Stage]float64 `json:"stageSeconds"`
+	// StageFractions is each stage's share of SerialSeconds.
+	StageFractions map[Stage]float64 `json:"stageFractions"`
+	// Spans is the number of modelled spans consumed.
+	Spans int `json:"spans"`
+
+	HostSeconds   float64 `json:"hostSeconds"`   // tree + list + other host work
+	DeviceSeconds float64 `json:"deviceSeconds"` // uploads + kernels + reduce + downloads
+	SerialSeconds float64 `json:"serialSeconds"`
+	// PipelinedSeconds = max(HostSeconds, DeviceSeconds).
+	PipelinedSeconds float64 `json:"pipelinedSeconds"`
+
+	// CriticalSide is "host" or "device": the chain that bounds the
+	// pipelined step time.
+	CriticalSide string `json:"criticalSide"`
+	// CriticalChain lists the stages of the critical side in execution
+	// order (stages with zero time omitted) — the longest serial chain.
+	CriticalChain []Stage `json:"criticalChain"`
+	// CriticalSeconds is the length of that chain (== PipelinedSeconds).
+	CriticalSeconds float64 `json:"criticalSeconds"`
+
+	// LongestStage is the single most expensive stage overall.
+	LongestStage        Stage   `json:"longestStage"`
+	LongestStageSeconds float64 `json:"longestStageSeconds"`
+}
+
+// Attribute walks a span bundle and attributes every modelled span to a
+// pipeline stage. Wall-clock spans are ignored: they time the *simulation
+// driver* (real host time of this reproduction), while the breakdown the
+// paper's tables make is over the modelled pipeline. Span durations are in
+// microseconds (obs convention); the attribution reports seconds.
+func Attribute(spans []obs.SpanRecord) Attribution {
+	a := Attribution{
+		StageSeconds:   map[Stage]float64{},
+		StageFractions: map[Stage]float64{},
+	}
+	for _, sp := range spans {
+		if sp.Domain != obs.DomainModelled {
+			continue
+		}
+		stage := ClassifyModelled(sp.Name, sp.Category)
+		sec := sp.DurUS / 1e6
+		a.StageSeconds[stage] += sec
+		a.Spans++
+		if stage.HostStage() {
+			a.HostSeconds += sec
+		} else {
+			a.DeviceSeconds += sec
+		}
+	}
+	a.SerialSeconds = a.HostSeconds + a.DeviceSeconds
+	if a.SerialSeconds > 0 {
+		for st, sec := range a.StageSeconds {
+			a.StageFractions[st] = sec / a.SerialSeconds
+		}
+	}
+	a.CriticalSide = "device"
+	a.PipelinedSeconds = a.DeviceSeconds
+	if a.HostSeconds > a.DeviceSeconds {
+		a.CriticalSide = "host"
+		a.PipelinedSeconds = a.HostSeconds
+	}
+	for _, st := range StageOrder {
+		if a.StageSeconds[st] <= 0 {
+			continue
+		}
+		if st.HostStage() == (a.CriticalSide == "host") {
+			a.CriticalChain = append(a.CriticalChain, st)
+		}
+		if a.StageSeconds[st] > a.LongestStageSeconds {
+			a.LongestStage = st
+			a.LongestStageSeconds = a.StageSeconds[st]
+		}
+	}
+	a.CriticalSeconds = a.PipelinedSeconds
+	return a
+}
+
+// String renders a one-line summary for logs and CLI output.
+func (a Attribution) String() string {
+	var parts []string
+	for _, st := range StageOrder {
+		if sec, ok := a.StageSeconds[st]; ok && sec > 0 {
+			parts = append(parts, fmt.Sprintf("%s %.3gms", st, sec*1e3))
+		}
+	}
+	return fmt.Sprintf("critical path: %s side (%.3gms pipelined, %.3gms serial) [%s]",
+		a.CriticalSide, a.PipelinedSeconds*1e3, a.SerialSeconds*1e3, strings.Join(parts, ", "))
+}

@@ -1,0 +1,120 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// modelled builds a modelled-domain span of the given duration in seconds.
+func modelled(name, category string, durSec float64) obs.SpanRecord {
+	return obs.SpanRecord{
+		Name:     name,
+		Category: category,
+		Domain:   obs.DomainModelled,
+		DurUS:    durSec * 1e6,
+	}
+}
+
+func TestClassifyModelled(t *testing.T) {
+	for _, tc := range []struct {
+		name, category string
+		want           Stage
+	}{
+		{"tree build", "host", StageTree},
+		{"walk/list build", "host", StageList},
+		{"sort bodies", "host", StageOtherHost},
+		{"write jwparallel.src", "transfer", StageUpload},
+		{"read jwparallel.acc", "transfer", StageDownload},
+		{"jwparallel.force", "kernel", StageKernel},
+		{"jparallel.reduce", "kernel", StageReduce},
+		{"mystery", "unknown", StageOtherHost},
+	} {
+		if got := ClassifyModelled(tc.name, tc.category); got != tc.want {
+			t.Errorf("ClassifyModelled(%q, %q) = %q, want %q", tc.name, tc.category, got, tc.want)
+		}
+	}
+}
+
+func TestAttributeDeviceBound(t *testing.T) {
+	spans := []obs.SpanRecord{
+		modelled("tree build", "host", 0.001),
+		modelled("walk/list build", "host", 0.002),
+		modelled("write src", "transfer", 0.004),
+		modelled("jwparallel.force", "kernel", 0.010),
+		modelled("read acc", "transfer", 0.003),
+		// Wall-clock spans must be ignored.
+		{Name: "step", Category: "sim", Domain: obs.DomainWall, DurUS: 9e6},
+	}
+	a := Attribute(spans)
+	if a.Spans != 5 {
+		t.Fatalf("spans = %d, want 5", a.Spans)
+	}
+	if got := a.StageSeconds[StageKernel]; got != 0.010 {
+		t.Errorf("kernel seconds = %g, want 0.010", got)
+	}
+	if !near(a.HostSeconds, 0.003) || !near(a.DeviceSeconds, 0.017) {
+		t.Errorf("host/device = %g/%g, want 0.003/0.017", a.HostSeconds, a.DeviceSeconds)
+	}
+	if !near(a.SerialSeconds, 0.020) || !near(a.PipelinedSeconds, 0.017) {
+		t.Errorf("serial/pipelined = %g/%g", a.SerialSeconds, a.PipelinedSeconds)
+	}
+	if a.CriticalSide != "device" {
+		t.Errorf("critical side = %q, want device", a.CriticalSide)
+	}
+	wantChain := []Stage{StageUpload, StageKernel, StageDownload}
+	if len(a.CriticalChain) != len(wantChain) {
+		t.Fatalf("chain = %v, want %v", a.CriticalChain, wantChain)
+	}
+	for i, st := range wantChain {
+		if a.CriticalChain[i] != st {
+			t.Fatalf("chain = %v, want %v", a.CriticalChain, wantChain)
+		}
+	}
+	if a.LongestStage != StageKernel {
+		t.Errorf("longest stage = %q, want kernel", a.LongestStage)
+	}
+	if frac := a.StageFractions[StageKernel]; !near(frac, 0.5) {
+		t.Errorf("kernel fraction = %g, want 0.5", frac)
+	}
+	if s := a.String(); !strings.Contains(s, "device side") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAttributeHostBound(t *testing.T) {
+	spans := []obs.SpanRecord{
+		modelled("tree build", "host", 0.030),
+		modelled("walk/list build", "host", 0.020),
+		modelled("jwparallel.force", "kernel", 0.010),
+	}
+	a := Attribute(spans)
+	if a.CriticalSide != "host" {
+		t.Fatalf("critical side = %q, want host", a.CriticalSide)
+	}
+	if !near(a.PipelinedSeconds, 0.050) {
+		t.Errorf("pipelined = %g, want 0.050", a.PipelinedSeconds)
+	}
+	if len(a.CriticalChain) != 2 || a.CriticalChain[0] != StageTree || a.CriticalChain[1] != StageList {
+		t.Errorf("chain = %v, want [tree_build list_build]", a.CriticalChain)
+	}
+	if a.LongestStage != StageTree {
+		t.Errorf("longest = %q, want tree_build", a.LongestStage)
+	}
+}
+
+func TestAttributeEmpty(t *testing.T) {
+	a := Attribute(nil)
+	if a.Spans != 0 || a.SerialSeconds != 0 || len(a.CriticalChain) != 0 {
+		t.Errorf("empty attribution not empty: %+v", a)
+	}
+}
+
+func near(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12 || d < 1e-9*want
+}

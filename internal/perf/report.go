@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/obs"
+)
+
+// PlanReport is the full perf analysis of one (plan, N) force evaluation:
+// the modelled time split with its critical path, and a roofline/occupancy
+// report per kernel launch. Every field is derived from modelled quantities,
+// so reports are deterministic and diffable across machines.
+type PlanReport struct {
+	Plan string `json:"plan"`
+	N    int    `json:"n"`
+
+	Interactions int64 `json:"interactions"`
+	Flops        int64 `json:"flops"`
+
+	KernelSeconds   float64 `json:"kernelSeconds"`
+	TransferSeconds float64 `json:"transferSeconds"`
+	HostSeconds     float64 `json:"hostSeconds"`
+	KernelGFLOPS    float64 `json:"kernelGflops"`
+	TotalGFLOPS     float64 `json:"totalGflops"`
+
+	Attribution Attribution    `json:"attribution"`
+	Kernels     []KernelReport `json:"kernels"`
+}
+
+// BuildPlanReport assembles the report for one evaluation from the plan's
+// run profile, the device model it ran on, and the span bundle recorded
+// during that evaluation (pass the tracer's spans; wall-clock spans are
+// ignored by the attribution).
+func BuildPlanReport(cfg gpusim.DeviceConfig, prof *core.RunProfile, spans []obs.SpanRecord) PlanReport {
+	r := PlanReport{
+		Plan:            prof.Plan,
+		N:               prof.N,
+		Interactions:    prof.Interactions,
+		Flops:           prof.Flops,
+		KernelSeconds:   prof.Profile.KernelSeconds,
+		TransferSeconds: prof.Profile.TransferSeconds,
+		HostSeconds:     prof.Profile.HostSeconds,
+		KernelGFLOPS:    prof.KernelGFLOPS(),
+		TotalGFLOPS:     prof.TotalGFLOPS(),
+		Attribution:     Attribute(spans),
+	}
+	for _, launch := range prof.Launches {
+		if launch != nil {
+			r.Kernels = append(r.Kernels, Roofline(cfg, launch))
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r PlanReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

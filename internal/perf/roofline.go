@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// KernelReport places one kernel launch on its device's roofline and records
+// the occupancy and divergence the cost model charged it — the numbers behind
+// the paper's Figure 4/5 explanation of why each plan wins in its regime.
+type KernelReport struct {
+	Kernel        string  `json:"kernel"`
+	Groups        int     `json:"groups"`
+	LocalSize     int     `json:"localSize"`
+	KernelSeconds float64 `json:"kernelSeconds"`
+
+	// Counted work.
+	Flops          int64 `json:"flops"`    // useful arithmetic
+	AuxFlops       int64 `json:"auxFlops"` // indexing / loop / reduction overhead
+	BytesCoalesced int64 `json:"bytesCoalesced"`
+	BytesScattered int64 `json:"bytesScattered"`
+
+	// Roofline coordinates. ArithmeticIntensity is useful flops per byte of
+	// global traffic; the memory roof is intensity x bandwidth; the roofline
+	// limit is min(compute roof, memory roof) at this intensity.
+	ArithmeticIntensity float64 `json:"arithmeticIntensity"`
+	AchievedGFLOPS      float64 `json:"achievedGflops"`
+	PeakGFLOPS          float64 `json:"peakGflops"`
+	MemoryRoofGFLOPS    float64 `json:"memoryRoofGflops"`
+	RooflineGFLOPS      float64 `json:"rooflineGflops"`
+	// RooflineBound is "compute" when the compute roof is the binding limit
+	// at this intensity, "memory" otherwise.
+	RooflineBound string `json:"rooflineBound"`
+	// RooflineEfficiency is achieved GFLOPS over the roofline limit: how
+	// close the launch came to the best this device allows at its intensity.
+	RooflineEfficiency float64 `json:"rooflineEfficiency"`
+
+	// Occupancy and divergence, from the cost model's schedule.
+	// OccupancyWavefronts is resident wavefronts per *active* CU;
+	// ActiveCUs counts CUs the schedule actually placed work on. DeviceFill
+	// is the device-wide view — resident wavefronts across active CUs over
+	// the device's total capacity — which is the number that collapses when
+	// a plan cannot generate enough work-groups (the paper's small-N
+	// starvation of i-parallel).
+	OccupancyWavefronts int     `json:"occupancyWavefronts"`
+	MaxWavefrontsPerCU  int     `json:"maxWavefrontsPerCu"`
+	Occupancy           float64 `json:"occupancy"` // resident / max, per active CU
+	ActiveCUs           int     `json:"activeCus"`
+	ComputeUnits        int     `json:"computeUnits"`
+	DeviceFill          float64 `json:"deviceFill"`
+	DivergenceFactor    float64 `json:"divergenceFactor"`
+	ALUUtilization      float64 `json:"aluUtilization"`
+	ALUBoundGroups      int     `json:"aluBoundGroups"`
+	MemBoundGroups      int     `json:"memBoundGroups"`
+	LDSBoundGroups      int     `json:"ldsBoundGroups"`
+}
+
+// Roofline builds the report for one launch on the given device model.
+func Roofline(cfg gpusim.DeviceConfig, r *gpusim.Result) KernelReport {
+	k := KernelReport{
+		Kernel:              r.Kernel,
+		Groups:              len(r.Groups),
+		LocalSize:           r.Params.Local,
+		KernelSeconds:       r.Timing.KernelSeconds,
+		Flops:               r.TotalFlops(),
+		AuxFlops:            r.TotalAuxFlops(),
+		PeakGFLOPS:          cfg.PeakGFLOPS(),
+		OccupancyWavefronts: r.Timing.OccupancyWavefronts,
+		MaxWavefrontsPerCU:  cfg.MaxWavefrontsPerCU,
+		DivergenceFactor:    r.Timing.DivergenceFactor,
+		ALUUtilization:      r.Timing.ALUUtilization,
+		ALUBoundGroups:      r.Timing.ALUBoundGroups,
+		MemBoundGroups:      r.Timing.MemBoundGroups,
+		LDSBoundGroups:      r.Timing.LDSBoundGroups,
+	}
+	k.BytesCoalesced, k.BytesScattered = r.TotalBytes()
+	k.ComputeUnits = cfg.ComputeUnits
+	seen := map[int]bool{}
+	for _, g := range r.Timing.Schedule {
+		seen[g.CU] = true
+	}
+	k.ActiveCUs = len(seen)
+	if cfg.MaxWavefrontsPerCU > 0 {
+		k.Occupancy = float64(k.OccupancyWavefronts) / float64(cfg.MaxWavefrontsPerCU)
+		if cfg.ComputeUnits > 0 {
+			k.DeviceFill = float64(k.OccupancyWavefronts*k.ActiveCUs) /
+				float64(cfg.MaxWavefrontsPerCU*cfg.ComputeUnits)
+		}
+	}
+	if bytes := k.BytesCoalesced + k.BytesScattered; bytes > 0 {
+		k.ArithmeticIntensity = float64(k.Flops) / float64(bytes)
+	}
+	if k.KernelSeconds > 0 {
+		k.AchievedGFLOPS = float64(k.Flops) / k.KernelSeconds / 1e9
+	}
+	k.MemoryRoofGFLOPS = k.ArithmeticIntensity * cfg.MemBandwidth / 1e9
+	k.RooflineGFLOPS = k.PeakGFLOPS
+	k.RooflineBound = "compute"
+	if k.MemoryRoofGFLOPS > 0 && k.MemoryRoofGFLOPS < k.PeakGFLOPS {
+		k.RooflineGFLOPS = k.MemoryRoofGFLOPS
+		k.RooflineBound = "memory"
+	}
+	if k.RooflineGFLOPS > 0 {
+		k.RooflineEfficiency = k.AchievedGFLOPS / k.RooflineGFLOPS
+	}
+	return k
+}
+
+// String renders a one-line summary.
+func (k KernelReport) String() string {
+	return fmt.Sprintf(
+		"%s: %.1f GFLOPS (%.0f%% of %.0f GFLOPS %s roof, AI %.1f flops/B), occupancy %d/%d wf, divergence %.2f",
+		k.Kernel, k.AchievedGFLOPS, k.RooflineEfficiency*100, k.RooflineGFLOPS,
+		k.RooflineBound, k.ArithmeticIntensity, k.OccupancyWavefronts,
+		k.MaxWavefrontsPerCU, k.DivergenceFactor)
+}

@@ -10,9 +10,12 @@ import (
 
 	"repro/internal/bh"
 	"repro/internal/body"
+	"repro/internal/diag"
 	"repro/internal/integrate"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/pp"
+	"repro/internal/vec"
 )
 
 // Engine computes accelerations for a system. Implementations include the
@@ -69,7 +72,9 @@ type Snapshot struct {
 	Kinetic      float64
 	Potential    float64
 	Total        float64
-	Interactions int64 // cumulative since the start of the run
+	Momentum     vec.D3  // total linear momentum
+	VirialRatio  float64 // -K/U; 0.5 is equilibrium
+	Interactions int64   // cumulative since the start of the run
 	// WallSeconds is the real time spent inside integrator steps since the
 	// start of the run (diagnostics excluded).
 	WallSeconds float64
@@ -98,9 +103,17 @@ type Config struct {
 	G, Eps float64
 	// Log, when non-nil, receives a one-line report per snapshot.
 	Log io.Writer
-	// Obs, when non-nil, receives a span per integrator step and per-step
-	// timing metrics (sim.step.ms histogram, sim.steps counter).
+	// Obs, when non-nil, receives a span per integrator step, per-step
+	// timing metrics (sim.step.ms histogram, sim.steps counter), and
+	// per-snapshot conservation gauges (sim.energy_drift,
+	// sim.momentum_norm, sim.virial_ratio).
 	Obs *obs.Obs
+	// Watchdog, when non-nil, checks conservation at every snapshot and
+	// aborts the run (returning the snapshots recorded so far alongside the
+	// *perf.Violation) once a tolerance is exceeded. Snapshots are the
+	// check cadence: set SnapshotEvery to bound how far a broken run can
+	// proceed.
+	Watchdog *perf.Watchdog
 }
 
 // Run advances the system and returns the recorded snapshots.
@@ -125,7 +138,9 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 	var snaps []Snapshot
 	var cumInteractions int64
 	var wallSeconds float64
-	record := func(step int) {
+	var e0 float64
+	var p0 vec.D3
+	record := func(step int) error {
 		k := s.KineticEnergy()
 		p := s.PotentialEnergy(cfg.G, cfg.Eps)
 		sn := Snapshot{
@@ -134,20 +149,46 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 			Kinetic:      k,
 			Potential:    p,
 			Total:        k + p,
+			Momentum:     s.Momentum(),
+			VirialRatio:  diag.VirialFromEnergies(k, p),
 			Interactions: cumInteractions,
 			WallSeconds:  wallSeconds,
 		}
 		if timed != nil {
 			sn.EngineSeconds = timed.TotalSeconds()
 		}
+		if len(snaps) == 0 {
+			e0 = sn.Total
+			p0 = sn.Momentum
+		}
+		den := e0
+		if den < 0 {
+			den = -den
+		}
+		if den == 0 {
+			den = 1
+		}
+		drift := sn.Total - e0
+		if drift < 0 {
+			drift = -drift
+		}
+		cfg.Obs.Gauge("sim.energy_drift").Set(drift / den)
+		cfg.Obs.Gauge("sim.momentum_norm").Set(sn.Momentum.Sub(p0).Norm())
+		cfg.Obs.Gauge("sim.virial_ratio").Set(sn.VirialRatio)
 		snaps = append(snaps, sn)
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "step %6d  t=%8.4f  E=%+.6f  K=%.6f  U=%+.6f  interactions=%d  wall=%.3fs  engine=%.4fs\n",
 				sn.Step, sn.Time, sn.Total, sn.Kinetic, sn.Potential, sn.Interactions, sn.WallSeconds, sn.EngineSeconds)
 		}
+		if err := cfg.Watchdog.Check(step, k, p, sn.Momentum); err != nil {
+			return fmt.Errorf("sim: %s halted: %w", eng.Name(), err)
+		}
+		return nil
 	}
 
-	record(0)
+	if err := record(0); err != nil {
+		return snaps, err
+	}
 	for step := 1; step <= cfg.Steps; step++ {
 		sp := cfg.Obs.Start("step", "sim").Track(eng.Name()).Arg("step", step)
 		begin := time.Now()
@@ -161,7 +202,9 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 			return snaps, fmt.Errorf("sim: engine %s failed at step %d: %w", eng.Name(), step, engineErr)
 		}
 		if (cfg.SnapshotEvery > 0 && step%cfg.SnapshotEvery == 0) || step == cfg.Steps {
-			record(step)
+			if err := record(step); err != nil {
+				return snaps, err
+			}
 		}
 	}
 	return snaps, nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ic"
 	"repro/internal/integrate"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/pp"
 )
 
@@ -220,5 +221,69 @@ func TestTreeEngineName(t *testing.T) {
 	}
 	if _, err := eng.Accel(body.NewSystem(0)); err == nil {
 		t.Error("empty system accepted by tree engine")
+	}
+}
+
+func TestRunRecordsConservationGauges(t *testing.T) {
+	s := ic.Plummer(64, 3)
+	o := obs.New()
+	snaps, err := Run(s, &DirectEngine{Params: pp.DefaultParams()}, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 4, SnapshotEvery: 2, G: 1, Eps: 0.05, Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := snaps[len(snaps)-1]
+	wantDrift := last.Total - snaps[0].Total
+	if wantDrift < 0 {
+		wantDrift = -wantDrift
+	}
+	wantDrift /= -snaps[0].Total // bound system: E0 < 0
+	if got := o.Gauge("sim.energy_drift").Value(); got != wantDrift {
+		t.Errorf("sim.energy_drift gauge = %g, want %g", got, wantDrift)
+	}
+	wantMom := last.Momentum.Sub(snaps[0].Momentum).Norm()
+	if got := o.Gauge("sim.momentum_norm").Value(); got != wantMom {
+		t.Errorf("sim.momentum_norm gauge = %g, want %g", got, wantMom)
+	}
+	if got := o.Gauge("sim.virial_ratio").Value(); got != last.VirialRatio {
+		t.Errorf("sim.virial_ratio gauge = %g, want %g", got, last.VirialRatio)
+	}
+	// A bound Plummer sphere sits near virial equilibrium.
+	if last.VirialRatio < 0.2 || last.VirialRatio > 0.8 {
+		t.Errorf("virial ratio %g far from equilibrium", last.VirialRatio)
+	}
+}
+
+func TestRunWatchdogHaltsBrokenRun(t *testing.T) {
+	s := ic.Plummer(32, 5)
+	// An absurdly large timestep destroys energy conservation within a few
+	// steps; the watchdog must halt the run and surface a *perf.Violation.
+	w := &perf.Watchdog{Tol: perf.Tolerances{MaxEnergyDrift: 1e-4}}
+	snaps, err := Run(s, &DirectEngine{Params: pp.DefaultParams()}, &integrate.Leapfrog{}, Config{
+		DT: 5, Steps: 50, SnapshotEvery: 1, G: 1, Eps: 0.05, Watchdog: w,
+	})
+	if err == nil {
+		t.Fatal("watchdog did not halt a dt=5 run within 50 steps")
+	}
+	var v *perf.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *perf.Violation", err)
+	}
+	if len(snaps) == 0 || len(snaps) > 51 {
+		t.Errorf("got %d snapshots with the halt", len(snaps))
+	}
+	if !strings.Contains(err.Error(), "halted") {
+		t.Errorf("err = %q", err)
+	}
+}
+
+func TestRunWatchdogPassesHealthyRun(t *testing.T) {
+	s := ic.Plummer(64, 6)
+	w := &perf.Watchdog{Tol: perf.DefaultTolerances()}
+	if _, err := Run(s, &DirectEngine{Params: pp.DefaultParams()}, &integrate.Leapfrog{}, Config{
+		DT: 0.01, Steps: 10, SnapshotEvery: 5, G: 1, Eps: 0.05, Watchdog: w,
+	}); err != nil {
+		t.Fatalf("healthy run halted: %v", err)
 	}
 }
