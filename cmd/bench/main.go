@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/perf"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		writeBase  = flag.String("write-baseline", "", "also write the report to this path (baseline refresh)")
 		maxRegress = flag.Float64("max-regress", 0.05, "allowed relative worsening per metric vs the baseline")
 		trace      = flag.String("trace", "", "write the merged host+device Chrome trace of the final point here")
+		pipeMode   = flag.String("pipeline", "serial", "cross-evaluation execution: serial or overlap (host work hides behind device work; overlap must never be slower than serial — checked per point)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -80,6 +82,10 @@ func main() {
 	}
 	dev.ClockHz *= *clockScale
 	cfg.Device = dev
+	cfg.Pipeline, err = pipeline.ParseMode(*pipeMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	// Human-readable output moves to stderr when the JSON goes to stdout.
 	info := os.Stdout
 	if *out == "-" {
@@ -96,12 +102,21 @@ func main() {
 		cfg.TraceOut = traceFile
 	}
 
-	fmt.Fprintf(info, "bench: %s, sizes %v, %d repeats\n", dev.Name, cfg.Sizes, cfg.Repeats)
+	fmt.Fprintf(info, "bench: %s, sizes %v, %d repeats, pipeline %s\n",
+		dev.Name, cfg.Sizes, cfg.Repeats, cfg.Pipeline)
 	rep, err := perf.RunBench(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	// The pipelined time must never exceed the serial total — in serial mode
+	// the two coincide, in overlap mode the executed timeline can only
+	// shorten. A point violating this means the accounting is broken, which
+	// is a test failure, not a measurement.
+	if err := perf.VerifyOverlapBeatsSerial(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			fatalf("%v", err)

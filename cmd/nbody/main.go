@@ -29,6 +29,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -55,8 +56,15 @@ func main() {
 		perfTo    = flag.String("perf-report", "", "write the perf report (critical path + roofline) of the run to this file (GPU engines only)")
 		tolEnergy = flag.Float64("tol-energy", 0, "watchdog: halt when |E-E0|/|E0| exceeds this (0 disables)")
 		tolMom    = flag.Float64("tol-momentum", 0, "watchdog: halt when ||P-P0|| exceeds this (0 disables)")
+		pipeMode  = flag.String("pipeline", "serial", "cross-step execution on the modelled timeline: serial (steps laid end to end) or overlap (step t+1's host tree/list build hides behind step t's device work; GPU engines only)")
+		pipeWin   = flag.Int("pipeline-window", 8, "steps per pipeline window under -pipeline=overlap (snapshots always join the pipeline)")
 	)
 	flag.Parse()
+
+	mode, err := pipeline.ParseMode(*pipeMode)
+	if err != nil {
+		fail(err)
+	}
 
 	var o *obs.Obs
 	if *metricsTo != "" || *traceTo != "" || *debugAddr != "" || *perfTo != "" {
@@ -99,14 +107,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if mode == pipeline.Overlap {
+		if pe == nil {
+			fail(fmt.Errorf("-pipeline=overlap requires a GPU engine (got %s)", eng.Name()))
+		}
+		pe.Mode = mode
+	}
 
 	ig, err := integrate.New(*integr)
 	if err != nil {
 		fail(err)
 	}
 
-	fmt.Printf("nbody: %d bodies (%s), engine %s, integrator %s, dt=%g, %d steps\n",
-		*n, *workload, eng.Name(), ig.Name(), *dt, *steps)
+	fmt.Printf("nbody: %d bodies (%s), engine %s, integrator %s, dt=%g, %d steps, pipeline %s\n",
+		*n, *workload, eng.Name(), ig.Name(), *dt, *steps, mode)
 	if *showDiag {
 		if sum, err := diag.Summarize(sys, 1, *eps); err == nil {
 			fmt.Println("initial:", sum)
@@ -120,14 +134,15 @@ func main() {
 		}}
 	}
 	snaps, err := sim.Run(sys, eng, ig, sim.Config{
-		DT:            float32(*dt),
-		Steps:         *steps,
-		SnapshotEvery: *every,
-		G:             1,
-		Eps:           *eps,
-		Log:           os.Stdout,
-		Obs:           o,
-		Watchdog:      dog,
+		DT:             float32(*dt),
+		Steps:          *steps,
+		SnapshotEvery:  *every,
+		G:              1,
+		Eps:            *eps,
+		Log:            os.Stdout,
+		Obs:            o,
+		Watchdog:       dog,
+		PipelineWindow: windowFor(mode, *pipeWin),
 	})
 	if err != nil {
 		fail(err)
@@ -148,6 +163,14 @@ func main() {
 	if pe != nil {
 		fmt.Printf("modelled device time: kernel %.4gs, total %.4gs (%.1f GFLOPS sustained)\n",
 			pe.KernelSeconds, pe.TotalSeconds(), pe.SustainedGFLOPS())
+		if pe.Mode == pipeline.Overlap {
+			speedup := 1.0
+			if ex := pe.ExecutedSeconds(); ex > 0 {
+				speedup = pe.TotalSeconds() / ex
+			}
+			fmt.Printf("executed (overlapped) time: %.4gs — %.2fx vs serial (%.1f GFLOPS pipelined)\n",
+				pe.ExecutedSeconds(), speedup, pe.SustainedPipelinedGFLOPS())
+		}
 	}
 	if *metricsTo != "" {
 		if err := writeMetrics(*metricsTo, o); err != nil {
@@ -271,6 +294,18 @@ func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs) (sim.
 	pe := core.NewEngine(plan)
 	pe.SetObs(o)
 	return pe, pe, nil
+}
+
+// windowFor returns the sim pipeline window: overlap batches steps, serial
+// keeps every step to completion (window disabled).
+func windowFor(mode pipeline.Mode, win int) int {
+	if mode != pipeline.Overlap {
+		return 0
+	}
+	if win < 2 {
+		win = 2
+	}
+	return win
 }
 
 func fail(err error) {

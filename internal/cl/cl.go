@@ -60,18 +60,36 @@ type Event struct {
 // Seconds returns the event duration.
 func (e *Event) Seconds() float64 { return e.End - e.Start }
 
-// Queue is an in-order command queue with profiling enabled. Commands
-// execute synchronously (functionally); their *modelled* durations advance
-// the simulated timeline.
+// DoneAt reports whether the event has completed by simulated time t.
+// Completion is a pure timeline comparison: the functional work already
+// happened at enqueue, so an event is "in flight" only in the modelled
+// sense, which keeps asynchronous schedules deterministic.
+func (e *Event) DoneAt(t float64) bool { return t >= e.End }
+
+// Queue is a command queue with profiling enabled. Commands execute
+// synchronously (functionally); their *modelled* durations advance the
+// simulated timeline. By default the queue is in-order: each command starts
+// when the previous one ends. SetOutOfOrder switches to dependency-driven
+// scheduling, where a command starts as soon as the events it waits on have
+// completed — the OpenCL out-of-order queue, modelled deterministically.
 type Queue struct {
-	ctx    *Context
-	now    float64
-	events []*Event
-	obs    *obs.Obs
+	ctx        *Context
+	now        float64
+	events     []*Event
+	obs        *obs.Obs
+	outOfOrder bool
 }
 
-// NewQueue creates a command queue on the context.
+// NewQueue creates an in-order command queue on the context.
 func (c *Context) NewQueue() *Queue { return &Queue{ctx: c} }
+
+// SetOutOfOrder selects dependency-driven scheduling: an enqueued command
+// starts at the latest completion time of its wait-list events (or at the
+// timeline origin when it has none) instead of after the previously
+// enqueued command. Independent commands therefore overlap on the modelled
+// timeline. Functional execution order is still the enqueue order, so
+// callers must express every data dependency through events.
+func (q *Queue) SetOutOfOrder(enabled bool) { q.outOfOrder = enabled }
 
 // SetObs attaches a telemetry bundle: every subsequent command emits a
 // modelled-timeline span and updates the registry's cl.* metrics. A nil
@@ -79,9 +97,20 @@ func (c *Context) NewQueue() *Queue { return &Queue{ctx: c} }
 // check per command.
 func (q *Queue) SetObs(o *obs.Obs) { q.obs = o }
 
-func (q *Queue) push(name string, kind EventKind, dur float64, bytes int64, res *gpusim.Result) *Event {
-	e := &Event{Name: name, Kind: kind, Start: q.now, End: q.now + dur, Bytes: bytes, Result: res}
-	q.now = e.End
+func (q *Queue) push(name string, kind EventKind, dur float64, bytes int64, res *gpusim.Result, deps []*Event) *Event {
+	var start float64
+	if !q.outOfOrder {
+		start = q.now
+	}
+	for _, d := range deps {
+		if d != nil && d.End > start {
+			start = d.End
+		}
+	}
+	e := &Event{Name: name, Kind: kind, Start: start, End: start + dur, Bytes: bytes, Result: res}
+	if e.End > q.now {
+		q.now = e.End
+	}
 	q.events = append(q.events, e)
 	if q.obs != nil {
 		q.observe(e)
@@ -126,59 +155,87 @@ func (q *Queue) observe(e *Event) {
 }
 
 // EnqueueWriteF32 copies host data into a device buffer, charging a PCIe
-// transfer.
-func (q *Queue) EnqueueWriteF32(b *gpusim.Buffer, src []float32) (*Event, error) {
+// transfer. The optional deps are a wait list: the transfer starts only
+// once every listed event has completed on the modelled timeline.
+func (q *Queue) EnqueueWriteF32(b *gpusim.Buffer, src []float32, deps ...*Event) (*Event, error) {
 	dst := b.HostF32()
 	if len(src) > len(dst) {
 		return nil, fmt.Errorf("cl: write of %d elements into %q of %d", len(src), b.Name(), len(dst))
 	}
 	copy(dst, src)
 	bytes := int64(len(src)) * 4
-	return q.push("write "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil), nil
+	return q.push("write "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil, deps), nil
 }
 
 // EnqueueWriteI32 copies host int32 data into a device buffer.
-func (q *Queue) EnqueueWriteI32(b *gpusim.Buffer, src []int32) (*Event, error) {
+func (q *Queue) EnqueueWriteI32(b *gpusim.Buffer, src []int32, deps ...*Event) (*Event, error) {
 	dst := b.HostI32()
 	if len(src) > len(dst) {
 		return nil, fmt.Errorf("cl: write of %d elements into %q of %d", len(src), b.Name(), len(dst))
 	}
 	copy(dst, src)
 	bytes := int64(len(src)) * 4
-	return q.push("write "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil), nil
+	return q.push("write "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil, deps), nil
 }
 
 // EnqueueReadF32 copies a device buffer back to host memory.
-func (q *Queue) EnqueueReadF32(b *gpusim.Buffer, dst []float32) (*Event, error) {
+func (q *Queue) EnqueueReadF32(b *gpusim.Buffer, dst []float32, deps ...*Event) (*Event, error) {
 	src := b.HostF32()
 	if len(dst) > len(src) {
 		return nil, fmt.Errorf("cl: read of %d elements from %q of %d", len(dst), b.Name(), len(src))
 	}
 	copy(dst, src[:len(dst)])
 	bytes := int64(len(dst)) * 4
-	return q.push("read "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil), nil
+	return q.push("read "+b.Name(), KindTransfer, q.ctx.dev.TransferSeconds(bytes), bytes, nil, deps), nil
 }
 
 // EnqueueNDRange launches a kernel and records a profiled kernel event.
-func (q *Queue) EnqueueNDRange(name string, fn gpusim.KernelFunc, p gpusim.LaunchParams) (*Event, error) {
+func (q *Queue) EnqueueNDRange(name string, fn gpusim.KernelFunc, p gpusim.LaunchParams, deps ...*Event) (*Event, error) {
 	res, err := q.ctx.dev.Launch(name, fn, p)
 	if err != nil {
 		return nil, err
 	}
-	return q.push(name, KindKernel, res.Timing.KernelSeconds, 0, res), nil
+	return q.push(name, KindKernel, res.Timing.KernelSeconds, 0, res, deps), nil
 }
 
 // EnqueueHostWork records modelled host-side work (tree build, list
 // construction) on the timeline, so total-time accounting sees it.
-func (q *Queue) EnqueueHostWork(name string, seconds float64) *Event {
-	return q.push(name, KindHost, seconds, 0, nil)
+func (q *Queue) EnqueueHostWork(name string, seconds float64, deps ...*Event) *Event {
+	return q.push(name, KindHost, seconds, 0, nil, deps)
 }
 
 // Events returns all completed events in order.
 func (q *Queue) Events() []*Event { return q.events }
 
-// Now returns the simulated timeline position.
+// Now returns the simulated timeline horizon: the latest completion time of
+// any enqueued command.
 func (q *Queue) Now() float64 { return q.now }
+
+// WaitFor is the host-side clWaitForEvents: it advances the timeline horizon
+// to the latest completion time among the given events (a wait on an already
+// finished event is free) and returns the new horizon.
+func (q *Queue) WaitFor(evs ...*Event) float64 {
+	for _, e := range evs {
+		if e != nil && e.End > q.now {
+			q.now = e.End
+		}
+	}
+	return q.now
+}
+
+// MakespanSeconds returns the executed span of the queue's timeline: the
+// latest event completion time. For an in-order queue this equals
+// Profile().TotalSeconds(); for an out-of-order queue with overlapping
+// commands it is smaller — the pipelined, as-executed duration.
+func (q *Queue) MakespanSeconds() float64 {
+	var end float64
+	for _, e := range q.events {
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return end
+}
 
 // Reset clears the event log and rewinds the timeline; buffers keep their
 // contents.

@@ -70,6 +70,61 @@ func TestWriteMergedTraceNilTracer(t *testing.T) {
 	}
 }
 
+// TestWriteMergedTraceOverlappedSpans: an out-of-order queue produces
+// modelled pipeline spans that genuinely overlap on the timeline, and the
+// merged trace preserves those overlapping intervals instead of serialising
+// them.
+func TestWriteMergedTraceOverlappedSpans(t *testing.T) {
+	ctx := newTestContext(t)
+	o := obs.New()
+	q := ctx.NewQueue()
+	q.SetObs(o)
+	q.SetOutOfOrder(true)
+
+	// Two independent host chains: tree build overlapping a device-bound
+	// upload+kernel chain, as in the paper's note-4 pipelining.
+	tree := q.EnqueueHostWork("tree build", 4e-3)
+	buf := ctx.Device().NewBufferF32("posm", 64)
+	up, err := q.EnqueueWriteF32(buf, make([]float32, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q.EnqueueNDRange("force", func(wi *gpusim.Item) { wi.Flops(4) },
+		gpusim.LaunchParams{Global: 16, Local: 8}, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Start >= tree.End {
+		t.Fatalf("kernel [%g,%g] does not overlap tree [%g,%g]; test is vacuous",
+			ev.Start, ev.End, tree.Start, tree.End)
+	}
+
+	var buf2 bytes.Buffer
+	if err := WriteMergedTrace(&buf2, o.Trace, ctx.Device().Config, ev.Result); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeTrace(t, buf2.Bytes())
+
+	// Find the tree and kernel slices on the pipeline PID and check their
+	// microsecond intervals still overlap.
+	type iv struct{ start, end float64 }
+	slices := map[string]iv{}
+	for _, e := range events {
+		if e.Phase == "X" && e.PID == obs.PIDPipeline {
+			slices[e.Name] = iv{e.TS, e.TS + e.Dur}
+		}
+	}
+	tr, ok1 := slices["tree build"]
+	fk, ok2 := slices["force"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing pipeline slices: %v", slices)
+	}
+	if fk.start >= tr.end || tr.start >= fk.end {
+		t.Errorf("trace serialised the overlap: tree [%g,%g]us, force [%g,%g]us",
+			tr.start, tr.end, fk.start, fk.end)
+	}
+}
+
 // TestWriteMergedTraceMultiKernel checks the merged layout for a realistic
 // bundle: host wall spans and modelled pipeline spans from an observed
 // queue, plus two kernel launches that must land on consecutive device PIDs

@@ -88,7 +88,7 @@ func (k *CLKernel) SetArgs(args ...any) error {
 
 // EnqueueCLKernel launches a compiled OpenCL C kernel over a 1-D NDRange,
 // recording a profiled kernel event like EnqueueNDRange.
-func (q *Queue) EnqueueCLKernel(k *CLKernel, global, local int) (*Event, error) {
+func (q *Queue) EnqueueCLKernel(k *CLKernel, global, local int, deps ...*Event) (*Event, error) {
 	fn, ldsFloats, err := clc.Bind(k.prog.prog, k.name, k.args)
 	if err != nil {
 		return nil, err
@@ -97,5 +97,5 @@ func (q *Queue) EnqueueCLKernel(k *CLKernel, global, local int) (*Event, error) 
 		Global:    global,
 		Local:     local,
 		LDSFloats: ldsFloats,
-	})
+	}, deps...)
 }

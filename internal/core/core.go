@@ -41,6 +41,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
@@ -89,6 +90,11 @@ type RunProfile struct {
 	// Launches holds the per-kernel device results (divergence, bounds,
 	// occupancy) for the PTPM reports.
 	Launches []*gpusim.Result
+	// Schedule is the executed stage schedule of the evaluation — which
+	// pipeline stages ran, where they landed on the modelled timeline. The
+	// perf layer attributes this directly; nil for plans that predate the
+	// stage-graph path (e.g. multi-device).
+	Schedule *pipeline.Schedule
 }
 
 // KernelGFLOPS is useful flops over kernel-only time: the paper's "running

@@ -5,21 +5,39 @@ import (
 	"repro/internal/cl"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // Engine adapts a Plan to the force-engine interface the simulation driver
-// (internal/sim) expects, accumulating the modelled device time across the
-// run so callers can report sustained performance.
+// (internal/sim) expects. It keeps two accountings of the modelled device
+// time across the run:
+//
+//   - the *serial* totals (KernelSeconds, TransferSeconds, HostSeconds): the
+//     per-kind sums with host and device work laid end to end — the paper's
+//     "total time" basis, unchanged by the pipeline mode;
+//   - the *executed* timeline: each evaluation's host chain and device chain
+//     placed on a cross-step pipeline.Runner under Mode, so with
+//     pipeline.Overlap step k+1's tree/list build overlaps step k's
+//     transfers+kernel (the paper's implementation note 4) and
+//     ExecutedSeconds reports the end-to-end overlapped time.
 type Engine struct {
 	Plan Plan
+	// Mode selects how the executed timeline schedules consecutive
+	// evaluations (default pipeline.Serial, under which the two accountings
+	// coincide).
+	Mode pipeline.Mode
 
-	// Accumulated over all Accel calls.
+	// Serial accumulators over all Accel calls.
 	KernelSeconds   float64
 	TransferSeconds float64
 	HostSeconds     float64
 	Flops           int64
 	Interactions    int64
 	Evaluations     int
+	// PipelinedTotalSeconds accumulates each evaluation's steady-state
+	// double-buffered cost, max(host, kernel+transfer) — the analytic bound
+	// the executed overlapped timeline approaches as windows grow.
+	PipelinedTotalSeconds float64
 
 	// LastLaunches holds the device results of the most recent Accel call,
 	// for trace export (cl.WriteMergedTrace) and PTPM reports.
@@ -28,7 +46,8 @@ type Engine struct {
 	// for perf-report export (perf.BuildPlanReport).
 	LastProfile *RunProfile
 
-	obs *obs.Obs
+	runner pipeline.Runner
+	obs    *obs.Obs
 }
 
 // NewEngine wraps a plan.
@@ -60,18 +79,55 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 	e.Evaluations++
 	e.LastLaunches = prof.Launches
 	e.LastProfile = prof
+	e.PipelinedTotalSeconds += prof.Profile.PipelinedSeconds()
+
+	// Place the evaluation on the executed cross-step timeline. The executed
+	// stage schedule gives the host/device split directly; plans without one
+	// fall back to the per-kind profile (same split, derived differently).
+	e.runner.Mode = e.Mode
+	host := prof.Profile.HostSeconds
+	dev := prof.Profile.KernelSeconds + prof.Profile.TransferSeconds
+	if prof.Schedule != nil {
+		host = prof.Schedule.HostSeconds()
+		dev = prof.Schedule.DeviceSeconds()
+	}
+	e.runner.Account(host, dev)
+
 	if e.obs != nil {
 		e.obs.Counter("engine.evaluations").Inc()
 		e.obs.Gauge("engine.model.total.seconds").Set(e.TotalSeconds())
+		e.obs.Gauge("engine.model.executed.seconds").Set(e.ExecutedSeconds())
 		e.obs.Gauge("engine.sustained.gflops").Set(e.SustainedGFLOPS())
 	}
 	return prof.Interactions, nil
 }
 
-// TotalSeconds returns the accumulated modelled pipeline time.
+// StartBatch implements sim.BatchEngine: it opens a window of steps whose
+// evaluations may overlap on the executed timeline.
+func (e *Engine) StartBatch() {
+	e.runner.Mode = e.Mode
+	e.runner.BeginWindow()
+}
+
+// FlushBatch implements sim.BatchEngine: it joins the pipeline (in-flight
+// device work drains before the host touches the state, as at a snapshot)
+// and returns the executed seconds of the window.
+func (e *Engine) FlushBatch() float64 { return e.runner.EndWindow() }
+
+// TotalSeconds returns the accumulated serial pipeline time (host and device
+// chains laid end to end).
 func (e *Engine) TotalSeconds() float64 {
 	return e.KernelSeconds + e.TransferSeconds + e.HostSeconds
 }
+
+// ExecutedSeconds returns the end-to-end time of the executed cross-step
+// timeline. Under pipeline.Serial it equals TotalSeconds; under
+// pipeline.Overlap it is smaller whenever host and device chains overlap.
+func (e *Engine) ExecutedSeconds() float64 { return e.runner.ExecutedSeconds() }
+
+// LastStepSeconds returns the executed cost of the most recent evaluation on
+// the cross-step timeline (in overlap steady state, max(host, device)).
+func (e *Engine) LastStepSeconds() float64 { return e.runner.LastStepSeconds() }
 
 // SustainedGFLOPS returns useful flops over accumulated kernel time.
 func (e *Engine) SustainedGFLOPS() float64 {
@@ -79,6 +135,16 @@ func (e *Engine) SustainedGFLOPS() float64 {
 		return 0
 	}
 	return float64(e.Flops) / e.KernelSeconds / 1e9
+}
+
+// SustainedPipelinedGFLOPS returns useful flops over the executed timeline —
+// the figure of merit the paper's pipelining argument improves.
+func (e *Engine) SustainedPipelinedGFLOPS() float64 {
+	t := e.ExecutedSeconds()
+	if t <= 0 {
+		return 0
+	}
+	return float64(e.Flops) / t / 1e9
 }
 
 // Profile returns the accumulated times as a cl.Profile.

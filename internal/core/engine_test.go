@@ -7,6 +7,7 @@ import (
 	"repro/internal/bh"
 	"repro/internal/gpusim"
 	"repro/internal/ic"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
@@ -213,5 +214,83 @@ func TestQueueBalance(t *testing.T) {
 			t.Fatalf("walk %d queued twice", wid)
 		}
 		seen[wid] = true
+	}
+}
+
+// TestEngineDualAccounting locks the two time accountings: the serial totals
+// are mode-independent, while the executed timeline shrinks under
+// pipeline.Overlap — bounded below by the steady-state analytic
+// PipelinedTotalSeconds — and coincides with the serial totals under
+// pipeline.Serial.
+func TestEngineDualAccounting(t *testing.T) {
+	sys := ic.Plummer(4096, 1)
+	const evals = 6
+
+	run := func(mode pipeline.Mode) *Engine {
+		eng := NewEngine(NewJWParallel(newHD5850Context(t), bh.DefaultOptions()))
+		eng.Mode = mode
+		for i := 0; i < evals; i++ {
+			if _, err := eng.Accel(sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng
+	}
+	serial := run(pipeline.Serial)
+	overlap := run(pipeline.Overlap)
+
+	// Serial accumulators are identical: the mode is pure accounting.
+	if serial.TotalSeconds() != overlap.TotalSeconds() ||
+		serial.KernelSeconds != overlap.KernelSeconds {
+		t.Errorf("mode changed the serial totals: %g vs %g",
+			serial.TotalSeconds(), overlap.TotalSeconds())
+	}
+	// Serial mode: executed == serial.
+	if d := serial.ExecutedSeconds() - serial.TotalSeconds(); d > 1e-12 || d < -1e-12 {
+		t.Errorf("serial executed %g != total %g", serial.ExecutedSeconds(), serial.TotalSeconds())
+	}
+	// Overlap mode: executed is strictly shorter than serial (jw-parallel has
+	// real host work to hide) and no shorter than the analytic steady state.
+	if overlap.ExecutedSeconds() >= overlap.TotalSeconds() {
+		t.Errorf("overlap executed %g not below serial %g",
+			overlap.ExecutedSeconds(), overlap.TotalSeconds())
+	}
+	if overlap.ExecutedSeconds() < overlap.PipelinedTotalSeconds {
+		t.Errorf("overlap executed %g below the analytic floor %g",
+			overlap.ExecutedSeconds(), overlap.PipelinedTotalSeconds)
+	}
+	// The executed steady-state per-step cost matches the analytic
+	// Profile.PipelinedSeconds() of a single evaluation.
+	want := overlap.LastProfile.Profile.PipelinedSeconds()
+	if got := overlap.LastStepSeconds(); got < 0.95*want || got > 1.05*want {
+		t.Errorf("steady-state executed step %g, want ~%g", got, want)
+	}
+	if overlap.SustainedPipelinedGFLOPS() <= overlap.SustainedGFLOPS()*float64(overlap.KernelSeconds)/overlap.TotalSeconds() {
+		t.Error("pipelined sustained rate not above the serial-total rate")
+	}
+}
+
+// TestEngineBatchWindows: FlushBatch joins the pipeline, so the next window
+// re-pays the fill; windows compose to the full executed timeline.
+func TestEngineBatchWindows(t *testing.T) {
+	sys := ic.Plummer(2048, 4)
+	eng := NewEngine(NewJWParallel(newHD5850Context(t), bh.DefaultOptions()))
+	eng.Mode = pipeline.Overlap
+
+	var windows float64
+	for w := 0; w < 3; w++ {
+		eng.StartBatch()
+		for i := 0; i < 2; i++ {
+			if _, err := eng.Accel(sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+		windows += eng.FlushBatch()
+	}
+	if d := windows - eng.ExecutedSeconds(); d > 1e-12 || d < -1e-12 {
+		t.Errorf("window sum %g != executed %g", windows, eng.ExecutedSeconds())
+	}
+	if eng.ExecutedSeconds() >= eng.TotalSeconds() {
+		t.Errorf("windowed executed %g not below serial %g", eng.ExecutedSeconds(), eng.TotalSeconds())
 	}
 }

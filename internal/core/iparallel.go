@@ -7,6 +7,7 @@ import (
 	"repro/internal/cl"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
@@ -22,9 +23,7 @@ type IParallel struct {
 	// GroupSize is the work-group size p (default 256).
 	GroupSize int
 
-	ctx   *cl.Context
-	queue *cl.Queue
-	obs   *obs.Obs
+	planBase
 
 	nPad    int
 	bufPosM *gpusim.Buffer
@@ -35,7 +34,7 @@ type IParallel struct {
 
 // NewIParallel creates the plan on the given context.
 func NewIParallel(ctx *cl.Context, params pp.Params) *IParallel {
-	return &IParallel{Params: params, GroupSize: 256, ctx: ctx, queue: ctx.NewQueue()}
+	return &IParallel{Params: params, GroupSize: 256, planBase: newPlanBase(ctx)}
 }
 
 // Name implements Plan.
@@ -45,46 +44,28 @@ func (p *IParallel) Name() string { return "i-parallel" }
 func (p *IParallel) Kind() Kind { return KindPP }
 
 // SetObs implements obs.Observable.
-func (p *IParallel) SetObs(o *obs.Obs) {
-	p.obs = o
-	p.queue.SetObs(o)
-}
+func (p *IParallel) SetObs(o *obs.Obs) { p.setObs(o) }
 
 func (p *IParallel) ensureBuffers(n int) {
 	nPad := roundUp(n, p.GroupSize)
-	if nPad == p.nPad && p.bufPosM != nil {
-		return
-	}
-	dev := p.ctx.Device()
 	p.nPad = nPad
-	p.bufPosM = dev.NewBufferF32("iparallel.posm", 4*nPad)
-	p.bufAcc = dev.NewBufferF32("iparallel.acc", 4*nPad)
-	p.hostOut = make([]float32, 4*nPad)
+	p.ensure("iparallel.posm", &p.bufPosM, 4*nPad, true)
+	p.ensure("iparallel.acc", &p.bufAcc, 4*nPad, true)
+	if cap(p.hostOut) < 4*nPad {
+		p.hostOut = make([]float32, 4*nPad)
+	}
+	p.hostOut = p.hostOut[:4*nPad]
 }
 
-// Accel implements Plan.
-func (p *IParallel) Accel(s *body.System) (*RunProfile, error) {
-	n := s.N()
-	if n == 0 {
-		return nil, fmt.Errorf("core: i-parallel: empty system")
-	}
-	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
-	defer sp.End()
-	p.ensureBuffers(n)
-	p.hostIn = flattenPadded(s, p.nPad, p.hostIn)
-	p.queue.Reset()
-	if _, err := p.queue.EnqueueWriteF32(p.bufPosM, p.hostIn); err != nil {
-		return nil, err
-	}
-
-	local := p.GroupSize
+// kernel returns the i-parallel force kernel bound to the current buffers.
+func (p *IParallel) kernel() gpusim.KernelFunc {
 	nPad := p.nPad
 	g := p.Params.G
 	eps2 := p.Params.Eps * p.Params.Eps
 	posm := p.bufPosM
 	out := p.bufAcc
 
-	kernel := func(wi *gpusim.Item) {
+	return func(wi *gpusim.Item) {
 		i := wi.GlobalID()
 		l := wi.LocalID()
 		ls := wi.LocalSize()
@@ -131,29 +112,36 @@ func (p *IParallel) Accel(s *body.System) (*RunProfile, error) {
 		dst[4*i+2] = az * g
 		dst[4*i+3] = 0
 	}
+}
 
-	ev, err := p.queue.EnqueueNDRange("iparallel.force", kernel, gpusim.LaunchParams{
-		Global:    nPad,
-		Local:     local,
-		LDSFloats: 4 * local,
-	})
+// graph builds the plan's stage graph: upload positions, launch the force
+// kernel, download accelerations.
+func (p *IParallel) graph() *pipeline.Graph {
+	return pipeline.NewGraph(p.Name()).
+		Add(stageUploadF32("upload:posm", p.bufPosM, p.hostIn)).
+		Add(stageKernel("force", "iparallel.force", p.kernel(), gpusim.LaunchParams{
+			Global:    p.nPad,
+			Local:     p.GroupSize,
+			LDSFloats: 4 * p.GroupSize,
+		}, "upload:posm")).
+		Add(stageDownloadF32("download:acc", p.bufAcc, p.hostOut, "force"))
+}
+
+// Accel implements Plan.
+func (p *IParallel) Accel(s *body.System) (*RunProfile, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: i-parallel: empty system")
+	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
+	defer sp.End()
+	p.ensureBuffers(n)
+	p.hostIn = flattenPadded(s, p.nPad, p.hostIn)
+
+	rp, err := p.run(p.graph(), p.Name(), n, int64(p.nPad)*int64(p.nPad))
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.queue.EnqueueReadF32(p.bufAcc, p.hostOut); err != nil {
-		return nil, err
-	}
 	s.UnflattenAcc(p.hostOut)
-
-	interactions := int64(nPad) * int64(nPad)
-	rp := &RunProfile{
-		Plan:         p.Name(),
-		N:            n,
-		Interactions: interactions,
-		Flops:        interactionFlops(interactions),
-		Profile:      p.queue.Profile(),
-		Launches:     []*gpusim.Result{ev.Result},
-	}
-	observeRun(p.obs, rp)
 	return rp, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cl"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
@@ -27,9 +28,7 @@ type JParallel struct {
 	// GroupSize is the work-group size p (default 64, one wavefront).
 	GroupSize int
 
-	ctx   *cl.Context
-	queue *cl.Queue
-	obs   *obs.Obs
+	planBase
 
 	n, nPadJ int
 	bufPosM  *gpusim.Buffer
@@ -40,7 +39,7 @@ type JParallel struct {
 
 // NewJParallel creates the plan on the given context.
 func NewJParallel(ctx *cl.Context, params pp.Params) *JParallel {
-	return &JParallel{Params: params, GroupSize: 64, ctx: ctx, queue: ctx.NewQueue()}
+	return &JParallel{Params: params, GroupSize: 64, planBase: newPlanBase(ctx)}
 }
 
 // Name implements Plan.
@@ -50,47 +49,28 @@ func (p *JParallel) Name() string { return "j-parallel" }
 func (p *JParallel) Kind() Kind { return KindPP }
 
 // SetObs implements obs.Observable.
-func (p *JParallel) SetObs(o *obs.Obs) {
-	p.obs = o
-	p.queue.SetObs(o)
-}
+func (p *JParallel) SetObs(o *obs.Obs) { p.setObs(o) }
 
 func (p *JParallel) ensureBuffers(n int) {
-	nPadJ := roundUp(n, p.GroupSize)
-	if n == p.n && p.bufPosM != nil {
-		return
-	}
-	dev := p.ctx.Device()
 	p.n = n
-	p.nPadJ = nPadJ
-	p.bufPosM = dev.NewBufferF32("jparallel.posm", 4*nPadJ)
-	p.bufAcc = dev.NewBufferF32("jparallel.acc", 4*n)
-	p.hostOut = make([]float32, 4*n)
+	p.nPadJ = roundUp(n, p.GroupSize)
+	p.ensure("jparallel.posm", &p.bufPosM, 4*p.nPadJ, true)
+	p.ensure("jparallel.acc", &p.bufAcc, 4*n, true)
+	if cap(p.hostOut) < 4*n {
+		p.hostOut = make([]float32, 4*n)
+	}
+	p.hostOut = p.hostOut[:4*n]
 }
 
-// Accel implements Plan.
-func (p *JParallel) Accel(s *body.System) (*RunProfile, error) {
-	n := s.N()
-	if n == 0 {
-		return nil, fmt.Errorf("core: j-parallel: empty system")
-	}
-	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
-	defer sp.End()
-	p.ensureBuffers(n)
-	p.hostIn = flattenPadded(s, p.nPadJ, p.hostIn)
-	p.queue.Reset()
-	if _, err := p.queue.EnqueueWriteF32(p.bufPosM, p.hostIn); err != nil {
-		return nil, err
-	}
-
-	local := p.GroupSize
+// kernel returns the j-parallel force kernel bound to the current buffers.
+func (p *JParallel) kernel() gpusim.KernelFunc {
 	nPadJ := p.nPadJ
 	g := p.Params.G
 	eps2 := p.Params.Eps * p.Params.Eps
 	posm := p.bufPosM
 	out := p.bufAcc
 
-	kernel := func(wi *gpusim.Item) {
+	return func(wi *gpusim.Item) {
 		i := wi.GroupID() // one work-group per body
 		l := wi.LocalID()
 		ls := wi.LocalSize()
@@ -144,29 +124,36 @@ func (p *JParallel) Accel(s *body.System) (*RunProfile, error) {
 			dst[4*i+3] = 0
 		}
 	}
+}
 
-	ev, err := p.queue.EnqueueNDRange("jparallel.force", kernel, gpusim.LaunchParams{
-		Global:    n * local,
-		Local:     local,
-		LDSFloats: 3 * local,
-	})
+// graph builds the plan's stage graph: upload positions, launch the
+// force+reduction kernel, download accelerations.
+func (p *JParallel) graph() *pipeline.Graph {
+	return pipeline.NewGraph(p.Name()).
+		Add(stageUploadF32("upload:posm", p.bufPosM, p.hostIn)).
+		Add(stageKernel("force", "jparallel.force", p.kernel(), gpusim.LaunchParams{
+			Global:    p.n * p.GroupSize,
+			Local:     p.GroupSize,
+			LDSFloats: 3 * p.GroupSize,
+		}, "upload:posm")).
+		Add(stageDownloadF32("download:acc", p.bufAcc, p.hostOut, "force"))
+}
+
+// Accel implements Plan.
+func (p *JParallel) Accel(s *body.System) (*RunProfile, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: j-parallel: empty system")
+	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
+	defer sp.End()
+	p.ensureBuffers(n)
+	p.hostIn = flattenPadded(s, p.nPadJ, p.hostIn)
+
+	rp, err := p.run(p.graph(), p.Name(), n, int64(n)*int64(p.nPadJ))
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.queue.EnqueueReadF32(p.bufAcc, p.hostOut); err != nil {
-		return nil, err
-	}
 	s.UnflattenAcc(p.hostOut)
-
-	interactions := int64(n) * int64(nPadJ)
-	rp := &RunProfile{
-		Plan:         p.Name(),
-		N:            n,
-		Interactions: interactions,
-		Flops:        interactionFlops(interactions),
-		Profile:      p.queue.Profile(),
-		Launches:     []*gpusim.Result{ev.Result},
-	}
-	observeRun(p.obs, rp)
 	return rp, nil
 }

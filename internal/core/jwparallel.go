@@ -8,6 +8,7 @@ import (
 	"repro/internal/cl"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
@@ -55,10 +56,8 @@ type JWParallel struct {
 	// the walk pipeline at every size.
 	SmallNCutoff int
 
-	ctx      *cl.Context
-	queue    *cl.Queue
+	planBase
 	fallback *JParallel
-	obs      *obs.Obs
 
 	bufSrc, bufPos, bufLists, bufDesc *gpusim.Buffer
 	bufQueueWalks, bufQueueDesc       *gpusim.Buffer
@@ -73,8 +72,7 @@ func NewJWParallel(ctx *cl.Context, opt bh.Options) *JWParallel {
 		GroupCap:  24,
 		LocalSize: 64,
 		Host:      gpusim.PaperHost(),
-		ctx:       ctx,
-		queue:     ctx.NewQueue(),
+		planBase:  newPlanBase(ctx),
 	}
 }
 
@@ -85,9 +83,8 @@ func (p *JWParallel) Name() string { return "jw-parallel" }
 // build, walk construction, uploads, kernel, download) and the registry
 // receives the per-step breakdown.
 func (p *JWParallel) SetObs(o *obs.Obs) {
-	p.obs = o
+	p.setObs(o)
 	p.Opt.Trace = o.Tracer()
-	p.queue.SetObs(o)
 	if p.fallback != nil {
 		p.fallback.SetObs(o)
 	}
@@ -95,18 +92,6 @@ func (p *JWParallel) SetObs(o *obs.Obs) {
 
 // Kind implements Plan.
 func (p *JWParallel) Kind() Kind { return KindBH }
-
-func (p *JWParallel) ensure(name string, buf **gpusim.Buffer, n int, isFloat bool) {
-	if *buf != nil && (*buf).Len() >= n && (*buf).IsFloat() == isFloat {
-		return
-	}
-	dev := p.ctx.Device()
-	if isFloat {
-		*buf = dev.NewBufferF32(name, n)
-	} else {
-		*buf = dev.NewBufferI32(name, n)
-	}
-}
 
 func (p *JWParallel) numQueues(numWalks int) int {
 	target := p.QueueTarget
@@ -121,6 +106,39 @@ func (p *JWParallel) numQueues(numWalks int) int {
 		target = 1
 	}
 	return target
+}
+
+// graph builds the plan's stage graph: the treecode host front (tree, list),
+// the six uploads (walk data plus the balanced queue tables), the
+// queue-draining kernel, and the download.
+func (p *JWParallel) graph(d *bhHostData, queueWalks, queueDesc []int32, numQueues int) *pipeline.Graph {
+	staged := !p.DisableLDSStaging
+	kernel := jwKernel(jwBuffers{
+		src: p.bufSrc, pos: p.bufPos, lists: p.bufLists, desc: p.bufDesc,
+		queueWalks: p.bufQueueWalks, queueDesc: p.bufQueueDesc, acc: p.bufAcc,
+	}, p.Opt.G, p.Opt.Eps*p.Opt.Eps, staged)
+	lds := 0
+	if staged {
+		lds = 4 * p.LocalSize
+	}
+
+	g := pipeline.NewGraph(p.Name())
+	for _, st := range bhFrontStages(d) {
+		g.Add(st)
+	}
+	return g.
+		Add(stageUploadF32("upload:src", p.bufSrc, d.srcF4, "list")).
+		Add(stageUploadF32("upload:posm", p.bufPos, d.posmSorted, "list")).
+		Add(stageUploadI32("upload:lists", p.bufLists, d.lists, "list")).
+		Add(stageUploadI32("upload:desc", p.bufDesc, d.desc, "list")).
+		Add(stageUploadI32("upload:qwalks", p.bufQueueWalks, queueWalks, "list")).
+		Add(stageUploadI32("upload:qdesc", p.bufQueueDesc, queueDesc, "list")).
+		Add(stageKernel("force", "jwparallel.force", kernel, gpusim.LaunchParams{
+			Global:    numQueues * p.LocalSize,
+			Local:     p.LocalSize,
+			LDSFloats: lds,
+		}, "upload:src", "upload:posm", "upload:lists", "upload:desc", "upload:qwalks", "upload:qdesc")).
+		Add(stageDownloadF32("download:acc", p.bufAcc, p.hostAcc, "force"))
 }
 
 // Accel implements Plan.
@@ -163,64 +181,10 @@ func (p *JWParallel) Accel(s *body.System) (*RunProfile, error) {
 	}
 	p.hostAcc = p.hostAcc[:4*n]
 
-	q := p.queue
-	q.Reset()
-	q.EnqueueHostWork("tree build", d.treeSeconds)
-	q.EnqueueHostWork("walk/list build", d.listSeconds)
-	for _, tr := range []struct {
-		buf *gpusim.Buffer
-		f32 []float32
-		i32 []int32
-		isF bool
-	}{
-		{p.bufSrc, d.srcF4, nil, true},
-		{p.bufPos, d.posmSorted, nil, true},
-		{p.bufLists, nil, d.lists, false},
-		{p.bufDesc, nil, d.desc, false},
-		{p.bufQueueWalks, nil, queueWalks, false},
-		{p.bufQueueDesc, nil, queueDesc, false},
-	} {
-		if tr.isF {
-			_, err = q.EnqueueWriteF32(tr.buf, tr.f32)
-		} else {
-			_, err = q.EnqueueWriteI32(tr.buf, tr.i32)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	staged := !p.DisableLDSStaging
-	kernel := jwKernel(jwBuffers{
-		src: p.bufSrc, pos: p.bufPos, lists: p.bufLists, desc: p.bufDesc,
-		queueWalks: p.bufQueueWalks, queueDesc: p.bufQueueDesc, acc: p.bufAcc,
-	}, p.Opt.G, p.Opt.Eps*p.Opt.Eps, staged)
-
-	lds := 0
-	if staged {
-		lds = 4 * p.LocalSize
-	}
-	ev, err := q.EnqueueNDRange("jwparallel.force", kernel, gpusim.LaunchParams{
-		Global:    numQueues * p.LocalSize,
-		Local:     p.LocalSize,
-		LDSFloats: lds,
-	})
+	rp, err := p.run(p.graph(d, queueWalks, queueDesc, numQueues), p.Name(), n, d.interactions)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := q.EnqueueReadF32(p.bufAcc, p.hostAcc); err != nil {
-		return nil, err
-	}
 	d.unpermuteAcc(s, p.hostAcc)
-
-	rp := &RunProfile{
-		Plan:         p.Name(),
-		N:            n,
-		Interactions: d.interactions,
-		Flops:        interactionFlops(d.interactions),
-		Profile:      q.Profile(),
-		Launches:     []*gpusim.Result{ev.Result},
-	}
-	observeRun(p.obs, rp)
 	return rp, nil
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"repro/internal/cl"
+	"repro/internal/gpusim"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// planBase is the host-side machinery every execution plan shares: the
+// context, the plan's command queue, the telemetry bundle, grow-only device
+// buffer management, and the graph runner that turns an executed
+// pipeline.Schedule into a RunProfile. The four plans differ only in their
+// kernels and in the stage graphs they build; everything between "the host
+// data is ready" and "the RunProfile is assembled" lives here.
+type planBase struct {
+	ctx   *cl.Context
+	queue *cl.Queue
+	obs   *obs.Obs
+}
+
+func newPlanBase(ctx *cl.Context) planBase {
+	return planBase{ctx: ctx, queue: ctx.NewQueue()}
+}
+
+func (b *planBase) setObs(o *obs.Obs) {
+	b.obs = o
+	b.queue.SetObs(o)
+}
+
+// ensure (re)allocates a device buffer, growing only: modelled transfer cost
+// is charged per element written, not per buffer size, so an oversized
+// buffer never changes the timing.
+func (b *planBase) ensure(name string, buf **gpusim.Buffer, n int, isFloat bool) {
+	if *buf != nil && (*buf).Len() >= n && (*buf).IsFloat() == isFloat {
+		return
+	}
+	dev := b.ctx.Device()
+	if isFloat {
+		*buf = dev.NewBufferF32(name, n)
+	} else {
+		*buf = dev.NewBufferI32(name, n)
+	}
+}
+
+// run resets the plan's queue, executes the stage graph on it, and assembles
+// the RunProfile: the per-kind profile from the queue's event log plus the
+// executed stage schedule for the perf layer.
+func (b *planBase) run(g *pipeline.Graph, plan string, n int, interactions int64) (*RunProfile, error) {
+	b.queue.Reset()
+	sched, err := g.Execute(b.queue, b.obs)
+	if err != nil {
+		return nil, err
+	}
+	rp := &RunProfile{
+		Plan:         plan,
+		N:            n,
+		Interactions: interactions,
+		Flops:        interactionFlops(interactions),
+		Profile:      b.queue.Profile(),
+		Launches:     sched.Launches(),
+		Schedule:     sched,
+	}
+	observeRun(b.obs, rp)
+	return rp, nil
+}
+
+// Stage constructors. Each closes over concrete host data and buffers — the
+// plans build their graphs after the host-side prep, so every stage is fully
+// bound at construction. The cl event names ("write <buf>", kernel names,
+// "tree build") are unchanged from the pre-pipeline code so profiles and
+// traces stay comparable across revisions.
+
+// stageHostWork models CPU-side work (tree build, list construction) as one
+// pipeline stage.
+func stageHostWork(stage, event string, kind pipeline.Kind, seconds float64, deps ...string) pipeline.Stage {
+	return pipeline.Stage{Name: stage, Kind: kind, Deps: deps,
+		Run: func(ec *pipeline.ExecCtx) (*cl.Event, error) {
+			return ec.Queue.EnqueueHostWork(event, seconds, ec.Deps...), nil
+		}}
+}
+
+// stageUploadF32 uploads host float32 data to a device buffer.
+func stageUploadF32(stage string, buf *gpusim.Buffer, src []float32, deps ...string) pipeline.Stage {
+	return pipeline.Stage{Name: stage, Kind: pipeline.Upload, Deps: deps,
+		Run: func(ec *pipeline.ExecCtx) (*cl.Event, error) {
+			return ec.Queue.EnqueueWriteF32(buf, src, ec.Deps...)
+		}}
+}
+
+// stageUploadI32 uploads host int32 data to a device buffer.
+func stageUploadI32(stage string, buf *gpusim.Buffer, src []int32, deps ...string) pipeline.Stage {
+	return pipeline.Stage{Name: stage, Kind: pipeline.Upload, Deps: deps,
+		Run: func(ec *pipeline.ExecCtx) (*cl.Event, error) {
+			return ec.Queue.EnqueueWriteI32(buf, src, ec.Deps...)
+		}}
+}
+
+// stageKernel launches a force (or reduction) kernel.
+func stageKernel(stage, kernel string, fn gpusim.KernelFunc, lp gpusim.LaunchParams, deps ...string) pipeline.Stage {
+	return pipeline.Stage{Name: stage, Kind: pipeline.Kernel, Deps: deps,
+		Run: func(ec *pipeline.ExecCtx) (*cl.Event, error) {
+			return ec.Queue.EnqueueNDRange(kernel, fn, lp, ec.Deps...)
+		}}
+}
+
+// stageDownloadF32 reads a device buffer back into host memory.
+func stageDownloadF32(stage string, buf *gpusim.Buffer, dst []float32, deps ...string) pipeline.Stage {
+	return pipeline.Stage{Name: stage, Kind: pipeline.Download, Deps: deps,
+		Run: func(ec *pipeline.ExecCtx) (*cl.Event, error) {
+			return ec.Queue.EnqueueReadF32(buf, dst, ec.Deps...)
+		}}
+}
+
+// bhFrontStages returns the common front of a treecode graph — the modelled
+// CPU tree build followed by the walk/list construction — which both BH
+// plans (and the paper's pipelining argument) share. Downstream uploads
+// depend on the "list" stage: no host data exists before it completes.
+func bhFrontStages(d *bhHostData) []pipeline.Stage {
+	return []pipeline.Stage{
+		stageHostWork("tree", "tree build", pipeline.Tree, d.treeSeconds),
+		stageHostWork("list", "walk/list build", pipeline.List, d.listSeconds, "tree"),
+	}
+}

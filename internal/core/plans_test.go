@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/bh"
@@ -149,6 +150,90 @@ func TestJWQueueingCoversAllBodies(t *testing.T) {
 		pp.Scalar(direct, pp.Params{G: opt.G, Eps: opt.Eps})
 		if e := pp.RMSRelError(direct.Acc, got.Acc, 1e-3); e > 0.05 {
 			t.Errorf("n=%d: RMS rel error %g", n, e)
+		}
+	}
+}
+
+// TestPlansBitwiseGolden locks the refactored stage-graph path to the
+// pre-pipeline seed: for every plan, the accelerations must be
+// byte-identical (FNV-1a 64 over the little-endian float32 bits of Acc in
+// body order) and the modelled kernel/transfer seconds must match the values
+// captured from the monolithic Accel implementations on an HD5850 with
+// ic.Plummer(n, 42). Any change to enqueue order, kernel arithmetic, or the
+// cost model shows up here.
+func TestPlansBitwiseGolden(t *testing.T) {
+	golden := []struct {
+		plan            string
+		n               int
+		accHash         uint64
+		kernelSeconds   float64
+		transferSeconds float64
+	}{
+		{"i-parallel", 1024, 0xb93a7be5a8127779, 0.00015556444938820912, 3.5957818181818176e-05},
+		{"j-parallel", 1024, 0x88c7832efc0aec54, 0.00018178174137931054, 3.5957818181818176e-05},
+		{"w-parallel", 1024, 0x049641017ef77c6e, 0.0013016855431034482, 9.6629090909090788e-05},
+		{"jw-parallel", 1024, 0xad5478fe19182552, 0.0001231860734149054, 0.00014650181818181846},
+		{"i-parallel", 4096, 0x0b15d52f29d51978, 0.00059401641824249158, 5.3831272727272705e-05},
+		{"j-parallel", 4096, 0x19b679bffcf1c15d, 0.0022760629655172505, 5.3831272727272813e-05},
+		{"w-parallel", 4096, 0x0dc94662b251ca68, 0.0044576519224137929, 0.00027896945454545293},
+		{"jw-parallel", 4096, 0xaa818f6a27219b31, 0.0010617280978865405, 0.00051479272727272644},
+	}
+	newPlan := func(name string, ctx *cl.Context) Plan {
+		switch name {
+		case "i-parallel":
+			return NewIParallel(ctx, pp.DefaultParams())
+		case "j-parallel":
+			return NewJParallel(ctx, pp.DefaultParams())
+		case "w-parallel":
+			return NewWParallel(ctx, bh.DefaultOptions())
+		case "jw-parallel":
+			return NewJWParallel(ctx, bh.DefaultOptions())
+		}
+		t.Fatalf("unknown plan %q", name)
+		return nil
+	}
+	for _, g := range golden {
+		sys := ic.Plummer(g.n, 42)
+		plan := newPlan(g.plan, newHD5850Context(t))
+		prof, err := plan.Accel(sys)
+		if err != nil {
+			t.Fatalf("%s n=%d: %v", g.plan, g.n, err)
+		}
+
+		// FNV-1a 64 over the acceleration bytes, exactly as captured.
+		const offset64, prime64 = 0xcbf29ce484222325, 0x1099511628211
+		h := uint64(offset64)
+		for _, a := range sys.Acc {
+			for _, f := range [3]float32{a.X, a.Y, a.Z} {
+				bits := math.Float32bits(f)
+				for s := 0; s < 32; s += 8 {
+					h ^= uint64(byte(bits >> s))
+					h *= prime64
+				}
+			}
+		}
+		if h != g.accHash {
+			t.Errorf("%s n=%d: acceleration hash %#016x, want %#016x (forces changed)",
+				g.plan, g.n, h, g.accHash)
+		}
+
+		relClose := func(got, want float64) bool {
+			d := got - want
+			if d < 0 {
+				d = -d
+			}
+			return d <= 1e-12*math.Abs(want)
+		}
+		if !relClose(prof.Profile.KernelSeconds, g.kernelSeconds) {
+			t.Errorf("%s n=%d: KernelSeconds %.17g, want %.17g",
+				g.plan, g.n, prof.Profile.KernelSeconds, g.kernelSeconds)
+		}
+		if !relClose(prof.Profile.TransferSeconds, g.transferSeconds) {
+			t.Errorf("%s n=%d: TransferSeconds %.17g, want %.17g",
+				g.plan, g.n, prof.Profile.TransferSeconds, g.transferSeconds)
+		}
+		if prof.Schedule == nil || len(prof.Schedule.Spans) == 0 {
+			t.Errorf("%s n=%d: no executed schedule on the profile", g.plan, g.n)
 		}
 	}
 }

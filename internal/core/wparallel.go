@@ -8,6 +8,7 @@ import (
 	"repro/internal/cl"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
@@ -35,9 +36,7 @@ type WParallel struct {
 	// Host models the CPU half of the pipeline.
 	Host gpusim.HostModel
 
-	ctx   *cl.Context
-	queue *cl.Queue
-	obs   *obs.Obs
+	planBase
 
 	bufSrc, bufPos, bufLists, bufDesc, bufAcc *gpusim.Buffer
 	hostAcc                                   []float32
@@ -50,8 +49,7 @@ func NewWParallel(ctx *cl.Context, opt bh.Options) *WParallel {
 		GroupCap:  64,
 		LocalSize: 64,
 		Host:      gpusim.PaperHost(),
-		ctx:       ctx,
-		queue:     ctx.NewQueue(),
+		planBase:  newPlanBase(ctx),
 	}
 }
 
@@ -63,69 +61,17 @@ func (p *WParallel) Kind() Kind { return KindBH }
 
 // SetObs implements obs.Observable.
 func (p *WParallel) SetObs(o *obs.Obs) {
-	p.obs = o
+	p.setObs(o)
 	p.Opt.Trace = o.Tracer()
-	p.queue.SetObs(o)
 }
 
-func (p *WParallel) ensure(name string, buf **gpusim.Buffer, n int, isFloat bool) {
-	if *buf != nil && (*buf).Len() >= n && (*buf).IsFloat() == isFloat {
-		return
-	}
-	dev := p.ctx.Device()
-	if isFloat {
-		*buf = dev.NewBufferF32(name, n)
-	} else {
-		*buf = dev.NewBufferI32(name, n)
-	}
-}
-
-// Accel implements Plan.
-func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
-	n := s.N()
-	if n == 0 {
-		return nil, fmt.Errorf("core: w-parallel: empty system")
-	}
-	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
-	defer sp.End()
-	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
-	if err != nil {
-		return nil, err
-	}
-	observeBHData(p.obs, d)
-
-	p.ensure("wparallel.src", &p.bufSrc, len(d.srcF4), true)
-	p.ensure("wparallel.posm", &p.bufPos, len(d.posmSorted), true)
-	p.ensure("wparallel.lists", &p.bufLists, len(d.lists), false)
-	p.ensure("wparallel.desc", &p.bufDesc, len(d.desc), false)
-	p.ensure("wparallel.acc", &p.bufAcc, 4*n, true)
-	if cap(p.hostAcc) < 4*n {
-		p.hostAcc = make([]float32, 4*n)
-	}
-	p.hostAcc = p.hostAcc[:4*n]
-
-	q := p.queue
-	q.Reset()
-	q.EnqueueHostWork("tree build", d.treeSeconds)
-	q.EnqueueHostWork("walk/list build", d.listSeconds)
-	if _, err := q.EnqueueWriteF32(p.bufSrc, d.srcF4); err != nil {
-		return nil, err
-	}
-	if _, err := q.EnqueueWriteF32(p.bufPos, d.posmSorted); err != nil {
-		return nil, err
-	}
-	if _, err := q.EnqueueWriteI32(p.bufLists, d.lists); err != nil {
-		return nil, err
-	}
-	if _, err := q.EnqueueWriteI32(p.bufDesc, d.desc); err != nil {
-		return nil, err
-	}
-
+// kernel returns the w-parallel force kernel bound to the current buffers.
+func (p *WParallel) kernel() gpusim.KernelFunc {
 	g := p.Opt.G
 	eps2 := p.Opt.Eps * p.Opt.Eps
 	bufSrc, bufPos, bufLists, bufDesc, bufAcc := p.bufSrc, p.bufPos, p.bufLists, p.bufDesc, p.bufAcc
 
-	kernel := func(wi *gpusim.Item) {
+	return func(wi *gpusim.Item) {
 		w := wi.GroupID() // one work-group per walk
 		l := wi.LocalID()
 		desc := wi.RawGlobalI32(bufDesc)
@@ -170,27 +116,55 @@ func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
 		acc[4*slot+2] = az * g
 		acc[4*slot+3] = 0
 	}
+}
 
-	ev, err := q.EnqueueNDRange("wparallel.force", kernel, gpusim.LaunchParams{
-		Global: d.numWalks * p.LocalSize,
-		Local:  p.LocalSize,
-	})
+// graph builds the plan's stage graph: the treecode host front (tree, list),
+// the four uploads, the one-walk-per-group kernel, and the download.
+func (p *WParallel) graph(d *bhHostData) *pipeline.Graph {
+	g := pipeline.NewGraph(p.Name())
+	for _, st := range bhFrontStages(d) {
+		g.Add(st)
+	}
+	return g.
+		Add(stageUploadF32("upload:src", p.bufSrc, d.srcF4, "list")).
+		Add(stageUploadF32("upload:posm", p.bufPos, d.posmSorted, "list")).
+		Add(stageUploadI32("upload:lists", p.bufLists, d.lists, "list")).
+		Add(stageUploadI32("upload:desc", p.bufDesc, d.desc, "list")).
+		Add(stageKernel("force", "wparallel.force", p.kernel(), gpusim.LaunchParams{
+			Global: d.numWalks * p.LocalSize,
+			Local:  p.LocalSize,
+		}, "upload:src", "upload:posm", "upload:lists", "upload:desc")).
+		Add(stageDownloadF32("download:acc", p.bufAcc, p.hostAcc, "force"))
+}
+
+// Accel implements Plan.
+func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: w-parallel: empty system")
+	}
+	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
+	defer sp.End()
+	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := q.EnqueueReadF32(p.bufAcc, p.hostAcc); err != nil {
+	observeBHData(p.obs, d)
+
+	p.ensure("wparallel.src", &p.bufSrc, len(d.srcF4), true)
+	p.ensure("wparallel.posm", &p.bufPos, len(d.posmSorted), true)
+	p.ensure("wparallel.lists", &p.bufLists, len(d.lists), false)
+	p.ensure("wparallel.desc", &p.bufDesc, len(d.desc), false)
+	p.ensure("wparallel.acc", &p.bufAcc, 4*n, true)
+	if cap(p.hostAcc) < 4*n {
+		p.hostAcc = make([]float32, 4*n)
+	}
+	p.hostAcc = p.hostAcc[:4*n]
+
+	rp, err := p.run(p.graph(d), p.Name(), n, d.interactions)
+	if err != nil {
 		return nil, err
 	}
 	d.unpermuteAcc(s, p.hostAcc)
-
-	rp := &RunProfile{
-		Plan:         p.Name(),
-		N:            n,
-		Interactions: d.interactions,
-		Flops:        interactionFlops(d.interactions),
-		Profile:      q.Profile(),
-		Launches:     []*gpusim.Result{ev.Result},
-	}
-	observeRun(p.obs, rp)
 	return rp, nil
 }

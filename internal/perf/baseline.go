@@ -80,6 +80,11 @@ func Compare(base, cur *BenchReport, th Thresholds) (regs []Regression, warnings
 			"device model differs from baseline (%q vs %q): time deltas reflect the model change",
 			cur.DeviceModel.Name, base.DeviceModel.Name))
 	}
+	if base.Pipeline != cur.Pipeline {
+		warnings = append(warnings, fmt.Sprintf(
+			"pipeline mode differs from baseline (%q vs %q): pipelined-time deltas reflect the mode change",
+			cur.Pipeline, base.Pipeline))
+	}
 	matched := 0
 	for i := range cur.Points {
 		cp := &cur.Points[i]
@@ -122,7 +127,10 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// ReadBenchReport loads a BENCH_*.json file.
+// ReadBenchReport loads a BENCH_*.json file. Older schema versions are
+// upgraded in memory to the current one so baselines captured before a
+// compatible schema bump keep working: a v1 file (which predates pipeline
+// modes) becomes a v2 serial report whose pipelined time equals its total.
 func ReadBenchReport(path string) (*BenchReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -135,5 +143,50 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 	if r.SchemaVersion == 0 {
 		return nil, fmt.Errorf("perf: %s: missing schema_version", path)
 	}
+	if r.SchemaVersion == 1 {
+		r.SchemaVersion = 2
+		r.Pipeline = "serial"
+		for i := range r.Points {
+			r.Points[i].PipelinedMS = r.Points[i].TotalMS
+			r.Points[i].SpeedupVsSerial = 1
+		}
+	}
+	if r.SchemaVersion > BenchSchemaVersion {
+		return nil, fmt.Errorf("perf: %s: schema v%d is newer than this binary's v%d",
+			path, r.SchemaVersion, BenchSchemaVersion)
+	}
 	return &r, nil
+}
+
+// VerifyOverlapBeatsSerial checks the invariant the overlap pipeline must
+// satisfy on every point: the executed (pipelined) time never exceeds the
+// serial total. CI's overlap bench-smoke gates on this. A small relative
+// slack absorbs float accumulation differences between the two accountings.
+func VerifyOverlapBeatsSerial(r *BenchReport) error {
+	const slack = 1e-9
+	var bad []string
+	for i := range r.Points {
+		pt := &r.Points[i]
+		if pt.PipelinedMS.Mean > pt.TotalMS.Mean*(1+slack) {
+			bad = append(bad, fmt.Sprintf("%s N=%d: pipelined %.6gms > serial %.6gms",
+				pt.Plan, pt.N, pt.PipelinedMS.Mean, pt.TotalMS.Mean))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("perf: overlap slower than serial on %d point(s):\n  %s",
+			len(bad), joinLines(bad))
+	}
+	return nil
+}
+
+// joinLines joins with newline+indent for multi-line error rendering.
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
 }

@@ -12,12 +12,17 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/ic"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
 // BenchSchemaVersion identifies the BENCH_*.json layout; bump on breaking
 // changes so baseline comparisons refuse to diff incompatible files.
-const BenchSchemaVersion = 1
+//
+// v2 added the pipeline mode and the per-point pipelined time / speedup
+// columns; ReadBenchReport upgrades v1 files in memory (serial mode,
+// pipelined == total).
+const BenchSchemaVersion = 2
 
 // PlanNames lists the four plans in the paper's presentation order.
 var PlanNames = []string{"i-parallel", "j-parallel", "w-parallel", "jw-parallel"}
@@ -35,6 +40,12 @@ type BenchConfig struct {
 	// Theta, Eps and Seed configure the workload/treecode as in the paper.
 	Theta, Eps float32
 	Seed       uint64
+	// Pipeline selects how consecutive evaluations are placed on the executed
+	// timeline: pipeline.Serial (the default) lays them end to end;
+	// pipeline.Overlap double-buffers host against device work across repeats
+	// (the paper's implementation note 4), which the PipelinedMS column
+	// measures.
+	Pipeline pipeline.Mode
 	// Device is the modelled GPU.
 	Device gpusim.DeviceConfig
 	// Progress, when non-nil, receives one line per completed point.
@@ -113,6 +124,14 @@ type BenchPoint struct {
 	TotalMS      Stat `json:"totalMs"`
 	WallMS       Stat `json:"wallMs"` // real time per evaluation on this machine
 	KernelGFLOPS Stat `json:"kernelGflops"`
+	// PipelinedMS is the executed cost per evaluation on the cross-evaluation
+	// timeline under the sweep's pipeline mode: under serial it equals
+	// TotalMS; under overlap it converges to max(host, device) per step.
+	PipelinedMS Stat `json:"pipelinedMs"`
+	// SpeedupVsSerial is TotalMS.Mean / PipelinedMS.Mean — the overlap-vs-
+	// serial speedup column (1.0 under serial mode or when host work is
+	// negligible).
+	SpeedupVsSerial float64 `json:"speedupVsSerial"`
 
 	Report PlanReport `json:"report"`
 }
@@ -122,6 +141,8 @@ type BenchPoint struct {
 type BenchReport struct {
 	SchemaVersion int    `json:"schema_version"`
 	GeneratedAt   string `json:"generated_at,omitempty"`
+	// Pipeline is the mode the sweep ran under ("serial" or "overlap").
+	Pipeline string `json:"pipeline"`
 	// DeviceModel pins every cost-model parameter the numbers depend on, so
 	// baselines are comparable (or detectably incomparable) across
 	// device-model changes.
@@ -187,6 +208,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	}
 	rep := &BenchReport{
 		SchemaVersion: BenchSchemaVersion,
+		Pipeline:      cfg.Pipeline.String(),
 		DeviceModel:   cfg.Device,
 		Plans:         plans,
 		Sizes:         cfg.Sizes,
@@ -209,13 +231,29 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			if ob, ok := plan.(obs.Observable); ok {
 				ob.SetObs(o)
 			}
+			// The runner places this point's evaluations on the executed
+			// cross-evaluation timeline under the configured pipeline mode.
+			runner := pipeline.Runner{Mode: cfg.Pipeline}
+			account := func(prof *core.RunProfile) float64 {
+				h := prof.Profile.HostSeconds
+				d := prof.Profile.KernelSeconds + prof.Profile.TransferSeconds
+				if prof.Schedule != nil {
+					h = prof.Schedule.HostSeconds()
+					d = prof.Schedule.DeviceSeconds()
+				}
+				return runner.Account(h, d)
+			}
 			// Warm-up: allocate buffers and page in the pipeline so wall
-			// statistics measure steady-state evaluations.
-			if _, err := plan.Accel(sys.Clone()); err != nil {
+			// statistics measure steady-state evaluations. Accounting the
+			// warm-up also primes the overlap pipeline, so the timed repeats
+			// observe the steady-state step cost.
+			warmProf, err := plan.Accel(sys.Clone())
+			if err != nil {
 				return nil, fmt.Errorf("perf: %s at N=%d: %w", name, n, err)
 			}
+			account(warmProf)
 
-			var kernel, transfer, host, total, wall, gflops []float64
+			var kernel, transfer, host, total, wall, gflops, pipelined []float64
 			var prof *core.RunProfile
 			for r := 0; r < repeats; r++ {
 				// The final repeat's span bundle feeds the attribution, so
@@ -236,6 +274,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 				total = append(total, prof.Profile.TotalSeconds()*1e3)
 				wall = append(wall, wallSec*1e3)
 				gflops = append(gflops, prof.KernelGFLOPS())
+				pipelined = append(pipelined, account(prof)*1e3)
 			}
 
 			pt := BenchPoint{
@@ -247,14 +286,19 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 				TotalMS:      newStat(total),
 				WallMS:       newStat(wall),
 				KernelGFLOPS: newStat(gflops),
+				PipelinedMS:  newStat(pipelined),
 				Report:       BuildPlanReport(cfg.Device, prof, o.Trace.Spans()),
+			}
+			if pt.PipelinedMS.Mean > 0 {
+				pt.SpeedupVsSerial = pt.TotalMS.Mean / pt.PipelinedMS.Mean
 			}
 			rep.Points = append(rep.Points, pt)
 			lastObs, lastLaunches = o, prof.Launches
 			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "  %-12s N=%-7d kernel=%8.3fms  %7.1f GFLOPS  occ=%s  %s\n",
+				fmt.Fprintf(cfg.Progress, "  %-12s N=%-7d kernel=%8.3fms  %7.1f GFLOPS  occ=%s  pipe=%.2fx  %s\n",
 					name, n, pt.KernelMS.Mean, pt.KernelGFLOPS.Mean,
-					occupancySummary(pt.Report), pt.Report.Attribution.CriticalSide+"-bound")
+					occupancySummary(pt.Report), pt.SpeedupVsSerial,
+					pt.Report.Attribution.CriticalSide+"-bound")
 			}
 		}
 	}

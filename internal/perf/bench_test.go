@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/gpusim"
+	"repro/internal/pipeline"
 )
 
 // benchConfig is a tiny sweep on the real HD 5850 model: small enough for
@@ -105,8 +106,11 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
-	if !strings.Contains(buf.String(), "\"schema_version\": 1") {
+	if !strings.Contains(buf.String(), "\"schema_version\": 2") {
 		t.Error("schema_version missing from JSON")
+	}
+	if !strings.Contains(buf.String(), "\"pipeline\": \"serial\"") {
+		t.Error("pipeline mode missing from JSON")
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := writeFile(path, buf.Bytes()); err != nil {
@@ -225,6 +229,149 @@ func TestRunBenchTraceOut(t *testing.T) {
 	}
 	if len(doc.TraceEvents) == 0 {
 		t.Fatal("trace has no events")
+	}
+}
+
+// TestBenchSerialPipelinedEqualsTotal pins the serial-mode invariant: with
+// evaluations laid end to end, the executed per-evaluation cost is exactly
+// the serial total, and the speedup column reads 1.
+func TestBenchSerialPipelinedEqualsTotal(t *testing.T) {
+	rep := getBench(t)
+	if rep.Pipeline != "serial" {
+		t.Fatalf("default sweep pipeline = %q, want serial", rep.Pipeline)
+	}
+	for _, pt := range rep.Points {
+		if !near(pt.PipelinedMS.Mean, pt.TotalMS.Mean) {
+			t.Errorf("%s N=%d: serial pipelined %.6g != total %.6g",
+				pt.Plan, pt.N, pt.PipelinedMS.Mean, pt.TotalMS.Mean)
+		}
+		if !near(pt.SpeedupVsSerial, 1) {
+			t.Errorf("%s N=%d: serial speedup = %g, want 1", pt.Plan, pt.N, pt.SpeedupVsSerial)
+		}
+	}
+	if err := VerifyOverlapBeatsSerial(rep); err != nil {
+		t.Errorf("serial report fails overlap<=serial invariant: %v", err)
+	}
+}
+
+// TestBenchOverlapSpeedsUpBHPlans runs the sweep in overlap mode and checks
+// the paper's pipelining claim falls out: the BH plans (whose host tree/list
+// build can hide behind device work) get a strict speedup, nothing regresses
+// past its serial total, and the speedup column is consistent with the two
+// time columns.
+func TestBenchOverlapSpeedsUpBHPlans(t *testing.T) {
+	cfg := benchConfig()
+	cfg.Pipeline = pipeline.Overlap
+	rep, err := RunBench(cfg)
+	if err != nil {
+		t.Fatalf("RunBench: %v", err)
+	}
+	if rep.Pipeline != "overlap" {
+		t.Fatalf("pipeline = %q, want overlap", rep.Pipeline)
+	}
+	if err := VerifyOverlapBeatsSerial(rep); err != nil {
+		t.Fatalf("overlap slower than serial: %v", err)
+	}
+	for _, name := range []string{"w-parallel", "jw-parallel"} {
+		pt := rep.Point(name, 1024)
+		if pt == nil {
+			t.Fatalf("missing %s point", name)
+		}
+		if pt.PipelinedMS.Mean >= pt.TotalMS.Mean {
+			t.Errorf("%s N=1024: overlap pipelined %.6gms not below serial total %.6gms",
+				name, pt.PipelinedMS.Mean, pt.TotalMS.Mean)
+		}
+		if pt.SpeedupVsSerial <= 1 {
+			t.Errorf("%s N=1024: overlap speedup = %g, want > 1", name, pt.SpeedupVsSerial)
+		}
+		if want := pt.TotalMS.Mean / pt.PipelinedMS.Mean; !near(pt.SpeedupVsSerial, want) {
+			t.Errorf("%s N=1024: speedup column %g inconsistent with times (%g)",
+				name, pt.SpeedupVsSerial, want)
+		}
+	}
+	// The serial columns are mode-independent: overlap changes only the
+	// executed placement, never the amount of modelled work.
+	base := getBench(t)
+	for _, pt := range rep.Points {
+		bp := base.Point(pt.Plan, pt.N)
+		if bp == nil {
+			t.Fatalf("missing baseline point %s N=%d", pt.Plan, pt.N)
+		}
+		if !near(pt.TotalMS.Mean, bp.TotalMS.Mean) || !near(pt.KernelMS.Mean, bp.KernelMS.Mean) {
+			t.Errorf("%s N=%d: serial columns changed under overlap: total %.6g vs %.6g",
+				pt.Plan, pt.N, pt.TotalMS.Mean, bp.TotalMS.Mean)
+		}
+	}
+}
+
+// TestVerifyOverlapBeatsSerialDetectsViolation flips one point and expects
+// the gate to trip.
+func TestVerifyOverlapBeatsSerialDetectsViolation(t *testing.T) {
+	rep := getBench(t)
+	bad := *rep
+	bad.Points = append([]BenchPoint(nil), rep.Points...)
+	bad.Points[0].PipelinedMS.Mean = bad.Points[0].TotalMS.Mean * 1.5
+	err := VerifyOverlapBeatsSerial(&bad)
+	if err == nil {
+		t.Fatal("inflated pipelined time passed the gate")
+	}
+	if !strings.Contains(err.Error(), bad.Points[0].Plan) {
+		t.Errorf("violation message %q does not name the plan", err)
+	}
+}
+
+// TestReadBenchReportUpgradesV1 writes a v1-shaped file (no pipeline field,
+// no pipelined columns) and checks the reader upgrades it to a comparable v2
+// report.
+func TestReadBenchReportUpgradesV1(t *testing.T) {
+	rep := getBench(t)
+	old := *rep
+	old.SchemaVersion = 1
+	old.Pipeline = ""
+	old.Points = append([]BenchPoint(nil), rep.Points...)
+	for i := range old.Points {
+		old.Points[i].PipelinedMS = Stat{}
+		old.Points[i].SpeedupVsSerial = 0
+	}
+	var buf bytes.Buffer
+	if err := old.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench_v1.json")
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatalf("ReadBenchReport: %v", err)
+	}
+	if got.SchemaVersion != BenchSchemaVersion || got.Pipeline != "serial" {
+		t.Fatalf("upgrade produced v%d pipeline=%q", got.SchemaVersion, got.Pipeline)
+	}
+	for _, pt := range got.Points {
+		if pt.PipelinedMS != pt.TotalMS || pt.SpeedupVsSerial != 1 {
+			t.Fatalf("%s N=%d: v1 point not upgraded: %+v", pt.Plan, pt.N, pt.PipelinedMS)
+		}
+	}
+	// The upgraded baseline must be comparable against a fresh v2 report.
+	regs, _, err := Compare(got, rep, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare(v1-upgraded, v2): %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("upgraded baseline regressed against itself: %v", regs)
+	}
+}
+
+// TestReadBenchReportRejectsNewerSchema guards the other direction: a file
+// written by a future schema must not be silently misread.
+func TestReadBenchReportRejectsNewerSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench_future.json")
+	if err := writeFile(path, []byte(`{"schema_version": 99}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchReport(path); err == nil {
+		t.Fatal("future schema accepted")
 	}
 }
 

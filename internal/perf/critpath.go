@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // Attribution is the critical-path breakdown of a span bundle: how the
@@ -43,6 +44,13 @@ type Attribution struct {
 	// LongestStage is the single most expensive stage overall.
 	LongestStage        Stage   `json:"longestStage"`
 	LongestStageSeconds float64 `json:"longestStageSeconds"`
+
+	// MakespanSeconds is the end of the executed timeline: where the last
+	// stage finished on the queue clock. On an in-order queue it equals
+	// SerialSeconds; with out-of-order overlap it is smaller. Span-classified
+	// attributions (Attribute) have no placement information and report the
+	// serial sum here.
+	MakespanSeconds float64 `json:"makespanSeconds"`
 }
 
 // Attribute walks a span bundle and attributes every modelled span to a
@@ -59,6 +67,12 @@ func Attribute(spans []obs.SpanRecord) Attribution {
 		if sp.Domain != obs.DomainModelled {
 			continue
 		}
+		// The stage-graph executor mirrors every stage as a "stage" span on
+		// top of the underlying cl event spans; counting both would double
+		// the evaluation. The meta-spans belong to AttributeExecuted's world.
+		if sp.Category == "stage" {
+			continue
+		}
 		stage := ClassifyModelled(sp.Name, sp.Category)
 		sec := sp.DurUS / 1e6
 		a.StageSeconds[stage] += sec
@@ -69,6 +83,63 @@ func Attribute(spans []obs.SpanRecord) Attribution {
 			a.DeviceSeconds += sec
 		}
 	}
+	a.finalize()
+	a.MakespanSeconds = a.SerialSeconds
+	return a
+}
+
+// stageOfKind maps a pipeline stage kind onto the perf stage taxonomy.
+func stageOfKind(k pipeline.Kind) Stage {
+	switch k {
+	case pipeline.Tree:
+		return StageTree
+	case pipeline.List:
+		return StageList
+	case pipeline.Upload:
+		return StageUpload
+	case pipeline.Kernel:
+		return StageKernel
+	case pipeline.Reduce:
+		return StageReduce
+	case pipeline.Download:
+		return StageDownload
+	}
+	return StageOtherHost
+}
+
+// AttributeExecuted builds the attribution from an executed stage schedule —
+// the typed record of which stages ran and where they landed on the modelled
+// timeline — instead of string-classifying trace spans. This is the preferred
+// path: stage kinds come from the graph that actually executed, so no name
+// convention is involved, and the makespan reflects real placement (including
+// out-of-order overlap) rather than assuming serial execution.
+func AttributeExecuted(sched *pipeline.Schedule) Attribution {
+	a := Attribution{
+		StageSeconds:   map[Stage]float64{},
+		StageFractions: map[Stage]float64{},
+	}
+	if sched == nil {
+		return a
+	}
+	for _, sp := range sched.Spans {
+		stage := stageOfKind(sp.Kind)
+		sec := sp.Seconds()
+		a.StageSeconds[stage] += sec
+		a.Spans++
+		if sp.Kind.HostSide() {
+			a.HostSeconds += sec
+		} else {
+			a.DeviceSeconds += sec
+		}
+	}
+	a.finalize()
+	a.MakespanSeconds = sched.MakespanSeconds()
+	return a
+}
+
+// finalize derives the totals, fractions, critical side/chain, and longest
+// stage from the populated StageSeconds / HostSeconds / DeviceSeconds.
+func (a *Attribution) finalize() {
 	a.SerialSeconds = a.HostSeconds + a.DeviceSeconds
 	if a.SerialSeconds > 0 {
 		for st, sec := range a.StageSeconds {
@@ -94,7 +165,6 @@ func Attribute(spans []obs.SpanRecord) Attribution {
 		}
 	}
 	a.CriticalSeconds = a.PipelinedSeconds
-	return a
 }
 
 // String renders a one-line summary for logs and CLI output.

@@ -4,7 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/gpusim"
+	"repro/internal/ic"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // modelled builds a modelled-domain span of the given duration in seconds.
@@ -108,6 +111,113 @@ func TestAttributeEmpty(t *testing.T) {
 	a := Attribute(nil)
 	if a.Spans != 0 || a.SerialSeconds != 0 || len(a.CriticalChain) != 0 {
 		t.Errorf("empty attribution not empty: %+v", a)
+	}
+}
+
+// span is a StageSpan literal helper (times in seconds on the queue clock).
+func span(stage string, kind pipeline.Kind, start, end float64) pipeline.StageSpan {
+	return pipeline.StageSpan{Stage: stage, Kind: kind, Start: start, End: end}
+}
+
+func TestAttributeExecutedSchedule(t *testing.T) {
+	sched := &pipeline.Schedule{Graph: "test", Spans: []pipeline.StageSpan{
+		span("tree", pipeline.Tree, 0, 0.001),
+		span("list", pipeline.List, 0.001, 0.003),
+		span("upload:posm", pipeline.Upload, 0.003, 0.004),
+		span("force", pipeline.Kernel, 0.004, 0.014),
+		span("download:acc", pipeline.Download, 0.014, 0.017),
+	}}
+	a := AttributeExecuted(sched)
+	if a.Spans != 5 {
+		t.Fatalf("spans = %d, want 5", a.Spans)
+	}
+	if !near(a.HostSeconds, 0.003) || !near(a.DeviceSeconds, 0.014) {
+		t.Errorf("host/device = %g/%g, want 0.003/0.014", a.HostSeconds, a.DeviceSeconds)
+	}
+	if !near(a.SerialSeconds, 0.017) || !near(a.PipelinedSeconds, 0.014) {
+		t.Errorf("serial/pipelined = %g/%g", a.SerialSeconds, a.PipelinedSeconds)
+	}
+	if !near(a.MakespanSeconds, 0.017) {
+		t.Errorf("makespan = %g, want 0.017 (in-order schedule)", a.MakespanSeconds)
+	}
+	if a.CriticalSide != "device" || a.LongestStage != StageKernel {
+		t.Errorf("side=%q longest=%q", a.CriticalSide, a.LongestStage)
+	}
+	wantChain := []Stage{StageUpload, StageKernel, StageDownload}
+	if len(a.CriticalChain) != len(wantChain) {
+		t.Fatalf("chain = %v, want %v", a.CriticalChain, wantChain)
+	}
+	for i, st := range wantChain {
+		if a.CriticalChain[i] != st {
+			t.Fatalf("chain = %v, want %v", a.CriticalChain, wantChain)
+		}
+	}
+}
+
+// TestAttributeExecutedOverlappedMakespan: when stages overlapped on the
+// executed timeline (out-of-order queue), the makespan is shorter than the
+// serial sum — placement information the span-classified path cannot see.
+func TestAttributeExecutedOverlappedMakespan(t *testing.T) {
+	sched := &pipeline.Schedule{Graph: "test", Spans: []pipeline.StageSpan{
+		span("tree", pipeline.Tree, 0, 0.004),          // host chain
+		span("upload:posm", pipeline.Upload, 0, 0.001), // device chain, concurrent
+		span("force", pipeline.Kernel, 0.001, 0.003),
+	}}
+	a := AttributeExecuted(sched)
+	if !near(a.SerialSeconds, 0.007) {
+		t.Errorf("serial = %g, want 0.007", a.SerialSeconds)
+	}
+	if !near(a.MakespanSeconds, 0.004) {
+		t.Errorf("makespan = %g, want 0.004 (overlapped)", a.MakespanSeconds)
+	}
+	if a.CriticalSide != "host" {
+		t.Errorf("side = %q, want host", a.CriticalSide)
+	}
+}
+
+func TestAttributeExecutedNil(t *testing.T) {
+	a := AttributeExecuted(nil)
+	if a.Spans != 0 || a.SerialSeconds != 0 || a.MakespanSeconds != 0 {
+		t.Errorf("nil attribution not empty: %+v", a)
+	}
+}
+
+// TestAttributeExecutedMatchesSpanClassification runs a real plan and checks
+// the two attribution paths agree: the typed executed schedule and the
+// string-classified span bundle describe the same modelled evaluation.
+func TestAttributeExecutedMatchesSpanClassification(t *testing.T) {
+	plan, err := newPlan("jw-parallel", gpusim.TestDevice(), 0.6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	plan.(obs.Observable).SetObs(o)
+	prof, err := plan.Accel(ic.Plummer(256, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Schedule == nil {
+		t.Fatal("plan produced no executed schedule")
+	}
+	exec := AttributeExecuted(prof.Schedule)
+	byName := Attribute(o.Trace.Spans())
+	if !near(exec.HostSeconds, byName.HostSeconds) || !near(exec.DeviceSeconds, byName.DeviceSeconds) {
+		t.Errorf("executed host/dev %g/%g vs span-classified %g/%g",
+			exec.HostSeconds, exec.DeviceSeconds, byName.HostSeconds, byName.DeviceSeconds)
+	}
+	if exec.CriticalSide != byName.CriticalSide {
+		t.Errorf("critical side: executed %q vs span-classified %q", exec.CriticalSide, byName.CriticalSide)
+	}
+	for _, st := range StageOrder {
+		if !near(exec.StageSeconds[st], byName.StageSeconds[st]) {
+			t.Errorf("stage %s: executed %g vs span-classified %g",
+				st, exec.StageSeconds[st], byName.StageSeconds[st])
+		}
+	}
+	// The in-order queue lays stages end to end, so the executed makespan is
+	// the serial sum.
+	if !near(exec.MakespanSeconds, exec.SerialSeconds) {
+		t.Errorf("makespan %g != serial %g on in-order queue", exec.MakespanSeconds, exec.SerialSeconds)
 	}
 }
 

@@ -32,8 +32,10 @@ type PlanReport struct {
 
 // BuildPlanReport assembles the report for one evaluation from the plan's
 // run profile, the device model it ran on, and the span bundle recorded
-// during that evaluation (pass the tracer's spans; wall-clock spans are
-// ignored by the attribution).
+// during that evaluation. When the profile carries an executed stage schedule
+// the attribution reads it directly (AttributeExecuted); the span bundle is
+// the fallback for plans without one (wall-clock spans are ignored either
+// way).
 func BuildPlanReport(cfg gpusim.DeviceConfig, prof *core.RunProfile, spans []obs.SpanRecord) PlanReport {
 	r := PlanReport{
 		Plan:            prof.Plan,
@@ -45,7 +47,11 @@ func BuildPlanReport(cfg gpusim.DeviceConfig, prof *core.RunProfile, spans []obs
 		HostSeconds:     prof.Profile.HostSeconds,
 		KernelGFLOPS:    prof.KernelGFLOPS(),
 		TotalGFLOPS:     prof.TotalGFLOPS(),
-		Attribution:     Attribute(spans),
+	}
+	if prof.Schedule != nil {
+		r.Attribution = AttributeExecuted(prof.Schedule)
+	} else {
+		r.Attribution = Attribute(spans)
 	}
 	for _, launch := range prof.Launches {
 		if launch != nil {

@@ -82,12 +82,28 @@ type Snapshot struct {
 	// plans, the modelled device pipeline time (see core.Engine). Zero when
 	// the engine does not report timing.
 	EngineSeconds float64
+	// EngineExecutedSeconds is the engine's executed (possibly overlapped)
+	// timeline; equals EngineSeconds when the engine runs serially and zero
+	// when the engine does not track an executed timeline.
+	EngineExecutedSeconds float64
 }
 
 // TimedEngine is optionally implemented by engines that account their own
 // accumulated time (core.Engine reports the modelled device pipeline time).
 type TimedEngine interface {
 	TotalSeconds() float64
+}
+
+// BatchEngine is optionally implemented by engines whose force evaluations
+// can overlap across steps (core.Engine with pipeline.Overlap). Run hands
+// such an engine a window of steps: StartBatch opens the window, FlushBatch
+// joins the pipeline — in-flight device work must drain before the host
+// reads the full state, as at a snapshot — and returns the window's executed
+// seconds on the engine's modelled timeline.
+type BatchEngine interface {
+	Engine
+	StartBatch()
+	FlushBatch() float64
 }
 
 // Config configures a run.
@@ -114,6 +130,12 @@ type Config struct {
 	// check cadence: set SnapshotEvery to bound how far a broken run can
 	// proceed.
 	Watchdog *perf.Watchdog
+	// PipelineWindow, when > 1 and the engine implements BatchEngine, groups
+	// that many consecutive steps into one pipeline window: the engine may
+	// overlap evaluations within the window, and Run joins the pipeline at
+	// window boundaries and before every snapshot. <= 1 runs every step to
+	// completion (serial).
+	PipelineWindow int
 }
 
 // Run advances the system and returns the recorded snapshots.
@@ -134,6 +156,8 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 	}
 
 	timed, _ := eng.(TimedEngine)
+	batch, _ := eng.(BatchEngine)
+	useBatch := batch != nil && cfg.PipelineWindow > 1
 
 	var snaps []Snapshot
 	var cumInteractions int64
@@ -156,6 +180,9 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 		}
 		if timed != nil {
 			sn.EngineSeconds = timed.TotalSeconds()
+		}
+		if executed, ok := eng.(interface{ ExecutedSeconds() float64 }); ok {
+			sn.EngineExecutedSeconds = executed.ExecutedSeconds()
 		}
 		if len(snaps) == 0 {
 			e0 = sn.Total
@@ -189,7 +216,14 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 	if err := record(0); err != nil {
 		return snaps, err
 	}
+	windowOpen := false
+	windowSteps := 0
 	for step := 1; step <= cfg.Steps; step++ {
+		if useBatch && !windowOpen {
+			batch.StartBatch()
+			windowOpen = true
+			windowSteps = 0
+		}
 		sp := cfg.Obs.Start("step", "sim").Track(eng.Name()).Arg("step", step)
 		begin := time.Now()
 		cumInteractions += integ.Step(s, cfg.DT, force)
@@ -201,7 +235,15 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 		if engineErr != nil {
 			return snaps, fmt.Errorf("sim: engine %s failed at step %d: %w", eng.Name(), step, engineErr)
 		}
-		if (cfg.SnapshotEvery > 0 && step%cfg.SnapshotEvery == 0) || step == cfg.Steps {
+		windowSteps++
+		takeSnap := (cfg.SnapshotEvery > 0 && step%cfg.SnapshotEvery == 0) || step == cfg.Steps
+		// A snapshot reads the whole state on the host, so it is a pipeline
+		// barrier: join before recording, exactly like a window boundary.
+		if windowOpen && (windowSteps >= cfg.PipelineWindow || takeSnap) {
+			batch.FlushBatch()
+			windowOpen = false
+		}
+		if takeSnap {
 			if err := record(step); err != nil {
 				return snaps, err
 			}

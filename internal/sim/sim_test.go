@@ -8,10 +8,14 @@ import (
 
 	"repro/internal/bh"
 	"repro/internal/body"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/gpusim"
 	"repro/internal/ic"
 	"repro/internal/integrate"
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/pipeline"
 	"repro/internal/pp"
 )
 
@@ -285,5 +289,56 @@ func TestRunWatchdogPassesHealthyRun(t *testing.T) {
 		DT: 0.01, Steps: 10, SnapshotEvery: 5, G: 1, Eps: 0.05, Watchdog: w,
 	}); err != nil {
 		t.Fatalf("healthy run halted: %v", err)
+	}
+}
+
+// TestRunPipelineWindow drives a GPU-plan engine through Run in overlap mode
+// with a window of steps: trajectories are bitwise-identical to the serial
+// run (the overlap is timeline accounting, not reordered physics), while the
+// executed engine timeline comes out shorter than the serial one.
+func TestRunPipelineWindow(t *testing.T) {
+	ctx, err := cl.NewContext(gpusim.HD5850())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEng := func(mode pipeline.Mode) *core.Engine {
+		eng := core.NewEngine(core.NewJWParallel(ctx, bh.DefaultOptions()))
+		eng.Mode = mode
+		return eng
+	}
+	cfg := Config{DT: 0.01, Steps: 8, SnapshotEvery: 4, G: 1, Eps: 0.05}
+
+	serialSys := ic.Plummer(1024, 11)
+	serialEng := newEng(pipeline.Serial)
+	serialSnaps, err := Run(serialSys, serialEng, &integrate.Leapfrog{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	overlapSys := ic.Plummer(1024, 11)
+	overlapEng := newEng(pipeline.Overlap)
+	cfg.PipelineWindow = 4
+	overlapSnaps, err := Run(overlapSys, overlapEng, &integrate.Leapfrog{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range serialSys.Pos {
+		if serialSys.Pos[i] != overlapSys.Pos[i] || serialSys.Vel[i] != overlapSys.Vel[i] {
+			t.Fatalf("body %d diverged between serial and overlap runs", i)
+		}
+	}
+	last := overlapSnaps[len(overlapSnaps)-1]
+	if last.EngineExecutedSeconds <= 0 || last.EngineExecutedSeconds >= last.EngineSeconds {
+		t.Errorf("overlap executed %g not below serial-basis %g",
+			last.EngineExecutedSeconds, last.EngineSeconds)
+	}
+	sLast := serialSnaps[len(serialSnaps)-1]
+	if d := sLast.EngineExecutedSeconds - sLast.EngineSeconds; d > 1e-12 || d < -1e-12 {
+		t.Errorf("serial executed %g != serial total %g",
+			sLast.EngineExecutedSeconds, sLast.EngineSeconds)
+	}
+	if sLast.EngineSeconds != last.EngineSeconds {
+		t.Errorf("serial basis changed across modes: %g vs %g", sLast.EngineSeconds, last.EngineSeconds)
 	}
 }
