@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
@@ -45,12 +46,17 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0.05, "allowed relative worsening per metric vs the baseline")
 		trace      = flag.String("trace", "", "write the merged host+device Chrome trace of the final point here")
 		pipeMode   = flag.String("pipeline", "serial", "cross-evaluation execution: serial or overlap (host work hides behind device work; overlap must never be slower than serial — checked per point)")
+		kcheck     = flag.String("kernel-check", "warn", "lint the shipped OpenCL kernels before the sweep: off, warn, strict")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "bench: unexpected arguments %q\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if err := core.PreflightKernelCheck(*kcheck, nil, os.Stderr); err != nil {
+		fatalf("%v", err)
 	}
 
 	cfg := perf.DefaultBenchConfig()

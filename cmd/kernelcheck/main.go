@@ -1,0 +1,175 @@
+// Command kernelcheck lints OpenCL C kernel sources with the
+// internal/clc/analysis rule set — the same analyzers that gate
+// cl.CreateProgram — without building or running anything.
+//
+// Usage:
+//
+//	kernelcheck file.cl ...     lint source files
+//	kernelcheck                 lint OpenCL C read from stdin
+//	kernelcheck -builtin        lint every kernel source shipped in internal/core
+//	kernelcheck -corpus         self-test: every known-bad corpus kernel must
+//	                            produce its expected finding, and the checked
+//	                            interpreter must trap the same defect
+//
+// The exit status is 1 when any unsuppressed finding is reported (or, under
+// -corpus, when the analyzers and the checked interpreter disagree), so the
+// command can gate CI directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/clc"
+	"repro/internal/clc/analysis"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+)
+
+func main() {
+	var (
+		builtin = flag.Bool("builtin", false, "lint every kernel source shipped in internal/core")
+		corpus  = flag.Bool("corpus", false, "self-test the analyzers against the known-bad corpus")
+		verbose = flag.Bool("v", false, "also print suppressed findings")
+	)
+	flag.Parse()
+
+	failed := false
+	switch {
+	case *corpus:
+		failed = runCorpus()
+	case *builtin:
+		report, active := core.BuiltinLintReport(core.CheckBuiltinKernels(), *verbose)
+		fmt.Print(report)
+		failed = active > 0
+	case flag.NArg() == 0:
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernelcheck: stdin: %v\n", err)
+			os.Exit(2)
+		}
+		failed = lintSource("<stdin>", string(src), *verbose)
+	default:
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
+				os.Exit(2)
+			}
+			if lintSource(path, string(src), *verbose) {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintSource analyzes one source and prints its findings prefixed with name.
+// It reports whether any active finding (or analysis failure) occurred.
+func lintSource(name, src string, verbose bool) bool {
+	res, err := analysis.Analyze(src)
+	if err != nil {
+		fmt.Printf("%s: %v\n", name, err)
+		return true
+	}
+	for _, d := range res.Active() {
+		fmt.Printf("%s: %s\n", name, d)
+	}
+	if verbose {
+		for _, d := range res.Suppressed() {
+			fmt.Printf("%s: %s\n", name, d)
+		}
+	}
+	return len(res.Active()) > 0
+}
+
+// runCorpus checks every known-bad corpus entry: the expected rule must fire
+// at the expected position, and dynamic entries must also trap under the
+// checked interpreter with a message naming the same defect. Returns true on
+// any disagreement.
+func runCorpus() bool {
+	failed := false
+	for _, e := range analysis.Corpus() {
+		if !corpusStaticOK(e) {
+			failed = true
+			continue
+		}
+		if e.Dynamic && !corpusCheckedOK(e) {
+			failed = true
+			continue
+		}
+		mode := "static"
+		if e.Dynamic {
+			mode = "static+checked"
+		}
+		fmt.Printf("ok   %-32s %s at %d:%d (%s)\n", e.Name, e.Rule, e.WantLine, e.WantCol, mode)
+	}
+	return failed
+}
+
+func corpusStaticOK(e analysis.CorpusEntry) bool {
+	res, err := analysis.Analyze(e.Src)
+	if err != nil {
+		fmt.Printf("FAIL %s: analysis: %v\n", e.Name, err)
+		return false
+	}
+	for _, d := range res.Active() {
+		if d.Rule == e.Rule && d.Tok.Line == e.WantLine && d.Tok.Col == e.WantCol {
+			return true
+		}
+	}
+	fmt.Printf("FAIL %s: no %s finding at %d:%d; got:\n", e.Name, e.Rule, e.WantLine, e.WantCol)
+	for _, d := range res.Active() {
+		fmt.Printf("     %s\n", d)
+	}
+	return false
+}
+
+func corpusCheckedOK(e analysis.CorpusEntry) bool {
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	prog, err := clc.Parse(e.Src)
+	if err != nil {
+		fmt.Printf("FAIL %s: parse: %v\n", e.Name, err)
+		return false
+	}
+	args := make([]clc.Arg, len(e.Args))
+	for i, a := range e.Args {
+		switch a.Kind {
+		case "fbuf":
+			args[i] = clc.BufArg(dev.NewBufferF32(fmt.Sprintf("%s.arg%d", e.Name, i), a.N))
+		case "ibuf":
+			args[i] = clc.BufArg(dev.NewBufferI32(fmt.Sprintf("%s.arg%d", e.Name, i), a.N))
+		case "int":
+			args[i] = clc.IntArg(a.Int)
+		case "float":
+			args[i] = clc.FloatArg(a.Float)
+		case "local":
+			args[i] = clc.LocalArg(a.N)
+		default:
+			fmt.Printf("FAIL %s: unknown corpus arg kind %q\n", e.Name, a.Kind)
+			return false
+		}
+	}
+	kf, lds, err := clc.BindChecked(prog, e.Kernel, args)
+	if err != nil {
+		fmt.Printf("FAIL %s: bind: %v\n", e.Name, err)
+		return false
+	}
+	_, err = dev.Launch(e.Kernel, kf, gpusim.LaunchParams{
+		Global: e.Global, Local: e.Local, LDSFloats: lds,
+	})
+	if err == nil {
+		fmt.Printf("FAIL %s: checked launch did not trap (static rule %s)\n", e.Name, e.Rule)
+		return false
+	}
+	if !strings.Contains(err.Error(), e.TrapSubstring) {
+		fmt.Printf("FAIL %s: trap %q does not mention %q\n", e.Name, err, e.TrapSubstring)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,11 @@
+// Known-bad kernel kept as a CI fixture: kernelcheck must exit non-zero on
+// this file. The local-memory staging write is never separated from the
+// cross-lane read by a barrier.
+__kernel void stage(__global const float* src, __global float* dst,
+                    __local float* tile, int n) {
+    int i = get_global_id(0);
+    int l = get_local_id(0);
+    if (i >= n) { return; }
+    tile[l] = src[i];
+    dst[i] = tile[0];
+}

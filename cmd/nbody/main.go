@@ -58,6 +58,7 @@ func main() {
 		tolMom    = flag.Float64("tol-momentum", 0, "watchdog: halt when ||P-P0|| exceeds this (0 disables)")
 		pipeMode  = flag.String("pipeline", "serial", "cross-step execution on the modelled timeline: serial (steps laid end to end) or overlap (step t+1's host tree/list build hides behind step t's device work; GPU engines only)")
 		pipeWin   = flag.Int("pipeline-window", 8, "steps per pipeline window under -pipeline=overlap (snapshots always join the pipeline)")
+		kcheck    = flag.String("kernel-check", "warn", "lint the shipped OpenCL kernels before the run: off, warn, strict")
 	)
 	flag.Parse()
 
@@ -69,6 +70,9 @@ func main() {
 	var o *obs.Obs
 	if *metricsTo != "" || *traceTo != "" || *debugAddr != "" || *perfTo != "" {
 		o = obs.New()
+	}
+	if err := core.PreflightKernelCheck(*kcheck, o, os.Stderr); err != nil {
+		fail(err)
 	}
 	if *debugAddr != "" {
 		o.Metrics.Publish("nbody.metrics")

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/clc/analysis"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
 )
@@ -19,6 +20,21 @@ import (
 // Context owns a device.
 type Context struct {
 	dev *gpusim.Device
+	obs *obs.Obs
+}
+
+// SetObs attaches a telemetry bundle to the context: program builds report
+// kernel static-analysis results as clc.lint.* metrics.
+func (c *Context) SetObs(o *obs.Obs) { c.obs = o }
+
+// observeLint publishes one build's analyzer outcome.
+func (c *Context) observeLint(r *analysis.Result) {
+	if c.obs == nil || r == nil {
+		return
+	}
+	c.obs.Counter("clc.lint.findings").Add(int64(len(r.Active())))
+	c.obs.Counter("clc.lint.errors").Add(int64(len(r.Errors())))
+	c.obs.Counter("clc.lint.suppressed").Add(int64(len(r.Suppressed())))
 }
 
 // NewContext creates a context on a freshly instantiated device with the

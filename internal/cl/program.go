@@ -2,10 +2,39 @@ package cl
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/clc"
+	"repro/internal/clc/analysis"
 	"repro/internal/gpusim"
 )
+
+// CheckMode selects how kernel static-analysis findings gate a build.
+type CheckMode int
+
+// Check modes. CheckStrict is the zero value: plain CreateProgram rejects
+// programs with unsuppressed error-severity findings (localrace,
+// barrierdiverge) — the OpenCL build step is the last point where a racy
+// kernel is cheap to stop.
+const (
+	// CheckStrict fails the build on unsuppressed error-severity findings.
+	CheckStrict CheckMode = iota
+	// CheckWarn runs the analyzers but never fails the build; findings are
+	// available through BuildLog and Diagnostics.
+	CheckWarn
+	// CheckOff skips analysis entirely (the escape hatch).
+	CheckOff
+)
+
+// BuildOptions tune CreateProgramWithOptions.
+type BuildOptions struct {
+	// KernelCheck gates the build on the internal/clc/analysis rule set.
+	KernelCheck CheckMode
+	// Checked enables the checked interpreter mode for every kernel of the
+	// program: __local accesses are logged against a shadow store and the
+	// launch traps on cross-work-item races and divergent barrier counts.
+	Checked bool
+}
 
 // Program is a compiled OpenCL C program (see internal/clc for the
 // supported subset), the analogue of clCreateProgramWithSource +
@@ -13,15 +42,63 @@ import (
 type Program struct {
 	ctx  *Context
 	prog *clc.Program
+	opts BuildOptions
+	lint *analysis.Result
 }
 
-// CreateProgram compiles OpenCL C source.
+// CreateProgram compiles OpenCL C source under the default build options:
+// strict kernel checking, normal interpreter.
 func (c *Context) CreateProgram(source string) (*Program, error) {
+	return c.CreateProgramWithOptions(source, BuildOptions{})
+}
+
+// CreateProgramWithOptions compiles OpenCL C source. Unless KernelCheck is
+// CheckOff, the static analyzers run over every kernel; in CheckStrict mode
+// unsuppressed error-severity findings fail the build.
+func (c *Context) CreateProgramWithOptions(source string, opts BuildOptions) (*Program, error) {
 	prog, err := clc.Parse(source)
 	if err != nil {
 		return nil, err
 	}
-	return &Program{ctx: c, prog: prog}, nil
+	p := &Program{ctx: c, prog: prog, opts: opts}
+	if opts.KernelCheck != CheckOff {
+		p.lint = analysis.AnalyzeProgram(prog, source)
+		c.observeLint(p.lint)
+		if opts.KernelCheck == CheckStrict {
+			if errs := p.lint.Errors(); len(errs) > 0 {
+				lines := make([]string, len(errs))
+				for i, d := range errs {
+					lines[i] = "  " + d.String()
+				}
+				return nil, fmt.Errorf("cl: kernel check failed (%d error(s); fix, suppress with kernelcheck:allow, or build with CheckWarn/CheckOff):\n%s",
+					len(errs), strings.Join(lines, "\n"))
+			}
+		}
+	}
+	return p, nil
+}
+
+// Diagnostics returns every analyzer finding for the program, suppressed
+// ones included, in source order (nil when built with CheckOff).
+func (p *Program) Diagnostics() []analysis.Diagnostic {
+	if p.lint == nil {
+		return nil
+	}
+	return p.lint.Diags
+}
+
+// BuildLog renders the unsuppressed findings clBuildProgram-style, one per
+// line; empty when the program is clean or unchecked.
+func (p *Program) BuildLog() string {
+	if p.lint == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range p.lint.Active() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // KernelNames lists the __kernel entry points in source order.
@@ -61,7 +138,9 @@ func (p *Program) CreateKernel(name string) (*CLKernel, error) {
 type LocalFloats int
 
 // SetArgs binds the kernel's arguments in positional order. Accepted types:
-// *gpusim.Buffer, int/int32, float32/float64, LocalFloats.
+// *gpusim.Buffer, int/int32, float32/float64, LocalFloats. The bound list is
+// validated eagerly against the kernel's declared signature — arity and type
+// mismatches fail here, at the clSetKernelArg analogue, not at launch.
 func (k *CLKernel) SetArgs(args ...any) error {
 	bound := make([]clc.Arg, 0, len(args))
 	for i, a := range args {
@@ -82,14 +161,22 @@ func (k *CLKernel) SetArgs(args ...any) error {
 			return fmt.Errorf("cl: kernel %q arg %d: unsupported type %T", k.name, i, a)
 		}
 	}
+	if err := clc.CheckArgs(k.prog.prog, k.name, bound); err != nil {
+		return err
+	}
 	k.args = bound
 	return nil
 }
 
 // EnqueueCLKernel launches a compiled OpenCL C kernel over a 1-D NDRange,
-// recording a profiled kernel event like EnqueueNDRange.
+// recording a profiled kernel event like EnqueueNDRange. Programs built
+// with BuildOptions.Checked run under the checked interpreter.
 func (q *Queue) EnqueueCLKernel(k *CLKernel, global, local int, deps ...*Event) (*Event, error) {
-	fn, ldsFloats, err := clc.Bind(k.prog.prog, k.name, k.args)
+	bindFn := clc.Bind
+	if k.prog.opts.Checked {
+		bindFn = clc.BindChecked
+	}
+	fn, ldsFloats, err := bindFn(k.prog.prog, k.name, k.args)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clc"
+	"repro/internal/gpusim"
+)
+
+// buildCorpusArgs materialises a corpus entry's launch arguments on a device.
+func buildCorpusArgs(d *gpusim.Device, e CorpusEntry) ([]clc.Arg, error) {
+	args := make([]clc.Arg, len(e.Args))
+	for i, a := range e.Args {
+		switch a.Kind {
+		case "fbuf":
+			args[i] = clc.BufArg(d.NewBufferF32(fmt.Sprintf("%s.arg%d", e.Name, i), a.N))
+		case "ibuf":
+			args[i] = clc.BufArg(d.NewBufferI32(fmt.Sprintf("%s.arg%d", e.Name, i), a.N))
+		case "int":
+			args[i] = clc.IntArg(a.Int)
+		case "float":
+			args[i] = clc.FloatArg(a.Float)
+		case "local":
+			args[i] = clc.LocalArg(a.N)
+		default:
+			return nil, fmt.Errorf("unknown corpus arg kind %q", a.Kind)
+		}
+	}
+	return args, nil
+}
+
+// TestCorpusCheckedAgreement launches every dynamic corpus entry under the
+// checked interpreter and requires a trap naming the same defect the static
+// analyzer reported — the analyzer and the checked mode must agree on what
+// is wrong with each kernel.
+func TestCorpusCheckedAgreement(t *testing.T) {
+	for _, e := range Corpus() {
+		if !e.Dynamic {
+			continue
+		}
+		t.Run(e.Name, func(t *testing.T) {
+			dev := gpusim.MustNewDevice(gpusim.TestDevice())
+			prog, err := clc.Parse(e.Src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			args, err := buildCorpusArgs(dev, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kf, lds, err := clc.BindChecked(prog, e.Kernel, args)
+			if err != nil {
+				t.Fatalf("bind: %v", err)
+			}
+			_, err = dev.Launch(e.Kernel, kf, gpusim.LaunchParams{
+				Global: e.Global, Local: e.Local, LDSFloats: lds,
+			})
+			if err == nil {
+				t.Fatalf("checked launch of %s did not trap (static rule %s)", e.Name, e.Rule)
+			}
+			if !strings.Contains(err.Error(), e.TrapSubstring) {
+				t.Fatalf("trap %q does not mention %q", err, e.TrapSubstring)
+			}
+		})
+	}
+}
+
+// TestCheckedCleanKernel: the canonical correctly-synchronised staging
+// kernel runs to completion under the checked interpreter — no false traps
+// from barrier-phase tracking on a clean kernel.
+func TestCheckedCleanKernel(t *testing.T) {
+	dev := gpusim.MustNewDevice(gpusim.TestDevice())
+	prog, err := clc.Parse(cleanStaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dev.NewBufferF32("src", 8)
+	dst := dev.NewBufferF32("dst", 8)
+	for i, f := range src.HostF32() {
+		src.HostF32()[i] = f + float32(i)
+	}
+	kf, lds, err := clc.BindChecked(prog, "staged", []clc.Arg{
+		clc.BufArg(src), clc.BufArg(dst), clc.LocalArg(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch("staged", kf, gpusim.LaunchParams{Global: 8, Local: 4, LDSFloats: lds}); err != nil {
+		t.Fatalf("checked launch of clean kernel trapped: %v", err)
+	}
+	// Each group's work-items all see the group sum.
+	want := []float32{0 + 1 + 2 + 3, 0, 0, 0, 4 + 5 + 6 + 7}
+	got := dst.HostF32()
+	if got[0] != want[0] || got[4] != want[4] {
+		t.Fatalf("dst = %v", got)
+	}
+}

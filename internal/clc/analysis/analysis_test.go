@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusStatic checks that every known-bad kernel is flagged by the
+// expected rule at the expected token position.
+func TestCorpusStatic(t *testing.T) {
+	for _, e := range Corpus() {
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := Analyze(e.Src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, d := range res.Active() {
+				if d.Rule == e.Rule && d.Tok.Line == e.WantLine && d.Tok.Col == e.WantCol {
+					return
+				}
+			}
+			t.Errorf("no %s finding at %d:%d; got:", e.Rule, e.WantLine, e.WantCol)
+			for _, d := range res.Diags {
+				t.Errorf("  %s", d)
+			}
+		})
+	}
+}
+
+// TestCorpusSeverities checks the severity policy: race and barrier defects
+// are errors (build-rejecting), the rest warnings.
+func TestCorpusSeverities(t *testing.T) {
+	wantErr := map[string]bool{"localrace": true, "barrierdiverge": true}
+	for _, e := range Corpus() {
+		res, err := Analyze(e.Src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", e.Name, err)
+		}
+		hasErr := len(res.Errors()) > 0
+		if hasErr != wantErr[e.Rule] {
+			t.Errorf("%s (%s): errors=%v, want %v", e.Name, e.Rule, hasErr, wantErr[e.Rule])
+		}
+	}
+}
+
+const cleanStaged = `__kernel void staged(__global const float* src, __global float* dst,
+                     __local float* tile) {
+    int i = get_global_id(0);
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+    int n = get_global_size(0);
+    float s = 0.0f;
+    tile[l] = src[i];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < p; k++) {
+        s = s + tile[k];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (i < n) {
+        dst[i] = s;
+    }
+}
+`
+
+// TestCleanKernel: a correctly barriered, guarded staging kernel analyzes
+// without findings — the analyzers must not cry wolf on the canonical idiom.
+func TestCleanKernel(t *testing.T) {
+	res, err := Analyze(cleanStaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src/dst are read unguarded... src[i] at line 8 is unguarded. Expect
+	// exactly the one boundsguard finding for src; everything else clean.
+	for _, d := range res.Active() {
+		if d.Rule == "boundsguard" && d.Kernel == "staged" {
+			continue
+		}
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestSuppressionTrailing(t *testing.T) {
+	e := Corpus()[6] // unguarded_global_write
+	src := strings.Replace(e.Src,
+		"buf[i] = buf[i] * f;",
+		"buf[i] = buf[i] * f; // kernelcheck:allow boundsguard -- launch is padded", 1)
+	res, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Active()); n != 0 {
+		t.Fatalf("want 0 active findings, got %d: %v", n, res.Active())
+	}
+	sup := res.Suppressed()
+	if len(sup) != 1 || sup[0].Rule != "boundsguard" || sup[0].SuppressReason != "launch is padded" {
+		t.Fatalf("suppressed = %v", sup)
+	}
+}
+
+func TestSuppressionBlockScope(t *testing.T) {
+	e := Corpus()[2] // race_reduction_no_barrier
+	src := strings.Replace(e.Src,
+		"        if (l < s) {",
+		"        // kernelcheck:allow localrace -- reduction tree, disjoint by l<s\n        if (l < s) {", 1)
+	res, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Active() {
+		if d.Rule == "localrace" {
+			t.Errorf("localrace not suppressed: %s", d)
+		}
+	}
+	if len(res.Suppressed()) == 0 {
+		t.Error("no suppressed findings recorded")
+	}
+}
+
+func TestSuppressionHygiene(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing reason",
+			"// kernelcheck:allow boundsguard\n" + Corpus()[6].Src,
+			"without a justification"},
+		{"unknown rule",
+			"// kernelcheck:allow nosuchrule -- because\n" + Corpus()[6].Src,
+			"unknown rule"},
+		{"unused",
+			"// kernelcheck:allow localrace -- nothing races here\n" + Corpus()[6].Src,
+			"matches no finding"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Analyze(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range res.Active() {
+				if d.Rule == "suppression" && strings.Contains(d.Message, c.want) {
+					return
+				}
+			}
+			t.Errorf("no suppression diagnostic containing %q in %v", c.want, res.Diags)
+		})
+	}
+}
+
+// TestAffineDisjoint pins the affine disjointness that keeps the shipped
+// staging kernels clean: component writes tile[4*l+c] never collide across
+// lanes or components.
+func TestAffineDisjoint(t *testing.T) {
+	src := `__kernel void k(__global const float* src, __local float* tile) {
+    int l = get_local_id(0);
+    tile[4*l] = src[l];
+    tile[4*l+1] = src[l];
+    tile[4*l+2] = src[l];
+    tile[4*l+3] = src[l];
+    barrier(CLK_LOCAL_MEM_FENCE);
+}
+`
+	res, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Active() {
+		if d.Rule == "localrace" {
+			t.Errorf("false positive: %s", d)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package analysis
+
+// The known-bad corpus: small kernels, each written to violate exactly one
+// rule, with the expected rule name and token position. Entries marked
+// Dynamic also carry a launch specification so the agreement test (and
+// `kernelcheck -corpus`) can run them under the checked interpreter and
+// confirm that the static finding and the runtime trap identify the same
+// defect. The corpus doubles as the CI gate: kernelcheck must fail on every
+// entry.
+
+// CorpusArg describes one launch argument of a corpus kernel.
+type CorpusArg struct {
+	// Kind is "fbuf" (float32 buffer), "ibuf" (int32 buffer), "int",
+	// "float" or "local" (float32 slots of group-local memory).
+	Kind  string
+	N     int // elements for fbuf/ibuf/local
+	Int   int32
+	Float float32
+}
+
+// CorpusEntry is one known-bad kernel.
+type CorpusEntry struct {
+	// Name identifies the entry in tests and CLI output.
+	Name string
+	// Kernel is the __kernel function to analyze and launch.
+	Kernel string
+	// Rule is the rule expected to fire, at WantLine:WantCol.
+	Rule     string
+	WantLine int
+	WantCol  int
+	// Src is the kernel source.
+	Src string
+	// Dynamic marks entries whose defect also traps under the checked
+	// interpreter (launched with Global/Local/Args); TrapSubstring must
+	// appear in the launch error.
+	Dynamic       bool
+	Global, Local int
+	Args          []CorpusArg
+	TrapSubstring string
+}
+
+// Corpus returns the known-bad kernel set.
+func Corpus() []CorpusEntry {
+	return []CorpusEntry{
+		{
+			Name:   "race_missing_first_barrier",
+			Kernel: "stage",
+			Rule:   "localrace", WantLine: 7, WantCol: 9,
+			Src: `__kernel void stage(__global const float* src, __global float* dst,
+                    __local float* tile) {
+    int i = get_global_id(0);
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+    float s = 0.0f;
+    tile[l] = src[i];
+    for (int k = 0; k < p; k++) {
+        s = s + tile[k];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    dst[i] = s;
+}
+`,
+			Dynamic: true, Global: 8, Local: 4,
+			Args: []CorpusArg{
+				{Kind: "fbuf", N: 8}, {Kind: "fbuf", N: 8}, {Kind: "local", N: 4},
+			},
+			TrapSubstring: "checked: localrace",
+		},
+		{
+			Name:   "race_missing_wrap_barrier",
+			Kernel: "wrap",
+			Rule:   "localrace", WantLine: 8, WantCol: 13,
+			Src: `__kernel void wrap(__global const float* src, __global float* dst,
+                   __local float* tile) {
+    int i = get_global_id(0);
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+    float s = 0.0f;
+    for (int t = 0; t < 2; t++) {
+        tile[l] = src[i + 8 * t];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < p; k++) {
+            s = s + tile[k];
+        }
+    }
+    dst[i] = s;
+}
+`,
+			Dynamic: true, Global: 8, Local: 4,
+			Args: []CorpusArg{
+				{Kind: "fbuf", N: 16}, {Kind: "fbuf", N: 8}, {Kind: "local", N: 4},
+			},
+			TrapSubstring: "checked: localrace",
+		},
+		{
+			Name:   "race_reduction_no_barrier",
+			Kernel: "reduce",
+			Rule:   "localrace", WantLine: 8, WantCol: 17,
+			Src: `__kernel void reduce(__global float* dst, __local float* part) {
+    int l = get_local_id(0);
+    int p = get_local_size(0);
+    part[l] = (float)l;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = p / 2; s > 0; s = s / 2) {
+        if (l < s) {
+            part[l] += part[l + s];
+        }
+    }
+    if (l == 0) {
+        dst[0] = part[0];
+    }
+}
+`,
+			Dynamic: true, Global: 4, Local: 4,
+			Args: []CorpusArg{
+				{Kind: "fbuf", N: 4}, {Kind: "local", N: 4},
+			},
+			TrapSubstring: "checked: localrace",
+		},
+		{
+			Name:   "barrier_in_divergent_if",
+			Kernel: "divif",
+			Rule:   "barrierdiverge", WantLine: 4, WantCol: 9,
+			Src: `__kernel void divif(__global float* dst) {
+    int l = get_local_id(0);
+    if (l < 2) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    dst[l] = 1.0f;
+}
+`,
+			Dynamic: true, Global: 4, Local: 4,
+			Args:          []CorpusArg{{Kind: "fbuf", N: 4}},
+			TrapSubstring: "checked: barrierdiverge",
+		},
+		{
+			Name:   "barrier_after_divergent_return",
+			Kernel: "divret",
+			Rule:   "barrierdiverge", WantLine: 6, WantCol: 5,
+			Src: `__kernel void divret(__global float* dst) {
+    int l = get_local_id(0);
+    if (l == 0) {
+        return;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    dst[l] = 1.0f;
+}
+`,
+			Dynamic: true, Global: 4, Local: 4,
+			Args:          []CorpusArg{{Kind: "fbuf", N: 4}},
+			TrapSubstring: "checked: barrierdiverge",
+		},
+		{
+			Name:   "barrier_in_divergent_loop",
+			Kernel: "divloop",
+			Rule:   "barrierdiverge", WantLine: 4, WantCol: 9,
+			Src: `__kernel void divloop(__global float* dst) {
+    int l = get_local_id(0);
+    for (int k = 0; k < l; k++) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    dst[l] = 1.0f;
+}
+`,
+			Dynamic: true, Global: 4, Local: 4,
+			Args:          []CorpusArg{{Kind: "fbuf", N: 4}},
+			TrapSubstring: "checked: barrierdiverge",
+		},
+		{
+			Name:   "unguarded_global_write",
+			Kernel: "scale",
+			Rule:   "boundsguard", WantLine: 3, WantCol: 8,
+			Src: `__kernel void scale(__global float* buf, float f) {
+    int i = get_global_id(0);
+    buf[i] = buf[i] * f;
+}
+`,
+			// The defect is dynamic too: launched over more work-items than
+			// buffer elements, the unguarded index runs off the end (the
+			// bounds check is always on, checked mode or not).
+			Dynamic: true, Global: 8, Local: 4,
+			Args:          []CorpusArg{{Kind: "fbuf", N: 6}, {Kind: "float", Float: 2}},
+			TrapSubstring: "out of range",
+		},
+		{
+			Name:   "dead_store",
+			Kernel: "deadk",
+			Rule:   "deadstore", WantLine: 4, WantCol: 5,
+			Src: `__kernel void deadk(__global float* dst) {
+    int i = get_global_id(0);
+    int n = get_global_size(0);
+    float w = 2.0f;
+    if (i < n) {
+        dst[i] = 1.0f;
+    }
+}
+`,
+		},
+		{
+			Name:   "unused_param",
+			Kernel: "unusedp",
+			Rule:   "unusedparam", WantLine: 1, WantCol: 50,
+			Src: `__kernel void unusedp(__global float* dst, float alpha) {
+    int i = get_global_id(0);
+    int n = get_global_size(0);
+    if (i < n) {
+        dst[i] = 1.0f;
+    }
+}
+`,
+		},
+		{
+			Name:   "strided_global_loop",
+			Kernel: "strided",
+			Rule:   "uncoalesced", WantLine: 7, WantCol: 24,
+			Src: `__kernel void strided(__global const float* src, __global float* dst) {
+    int i = get_global_id(0);
+    int n = get_global_size(0);
+    float s = 0.0f;
+    if (i < n) {
+        for (int k = 0; k < 8; k++) {
+            s = s + src[8 * i + k];
+        }
+        dst[i] = s;
+    }
+}
+`,
+		},
+	}
+}

@@ -1,0 +1,589 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/clc"
+)
+
+// Info carries the shared dataflow facts the passes consume: which values
+// are work-item-divergent, the affine decomposition of index expressions,
+// and per-helper summaries (does it contain a barrier, does it touch a
+// passed-in __local buffer).
+//
+// Divergence is computed flow-insensitively to a fixpoint: a variable is
+// divergent if any assignment anywhere in the function could make it so.
+// That is conservative (a variable divergent in one region poisons all
+// regions) but sound for the safety rules, and precise enough that all four
+// shipped plan kernels analyze cleanly.
+type Info struct {
+	prog *clc.Program
+	fn   *clc.Function
+	// div marks work-item-divergent variables of the kernel.
+	div map[string]bool
+	// gid marks variables derived from get_global_id.
+	gid map[string]bool
+	// assigns counts assignments per variable (decl-with-init, =, op=, ++/--).
+	assigns map[string]int
+	// localBufs maps names that denote __local storage (pointer params and
+	// in-kernel array declarations) to true.
+	localBufs map[string]bool
+	// globalBufs maps __global pointer parameter names to true.
+	globalBufs map[string]bool
+	// fnBarrier marks program functions that (transitively) call barrier().
+	fnBarrier map[string]bool
+	// affEnv is the per-variable affine binding (see affine).
+	affEnv map[string]affine
+}
+
+// laneBuiltins are the work-item-divergent id builtins. get_group_id and the
+// size builtins return the same value for every work-item of a group, which
+// is the uniformity that matters for barriers and __local races.
+var laneBuiltins = map[string]bool{
+	"get_global_id": true,
+	"get_local_id":  true,
+}
+
+var uniformBuiltins = map[string]bool{
+	"get_group_id":    true,
+	"get_local_size":  true,
+	"get_global_size": true,
+	"get_num_groups":  true,
+}
+
+// computeInfo builds the dataflow facts for one kernel.
+func computeInfo(prog *clc.Program, fn *clc.Function) *Info {
+	info := &Info{
+		prog:       prog,
+		fn:         fn,
+		div:        map[string]bool{},
+		gid:        map[string]bool{},
+		assigns:    map[string]int{},
+		localBufs:  map[string]bool{},
+		globalBufs: map[string]bool{},
+		fnBarrier:  map[string]bool{},
+		affEnv:     map[string]affine{},
+	}
+	for _, prm := range fn.Params {
+		if prm.Type.Pointer {
+			switch prm.Type.Space {
+			case clc.KWLOCAL:
+				info.localBufs[prm.Name] = true
+			case clc.KWGLOBAL:
+				info.globalBufs[prm.Name] = true
+			}
+		}
+	}
+	walkStmts(fn.Body, func(s clc.Stmt) {
+		if d, ok := s.(*clc.DeclStmt); ok && d.ArraySize > 0 && d.Type.Space == clc.KWLOCAL {
+			info.localBufs[d.Name] = true
+		}
+	})
+	// Helper barrier summaries, to a fixpoint over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, name := range prog.Order {
+			f := prog.Functions[name]
+			if info.fnBarrier[name] {
+				continue
+			}
+			has := false
+			walkStmts(f.Body, func(s clc.Stmt) {
+				walkStmtExprs(s, func(e clc.Expr) {
+					if c, ok := e.(*clc.Call); ok {
+						if c.Name == "barrier" || info.fnBarrier[c.Name] {
+							has = true
+						}
+					}
+				})
+			})
+			if has {
+				info.fnBarrier[name] = true
+				changed = true
+			}
+		}
+	}
+	info.countAssigns()
+	info.divergenceFixpoint()
+	info.buildAffineEnv()
+	return info
+}
+
+// countAssigns tallies definitions per variable name in the kernel body.
+func (in *Info) countAssigns() {
+	walkStmts(in.fn.Body, func(s clc.Stmt) {
+		if d, ok := s.(*clc.DeclStmt); ok && d.ArraySize == 0 {
+			in.assigns[d.Name]++
+		}
+		walkStmtExprs(s, func(e clc.Expr) {
+			switch x := e.(type) {
+			case *clc.Assign:
+				if id, ok := rootIdent(x.LHS); ok {
+					in.assigns[id]++
+				}
+			case *clc.IncDec:
+				if id, ok := rootIdent(x.X); ok {
+					in.assigns[id]++
+				}
+			}
+		})
+	})
+}
+
+// rootIdent returns the variable name at the root of an lvalue (x, x.y —
+// but not p[i], whose target is storage, not a variable).
+func rootIdent(e clc.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *clc.Ident:
+		return x.Name, true
+	case *clc.Member:
+		return rootIdent(x.X)
+	}
+	return "", false
+}
+
+// divergenceFixpoint iterates the whole body until the divergent-variable
+// set stops growing (the lattice is monotone, so this terminates).
+func (in *Info) divergenceFixpoint() {
+	for changed := true; changed; {
+		changed = false
+		mark := func(name string, e clc.Expr) {
+			if !in.div[name] && in.ExprDivergent(e) {
+				in.div[name] = true
+				changed = true
+			}
+			if !in.gid[name] && in.exprGID(e) {
+				in.gid[name] = true
+				changed = true
+			}
+		}
+		walkStmts(in.fn.Body, func(s clc.Stmt) {
+			if d, ok := s.(*clc.DeclStmt); ok && d.Init != nil {
+				mark(d.Name, d.Init)
+			}
+			walkStmtExprs(s, func(e clc.Expr) {
+				if a, ok := e.(*clc.Assign); ok {
+					if id, ok := rootIdent(a.LHS); ok {
+						mark(id, a.RHS)
+					}
+				}
+			})
+		})
+	}
+}
+
+// ExprDivergent reports whether an expression's value can differ between
+// work-items of one group.
+func (in *Info) ExprDivergent(e clc.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *clc.IntLit, *clc.FloatLit:
+		return false
+	case *clc.Ident:
+		return in.div[x.Name]
+	case *clc.Unary:
+		return in.ExprDivergent(x.X)
+	case *clc.Binary:
+		return in.ExprDivergent(x.X) || in.ExprDivergent(x.Y)
+	case *clc.Cond:
+		return in.ExprDivergent(x.C) || in.ExprDivergent(x.A) || in.ExprDivergent(x.B)
+	case *clc.Index:
+		// A load from a uniform address yields the same value in every lane;
+		// only a divergent index (or divergent pointer) diverges the value.
+		return in.ExprDivergent(x.X) || in.ExprDivergent(x.I)
+	case *clc.Member:
+		return in.ExprDivergent(x.X)
+	case *clc.Assign:
+		return in.ExprDivergent(x.RHS)
+	case *clc.IncDec:
+		return in.ExprDivergent(x.X)
+	case *clc.Call:
+		if laneBuiltins[x.Name] {
+			return true
+		}
+		if uniformBuiltins[x.Name] || x.Name == "barrier" {
+			return false
+		}
+		// Builtins and program helpers: divergent iff any argument is
+		// (helpers are pure over their arguments in this subset — they have
+		// no global state to read).
+		for _, a := range x.Args {
+			if in.ExprDivergent(a) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// exprGID reports whether the expression derives from get_global_id.
+func (in *Info) exprGID(e clc.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *clc.IntLit, *clc.FloatLit:
+		return false
+	case *clc.Ident:
+		return in.gid[x.Name]
+	case *clc.Unary:
+		return in.exprGID(x.X)
+	case *clc.Binary:
+		return in.exprGID(x.X) || in.exprGID(x.Y)
+	case *clc.Cond:
+		return in.exprGID(x.C) || in.exprGID(x.A) || in.exprGID(x.B)
+	case *clc.Index:
+		return in.exprGID(x.I)
+	case *clc.Member:
+		return in.exprGID(x.X)
+	case *clc.Assign:
+		return in.exprGID(x.RHS)
+	case *clc.IncDec:
+		return in.exprGID(x.X)
+	case *clc.Call:
+		if x.Name == "get_global_id" {
+			return true
+		}
+		if uniformBuiltins[x.Name] || laneBuiltins[x.Name] {
+			return false
+		}
+		for _, a := range x.Args {
+			if in.exprGID(a) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// IsLocalBuf reports whether e denotes __local storage.
+func (in *Info) IsLocalBuf(e clc.Expr) (string, bool) {
+	if id, ok := e.(*clc.Ident); ok && in.localBufs[id.Name] {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// IsGlobalBuf reports whether e denotes a __global pointer parameter.
+func (in *Info) IsGlobalBuf(e clc.Expr) (string, bool) {
+	if id, ok := e.(*clc.Ident); ok && in.globalBufs[id.Name] {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// FnHasBarrier reports whether calling the named program function executes a
+// barrier (transitively).
+func (in *Info) FnHasBarrier(name string) bool { return in.fnBarrier[name] }
+
+// affine is the decomposition of an integer index expression into
+//
+//	coeff*lane + sym + off
+//
+// where lane identifies a work-item id builtin ("get_local_id" or
+// "get_global_id"; "" when the expression is lane-independent), sym is the
+// canonical rendering of the residual uniform part ("" when absent) and off
+// is a constant. Two affine forms over the same lane/sym base are
+// comparable: lanes a≠b collide on coeff*a+o1 == coeff*b+o2 only when coeff
+// divides o1-o2.
+//
+// Expressions that do not fit (division, data-dependent values, variables
+// assigned more than once) degrade to wild: wildUniform keeps the canonical
+// string as identity, wildDivergent means "any lane may touch any address".
+type affine struct {
+	kind  affKind
+	lane  string // lane builtin name; "" when laneless
+	coeff int32
+	sym   string // canonical uniform residual; "" when absent
+	off   int32
+}
+
+type affKind int
+
+const (
+	affExact affKind = iota
+	affWildUniform
+	affWildDivergent
+)
+
+func (a affine) String() string {
+	switch a.kind {
+	case affWildUniform:
+		return "uniform{" + a.sym + "}"
+	case affWildDivergent:
+		return "divergent{?}"
+	}
+	return fmt.Sprintf("%d*%s + %q + %d", a.coeff, a.lane, a.sym, a.off)
+}
+
+// laneDependent reports whether the index can differ between lanes.
+func (a affine) laneDependent() bool {
+	return a.kind == affWildDivergent || (a.kind == affExact && a.coeff != 0)
+}
+
+// buildAffineEnv binds each single-assignment variable to the affine form of
+// its initialiser; everything else becomes symbolic (uniform vars keep their
+// name as identity, divergent multi-assigned vars go wild).
+func (in *Info) buildAffineEnv() {
+	// Iterate to propagate through chains (j = t*p + l uses l's binding);
+	// two passes suffice for acyclic chains, a few more are harmless.
+	for pass := 0; pass < 4; pass++ {
+		walkStmts(in.fn.Body, func(s clc.Stmt) {
+			d, ok := s.(*clc.DeclStmt)
+			if !ok || d.ArraySize > 0 || d.Init == nil {
+				return
+			}
+			if d.Type.Base != clc.KWINT || d.Type.Pointer {
+				return
+			}
+			if in.assigns[d.Name] == 1 {
+				in.affEnv[d.Name] = in.exprAffine(d.Init)
+			}
+		})
+	}
+}
+
+// varAffine returns the affine binding of a variable reference.
+func (in *Info) varAffine(name string) affine {
+	if a, ok := in.affEnv[name]; ok {
+		return a
+	}
+	if in.div[name] {
+		return affine{kind: affWildDivergent}
+	}
+	return affine{kind: affExact, sym: name}
+}
+
+// exprAffine decomposes an index expression. It is exact for the linear
+// forms real kernels use (4*l, 4*l+1, 3*(l+s), t*p+l, ...) and degrades to
+// wild otherwise.
+func (in *Info) exprAffine(e clc.Expr) affine {
+	wild := func() affine {
+		if in.ExprDivergent(e) {
+			return affine{kind: affWildDivergent}
+		}
+		return affine{kind: affWildUniform, sym: clc.ExprString(e)}
+	}
+	switch x := e.(type) {
+	case *clc.IntLit:
+		return affine{kind: affExact, off: x.Value}
+	case *clc.Ident:
+		return in.varAffine(x.Name)
+	case *clc.Call:
+		if laneBuiltins[x.Name] {
+			return affine{kind: affExact, lane: x.Name, coeff: 1}
+		}
+		if uniformBuiltins[x.Name] {
+			return affine{kind: affExact, sym: clc.ExprString(e)}
+		}
+		return wild()
+	case *clc.Unary:
+		if x.Op == clc.MINUS {
+			a := in.exprAffine(x.X)
+			if a.kind == affExact && a.sym == "" {
+				return affine{kind: affExact, lane: a.lane, coeff: -a.coeff, off: -a.off}
+			}
+		}
+		return wild()
+	case *clc.Binary:
+		switch x.Op {
+		case clc.PLUS, clc.MINUS:
+			a := in.exprAffine(x.X)
+			b := in.exprAffine(x.Y)
+			if a.kind != affExact || b.kind != affExact {
+				return wild()
+			}
+			if a.lane != "" && b.lane != "" && a.lane != b.lane {
+				return wild()
+			}
+			sign := int32(1)
+			if x.Op == clc.MINUS {
+				sign = -1
+			}
+			lane := a.lane
+			if lane == "" {
+				lane = b.lane
+			}
+			// A missing lane term has coeff 0, so the sum is direct.
+			out := affine{kind: affExact, lane: lane, coeff: a.coeff + sign*b.coeff, off: a.off + sign*b.off}
+			if out.coeff == 0 {
+				out.lane = ""
+			}
+			switch {
+			case a.sym != "" && b.sym != "":
+				out.sym = "(" + a.sym + string(opRune(x.Op)) + b.sym + ")"
+			case a.sym != "":
+				out.sym = a.sym
+			case b.sym != "":
+				if sign < 0 {
+					out.sym = "(-" + b.sym + ")"
+				} else {
+					out.sym = b.sym
+				}
+			}
+			return out
+		case clc.STAR:
+			if c, ok := x.X.(*clc.IntLit); ok {
+				return scaleAffine(in.exprAffine(x.Y), c.Value, wild)
+			}
+			if c, ok := x.Y.(*clc.IntLit); ok {
+				return scaleAffine(in.exprAffine(x.X), c.Value, wild)
+			}
+			a := in.exprAffine(x.X)
+			b := in.exprAffine(x.Y)
+			if a.kind == affExact && a.lane == "" && b.kind == affExact && b.lane == "" {
+				// Product of uniforms: keep the whole expression as identity.
+				return affine{kind: affExact, sym: clc.ExprString(e)}
+			}
+			return wild()
+		}
+		return wild()
+	}
+	return wild()
+}
+
+func scaleAffine(a affine, c int32, wild func() affine) affine {
+	if a.kind != affExact {
+		return wild()
+	}
+	out := affine{kind: affExact, lane: a.lane, coeff: a.coeff * c, off: a.off * c}
+	if a.sym != "" {
+		out.sym = fmt.Sprintf("(%d*%s)", c, a.sym)
+	}
+	return out
+}
+
+func opRune(k clc.Kind) rune {
+	if k == clc.MINUS {
+		return '-'
+	}
+	return '+'
+}
+
+// mayConflict reports whether two accesses with the given index forms can
+// touch the same address from different work-items. It is conservative:
+// "unknown" means true.
+func mayConflict(a, b affine) bool {
+	// Two lane-independent identical addresses are touched by *all* lanes —
+	// that is a conflict when one side writes (handled by the caller passing
+	// accesses where at least one is a write).
+	if a.kind == affWildDivergent || b.kind == affWildDivergent {
+		return true
+	}
+	if a.kind == affWildUniform || b.kind == affWildUniform {
+		// Uniform but unanalyzable: same canonical string means same
+		// address for every lane — a cross-lane conflict. Different strings
+		// are unknown — conservative conflict.
+		return true
+	}
+	// Both exact.
+	if a.lane == "" && b.lane == "" {
+		// Uniform addresses: conflict iff they can be equal. Identical
+		// sym+off is definitely equal (all lanes touch one slot). Same sym,
+		// different off never collides. Different syms: unknown.
+		if a.sym == b.sym {
+			return a.off == b.off
+		}
+		return true
+	}
+	if a.lane != b.lane || a.sym != b.sym || a.coeff != b.coeff {
+		// Mixed lane bases, unequal strides, or different uniform residuals:
+		// cannot prove disjointness.
+		return true
+	}
+	// coeff*l1 + off1 == coeff*l2 + off2 with l1 != l2 requires
+	// coeff | (off1-off2) with a non-zero quotient.
+	d := a.off - b.off
+	if d == 0 {
+		// Same per-lane address: only the owning lane touches it.
+		return false
+	}
+	if a.coeff == 0 {
+		return false // same sym, different constant offsets: disjoint slots
+	}
+	return d%a.coeff == 0
+}
+
+// walkStmts visits every statement in a block, depth-first.
+func walkStmts(b *clc.Block, visit func(clc.Stmt)) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		visitStmt(s, visit)
+	}
+}
+
+func visitStmt(s clc.Stmt, visit func(clc.Stmt)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	switch x := s.(type) {
+	case *clc.Block:
+		walkStmts(x, visit)
+	case *clc.IfStmt:
+		walkStmts(x.Then, visit)
+		visitStmt(x.Else, visit)
+	case *clc.ForStmt:
+		visitStmt(x.Init, visit)
+		visitStmt(x.Post, visit)
+		walkStmts(x.Body, visit)
+	case *clc.WhileStmt:
+		walkStmts(x.Body, visit)
+	}
+}
+
+// walkStmtExprs visits the expressions attached directly to one statement
+// (not those of nested statements).
+func walkStmtExprs(s clc.Stmt, visit func(clc.Expr)) {
+	switch x := s.(type) {
+	case *clc.DeclStmt:
+		walkExpr(x.Init, visit)
+	case *clc.ExprStmt:
+		walkExpr(x.X, visit)
+	case *clc.IfStmt:
+		walkExpr(x.Cond, visit)
+	case *clc.ForStmt:
+		walkExpr(x.Cond, visit)
+	case *clc.WhileStmt:
+		walkExpr(x.Cond, visit)
+	case *clc.ReturnStmt:
+		walkExpr(x.Value, visit)
+	}
+}
+
+// walkExpr visits an expression tree, parent first.
+func walkExpr(e clc.Expr, visit func(clc.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *clc.Unary:
+		walkExpr(x.X, visit)
+	case *clc.Binary:
+		walkExpr(x.X, visit)
+		walkExpr(x.Y, visit)
+	case *clc.Cond:
+		walkExpr(x.C, visit)
+		walkExpr(x.A, visit)
+		walkExpr(x.B, visit)
+	case *clc.Index:
+		walkExpr(x.X, visit)
+		walkExpr(x.I, visit)
+	case *clc.Member:
+		walkExpr(x.X, visit)
+	case *clc.Call:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *clc.Assign:
+		walkExpr(x.LHS, visit)
+		walkExpr(x.RHS, visit)
+	case *clc.IncDec:
+		walkExpr(x.X, visit)
+	}
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/clc"
+)
+
+// runLocalRace detects cross-work-item races on __local buffers: two
+// accesses to the same slot from different lanes with no barrier between
+// them, at least one a write. The kernel body is linearised into a sequence
+// of access and barrier events — both if-branches concatenate (lanes of one
+// group may take either), loops unroll twice (to catch wrap-around races
+// from iteration N into N+1) — and every event pair in the same barrier
+// phase is tested with the affine disjointness check (mayConflict). An
+// access guarded by a single-lane condition (if (l == 0) ...) conflicts
+// only with accesses under a different guard.
+//
+// This is the PR 2 bug class: a staging kernel that filled a __local tile
+// and read it back without barrier(CLK_LOCAL_MEM_FENCE) in between.
+func runLocalRace(ctx *Context) []Diagnostic {
+	events := linearize(ctx, ctx.Fn.Body, "")
+	var diags []Diagnostic
+	seen := map[int]bool{} // dedupe per source line
+
+	report := func(ev accessEvent, msg string) {
+		if seen[ev.tok.Line] {
+			return
+		}
+		seen[ev.tok.Line] = true
+		diags = append(diags, Diagnostic{Tok: ev.tok, Message: msg})
+	}
+
+	// Self-races: a write to a lane-independent __local slot that is not
+	// restricted to a single lane is performed by every participating
+	// work-item at once.
+	for _, ev := range events {
+		if !ev.barrier && ev.write && !ev.aff.laneDependent() && ev.guard == "" {
+			report(ev, fmt.Sprintf(
+				"every work-item writes the same __local %q slot %s in the same barrier phase",
+				ev.buf, describeIndex(ev.aff)))
+		}
+	}
+
+	for i := 0; i < len(events); i++ {
+		if events[i].barrier {
+			continue
+		}
+		for j := i + 1; j < len(events); j++ {
+			if events[j].barrier {
+				break // a barrier orders everything before it against everything after
+			}
+			a, b := events[i], events[j]
+			if a.buf != b.buf || (!a.write && !b.write) {
+				continue
+			}
+			if a.guard != "" && a.guard == b.guard {
+				continue // both restricted to the same single lane
+			}
+			if !mayConflict(a.aff, b.aff) {
+				continue
+			}
+			at := b // report at the later event, preferring the write
+			if a.write && !b.write {
+				at = a
+			}
+			report(at, fmt.Sprintf(
+				"__local %q: %s at %s may conflict with %s at %s with no barrier between",
+				a.buf, accessKind(b), b.tok.Pos(), accessKind(a), a.tok.Pos()))
+		}
+	}
+	return diags
+}
+
+// accessEvent is one element of the linearised kernel: either a barrier or
+// a single __local access.
+type accessEvent struct {
+	barrier bool
+	buf     string
+	aff     affine
+	write   bool
+	tok     clc.Token
+	// guard is the canonical single-lane condition dominating the access
+	// ("" when the access is performed by multiple lanes).
+	guard string
+}
+
+func accessKind(e accessEvent) string {
+	if e.write {
+		return "write"
+	}
+	return "read"
+}
+
+func describeIndex(a affine) string {
+	if a.kind == affWildUniform {
+		return "(" + a.sym + ")"
+	}
+	if a.sym != "" {
+		return "(" + a.sym + ")"
+	}
+	return fmt.Sprintf("[%d]", a.off)
+}
+
+// linearize flattens stmts into the event sequence. guard carries the
+// innermost dominating single-lane condition.
+func linearize(ctx *Context, b *clc.Block, guard string) []accessEvent {
+	var out []accessEvent
+	if b == nil {
+		return out
+	}
+	for _, s := range b.Stmts {
+		out = append(out, linearizeStmt(ctx, s, guard)...)
+	}
+	return out
+}
+
+func linearizeStmt(ctx *Context, s clc.Stmt, guard string) []accessEvent {
+	var out []accessEvent
+	switch x := s.(type) {
+	case nil:
+	case *clc.Block:
+		out = linearize(ctx, x, guard)
+	case *clc.DeclStmt:
+		out = exprEvents(ctx, x.Init, guard)
+	case *clc.ExprStmt:
+		out = exprEvents(ctx, x.X, guard)
+	case *clc.ReturnStmt:
+		out = exprEvents(ctx, x.Value, guard)
+	case *clc.IfStmt:
+		out = exprEvents(ctx, x.Cond, guard)
+		g := guard
+		if key, ok := singleLaneCond(ctx, x.Cond); ok {
+			g = key
+		}
+		// Lanes of one group may take either branch, so the branches'
+		// accesses coexist in the same barrier phase: concatenate.
+		out = append(out, linearize(ctx, x.Then, g)...)
+		out = append(out, linearizeStmt(ctx, x.Else, guard)...)
+	case *clc.ForStmt:
+		out = linearizeStmt(ctx, x.Init, guard)
+		one := exprEvents(ctx, x.Cond, guard)
+		one = append(one, linearize(ctx, x.Body, guard)...)
+		one = append(one, linearizeStmt(ctx, x.Post, guard)...)
+		out = append(out, one...)
+		out = append(out, one...) // second unroll: wrap-around races
+	case *clc.WhileStmt:
+		one := exprEvents(ctx, x.Cond, guard)
+		one = append(one, linearize(ctx, x.Body, guard)...)
+		out = append(out, one...)
+		out = append(out, one...)
+	}
+	return out
+}
+
+// singleLaneCond recognises conditions that restrict execution to exactly
+// one work-item of the group: lane == uniform (either side). The canonical
+// condition string is the guard key — two accesses under the same key run
+// on the same lane and cannot race with each other.
+func singleLaneCond(ctx *Context, cond clc.Expr) (string, bool) {
+	b, ok := cond.(*clc.Binary)
+	if !ok || b.Op != clc.EQ {
+		return "", false
+	}
+	lx := ctx.Info.exprAffine(b.X)
+	ly := ctx.Info.exprAffine(b.Y)
+	xLane := lx.kind == affExact && lx.lane != "" && lx.coeff != 0
+	yLane := ly.kind == affExact && ly.lane != "" && ly.coeff != 0
+	if xLane && !ctx.Info.ExprDivergent(b.Y) || yLane && !ctx.Info.ExprDivergent(b.X) {
+		return clc.ExprString(cond), true
+	}
+	return "", false
+}
+
+// exprEvents extracts barrier and __local-access events from one
+// expression, in evaluation order (reads of an assignment before its
+// write).
+func exprEvents(ctx *Context, e clc.Expr, guard string) []accessEvent {
+	var out []accessEvent
+	var emit func(e clc.Expr, asWrite bool)
+	emit = func(e clc.Expr, asWrite bool) {
+		switch x := e.(type) {
+		case nil:
+		case *clc.Ident, *clc.IntLit, *clc.FloatLit:
+		case *clc.Unary:
+			emit(x.X, false)
+		case *clc.Binary:
+			emit(x.X, false)
+			emit(x.Y, false)
+		case *clc.Cond:
+			emit(x.C, false)
+			emit(x.A, false)
+			emit(x.B, false)
+		case *clc.Member:
+			emit(x.X, asWrite)
+		case *clc.Index:
+			emit(x.I, false)
+			if buf, ok := ctx.Info.IsLocalBuf(x.X); ok {
+				out = append(out, accessEvent{
+					buf: buf, aff: ctx.Info.exprAffine(x.I),
+					write: asWrite, tok: x.Tok, guard: guard,
+				})
+			} else {
+				emit(x.X, false)
+			}
+		case *clc.Call:
+			if x.Name == "barrier" {
+				out = append(out, accessEvent{barrier: true, tok: x.Tok})
+				return
+			}
+			for i, a := range x.Args {
+				emit(a, false)
+				// A helper receiving a __local pointer may touch any slot:
+				// model the call as a wild read+write of that buffer.
+				if buf, ok := ctx.Info.IsLocalBuf(a); ok {
+					if fn, ok := ctx.Prog.Functions[x.Name]; ok && i < len(fn.Params) {
+						tok := x.Tok
+						out = append(out,
+							accessEvent{buf: buf, aff: affine{kind: affWildDivergent}, write: false, tok: tok, guard: guard},
+							accessEvent{buf: buf, aff: affine{kind: affWildDivergent}, write: true, tok: tok, guard: guard})
+					}
+				}
+			}
+			if ctx.Info.FnHasBarrier(x.Name) {
+				out = append(out, accessEvent{barrier: true, tok: x.Tok})
+			}
+		case *clc.Assign:
+			if x.Op != clc.ASSIGN {
+				emit(x.LHS, false) // op= reads the target first
+			}
+			emit(x.RHS, false)
+			emit(x.LHS, true)
+		case *clc.IncDec:
+			emit(x.X, false)
+			emit(x.X, true)
+		}
+	}
+	emit(e, false)
+	return out
+}

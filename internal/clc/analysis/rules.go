@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/clc"
+)
+
+// runBarrierDiverge flags barrier() calls that are reachable under
+// work-item-divergent control flow: inside an if/loop whose condition
+// depends on get_global_id/get_local_id, or after a divergent early return.
+// On hardware such a barrier is undefined behaviour (lanes wait for peers
+// that never arrive); on the simulated device it silently desynchronises the
+// group's barrier phases.
+func runBarrierDiverge(ctx *Context) []Diagnostic {
+	var diags []Diagnostic
+	divergedExit := false // a lane may already have returned divergently
+
+	barrierAt := func(tok clc.Token, depth int) {
+		switch {
+		case depth > 0:
+			diags = append(diags, Diagnostic{Tok: tok,
+				Message: "barrier under work-item-divergent control flow: not all work-items reach it"})
+		case divergedExit:
+			diags = append(diags, Diagnostic{Tok: tok,
+				Message: "barrier after a work-item-divergent return: retired work-items never reach it"})
+		}
+	}
+
+	var walkBlock func(b *clc.Block, depth int)
+	var walk func(s clc.Stmt, depth int)
+	scanExpr := func(e clc.Expr, depth int) {
+		walkExpr(e, func(e clc.Expr) {
+			if c, ok := e.(*clc.Call); ok {
+				if c.Name == "barrier" || ctx.Info.FnHasBarrier(c.Name) {
+					barrierAt(c.Tok, depth)
+				}
+			}
+		})
+	}
+	walk = func(s clc.Stmt, depth int) {
+		switch x := s.(type) {
+		case nil:
+		case *clc.Block:
+			walkBlock(x, depth)
+		case *clc.DeclStmt:
+			scanExpr(x.Init, depth)
+		case *clc.ExprStmt:
+			scanExpr(x.X, depth)
+		case *clc.ReturnStmt:
+			if depth > 0 {
+				divergedExit = true
+			}
+		case *clc.IfStmt:
+			scanExpr(x.Cond, depth)
+			d := depth
+			if ctx.Info.ExprDivergent(x.Cond) {
+				d++
+			}
+			walkBlock(x.Then, d)
+			walk(x.Else, d)
+		case *clc.ForStmt:
+			walk(x.Init, depth)
+			scanExpr(x.Cond, depth)
+			d := depth
+			if x.Cond != nil && ctx.Info.ExprDivergent(x.Cond) {
+				d++
+			}
+			walkBlock(x.Body, d)
+			walk(x.Post, d)
+		case *clc.WhileStmt:
+			scanExpr(x.Cond, depth)
+			d := depth
+			if ctx.Info.ExprDivergent(x.Cond) {
+				d++
+			}
+			walkBlock(x.Body, d)
+		}
+	}
+	walkBlock = func(b *clc.Block, depth int) {
+		for _, s := range b.Stmts {
+			walk(s, depth)
+		}
+	}
+	walkBlock(ctx.Fn.Body, 0)
+	return diags
+}
+
+// runBoundsGuard flags indexing of a __global buffer by a
+// get_global_id-derived expression that is not dominated by a bound guard
+// (if (i < n) ..., or an early return on i >= n). Padded launches make this
+// safe by construction, which is why it is a warning — such kernels carry a
+// suppression stating the invariant.
+func runBoundsGuard(ctx *Context) []Diagnostic {
+	var diags []Diagnostic
+	flagged := map[string]bool{} // one finding per buffer per kernel
+	guardedAfter := false        // a dominating early-return guard has run
+
+	// isUpperGuard reports whether cond bounds a gid-derived value from
+	// above (i < n, i <= n, n > i, ...), possibly conjoined with &&.
+	var isUpperGuard func(e clc.Expr) bool
+	isUpperGuard = func(e clc.Expr) bool {
+		b, ok := e.(*clc.Binary)
+		if !ok {
+			return false
+		}
+		switch b.Op {
+		case clc.ANDAND, clc.OROR:
+			return isUpperGuard(b.X) || isUpperGuard(b.Y)
+		case clc.LT, clc.LE:
+			return ctx.Info.exprGID(b.X) && !ctx.Info.ExprDivergent(b.Y)
+		case clc.GT, clc.GE:
+			return ctx.Info.exprGID(b.Y) && !ctx.Info.ExprDivergent(b.X)
+		}
+		return false
+	}
+	// isLowerExitGuard recognises if (i >= n) { return; } style guards.
+	isExitGuard := func(s *clc.IfStmt) bool {
+		b, ok := s.Cond.(*clc.Binary)
+		if !ok {
+			return false
+		}
+		bounds := false
+		switch b.Op {
+		case clc.GE, clc.GT:
+			bounds = ctx.Info.exprGID(b.X) && !ctx.Info.ExprDivergent(b.Y)
+		case clc.LT, clc.LE:
+			bounds = ctx.Info.exprGID(b.Y) && !ctx.Info.ExprDivergent(b.X)
+		}
+		if !bounds || s.Then == nil {
+			return false
+		}
+		for _, st := range s.Then.Stmts {
+			if _, ok := st.(*clc.ReturnStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	scanExpr := func(e clc.Expr, guarded bool) {
+		walkExpr(e, func(e clc.Expr) {
+			idx, ok := e.(*clc.Index)
+			if !ok {
+				return
+			}
+			buf, ok := ctx.Info.IsGlobalBuf(idx.X)
+			if !ok || flagged[buf] {
+				return
+			}
+			if !ctx.Info.exprGID(idx.I) {
+				return
+			}
+			if guarded || guardedAfter {
+				return
+			}
+			flagged[buf] = true
+			diags = append(diags, Diagnostic{Tok: idx.Tok,
+				Message: fmt.Sprintf("__global %q indexed by get_global_id-derived %q without a dominating bound guard",
+					buf, clc.ExprString(idx.I))})
+		})
+	}
+
+	var walkBlock func(b *clc.Block, guarded bool)
+	var walk func(s clc.Stmt, guarded bool)
+	walk = func(s clc.Stmt, guarded bool) {
+		switch x := s.(type) {
+		case nil:
+		case *clc.Block:
+			walkBlock(x, guarded)
+		case *clc.DeclStmt:
+			scanExpr(x.Init, guarded)
+		case *clc.ExprStmt:
+			scanExpr(x.X, guarded)
+		case *clc.ReturnStmt:
+			scanExpr(x.Value, guarded)
+		case *clc.IfStmt:
+			scanExpr(x.Cond, guarded)
+			g := guarded || isUpperGuard(x.Cond)
+			walkBlock(x.Then, g)
+			walk(x.Else, guarded)
+			if isExitGuard(x) {
+				guardedAfter = true
+			}
+		case *clc.ForStmt:
+			walk(x.Init, guarded)
+			scanExpr(x.Cond, guarded)
+			g := guarded || (x.Cond != nil && isUpperGuard(x.Cond))
+			walkBlock(x.Body, g)
+			walk(x.Post, g)
+		case *clc.WhileStmt:
+			scanExpr(x.Cond, guarded)
+			walkBlock(x.Body, guarded || isUpperGuard(x.Cond))
+		}
+	}
+	walkBlock = func(b *clc.Block, guarded bool) {
+		for _, s := range b.Stmts {
+			walk(s, guarded)
+		}
+	}
+	walkBlock(ctx.Fn.Body, false)
+	return diags
+}
+
+// runDeadStore flags stores (declarations with initialisers and
+// assignments) to scalar variables whose value is never read anywhere in
+// the kernel. Compound assignment and ++/-- count as reads.
+func runDeadStore(ctx *Context) []Diagnostic {
+	reads := map[string]bool{}
+	var countReads func(e clc.Expr, writeRoot bool)
+	countReads = func(e clc.Expr, writeRoot bool) {
+		switch x := e.(type) {
+		case nil:
+		case *clc.Ident:
+			if !writeRoot {
+				reads[x.Name] = true
+			}
+		case *clc.Unary:
+			countReads(x.X, false)
+		case *clc.Binary:
+			countReads(x.X, false)
+			countReads(x.Y, false)
+		case *clc.Cond:
+			countReads(x.C, false)
+			countReads(x.A, false)
+			countReads(x.B, false)
+		case *clc.Index:
+			countReads(x.X, false) // indexing reads the pointer variable
+			countReads(x.I, false)
+		case *clc.Member:
+			// Writing x.y reads the other components, conservatively a read.
+			countReads(x.X, false)
+		case *clc.Call:
+			for _, a := range x.Args {
+				countReads(a, false)
+			}
+		case *clc.Assign:
+			// Plain = to an Ident does not read it; op= does. Index/member
+			// targets always read their base.
+			if id, ok := x.LHS.(*clc.Ident); ok {
+				if x.Op != clc.ASSIGN {
+					reads[id.Name] = true
+				}
+			} else {
+				countReads(x.LHS, false)
+			}
+			countReads(x.RHS, false)
+		case *clc.IncDec:
+			countReads(x.X, false)
+		}
+	}
+	walkStmts(ctx.Fn.Body, func(s clc.Stmt) {
+		walkStmtExprs(s, func(e clc.Expr) {
+			if _, ok := e.(*clc.Assign); ok {
+				countReads(e, false)
+			}
+		})
+		switch x := s.(type) {
+		case *clc.DeclStmt:
+			countReads(x.Init, false)
+		case *clc.ExprStmt:
+			if _, isAssign := x.X.(*clc.Assign); !isAssign {
+				countReads(x.X, false)
+			}
+		case *clc.IfStmt:
+			countReads(x.Cond, false)
+		case *clc.ForStmt:
+			countReads(x.Cond, false)
+		case *clc.WhileStmt:
+			countReads(x.Cond, false)
+		case *clc.ReturnStmt:
+			countReads(x.Value, false)
+		}
+	})
+
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	report := func(name string, tok clc.Token, what string) {
+		if reads[name] || seen[name] {
+			return
+		}
+		seen[name] = true
+		diags = append(diags, Diagnostic{Tok: tok,
+			Message: fmt.Sprintf("%s to %q is never read", what, name)})
+	}
+	walkStmts(ctx.Fn.Body, func(s clc.Stmt) {
+		if d, ok := s.(*clc.DeclStmt); ok && d.ArraySize == 0 && d.Init != nil {
+			report(d.Name, d.Tok, "stored value")
+		}
+		walkStmtExprs(s, func(e clc.Expr) {
+			if a, ok := e.(*clc.Assign); ok {
+				if id, ok := a.LHS.(*clc.Ident); ok {
+					report(id.Name, a.Tok, "stored value")
+				}
+			}
+		})
+	})
+	return diags
+}
+
+// runUnusedParam flags kernel parameters that are never referenced.
+func runUnusedParam(ctx *Context) []Diagnostic {
+	return unusedParams(ctx.Fn)
+}
+
+// unusedParams is shared between the kernel pass and the helper-function
+// sweep in AnalyzeProgram.
+func unusedParams(fn *clc.Function) []Diagnostic {
+	used := map[string]bool{}
+	walkStmts(fn.Body, func(s clc.Stmt) {
+		walkStmtExprs(s, func(e clc.Expr) {
+			walkExpr(e, func(e clc.Expr) {
+				if id, ok := e.(*clc.Ident); ok {
+					used[id.Name] = true
+				}
+			})
+		})
+	})
+	var diags []Diagnostic
+	for _, prm := range fn.Params {
+		if !used[prm.Name] {
+			diags = append(diags, Diagnostic{Tok: prm.Tok,
+				Message: fmt.Sprintf("parameter %q is never used", prm.Name)})
+		}
+	}
+	return diags
+}
+
+// runUncoalesced is the performance lint: inside innermost loops (where the
+// access repeats per iteration and dominates traffic), a __global access
+// whose index is work-item-independent is a broadcast the whole group
+// serialises on, and one whose per-lane stride exceeds the float4 vector
+// width defeats coalescing. Data-dependent gathers are charged by the cost
+// model instead and are not flagged. One finding per buffer per loop.
+func runUncoalesced(ctx *Context) []Diagnostic {
+	const maxCoalescedStride = 4
+	var diags []Diagnostic
+
+	// Collect innermost loop bodies (loops containing no nested loop).
+	var loops []*clc.Block
+	walkStmts(ctx.Fn.Body, func(s clc.Stmt) {
+		var body *clc.Block
+		switch x := s.(type) {
+		case *clc.ForStmt:
+			body = x.Body
+		case *clc.WhileStmt:
+			body = x.Body
+		default:
+			return
+		}
+		nested := false
+		walkStmts(body, func(inner clc.Stmt) {
+			switch inner.(type) {
+			case *clc.ForStmt, *clc.WhileStmt:
+				nested = true
+			}
+		})
+		if !nested {
+			loops = append(loops, body)
+		}
+	})
+
+	for _, body := range loops {
+		flagged := map[string]bool{}
+		walkStmts(body, func(s clc.Stmt) {
+			walkStmtExprs(s, func(e clc.Expr) {
+				walkExpr(e, func(e clc.Expr) {
+					idx, ok := e.(*clc.Index)
+					if !ok {
+						return
+					}
+					buf, ok := ctx.Info.IsGlobalBuf(idx.X)
+					if !ok || flagged[buf] {
+						return
+					}
+					aff := ctx.Info.exprAffine(idx.I)
+					elem := int32(1)
+					if id, ok := idx.X.(*clc.Ident); ok {
+						for _, prm := range ctx.Fn.Params {
+							if prm.Name == id.Name && prm.Type.Vec4 {
+								elem = 4 // float4 elements span 4 floats per index step
+							}
+						}
+					}
+					switch {
+					case aff.kind == affWildDivergent:
+						// Data-dependent gather: modelled, not linted.
+					case !aff.laneDependent():
+						flagged[buf] = true
+						diags = append(diags, Diagnostic{Tok: idx.Tok,
+							Message: fmt.Sprintf("work-item-independent (broadcast) access to __global %q inside a loop", buf)})
+					case abs32(aff.coeff)*elem > maxCoalescedStride:
+						flagged[buf] = true
+						diags = append(diags, Diagnostic{Tok: idx.Tok,
+							Message: fmt.Sprintf("strided access to __global %q (per-lane stride %d floats) defeats coalescing",
+								buf, abs32(aff.coeff)*elem)})
+					}
+				})
+			})
+		})
+	}
+	return diags
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

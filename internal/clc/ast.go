@@ -199,6 +199,7 @@ func (*Block) stmtNode()        {}
 type Param struct {
 	Type Type
 	Name string
+	Tok  Token
 }
 
 // Function is a kernel or helper function definition.
@@ -206,6 +207,7 @@ type Function struct {
 	IsKernel bool
 	RetType  Type
 	Name     string
+	NameTok  Token
 	Params   []Param
 	Body     *Block
 }

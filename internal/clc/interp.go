@@ -45,56 +45,87 @@ func LocalArg(n int) Arg { return Arg{Kind: KindLocal, Local: n} }
 // parameter list and returns an executable gpusim kernel plus the local
 // memory the launch must allocate.
 func Bind(prog *Program, name string, args []Arg) (gpusim.KernelFunc, int, error) {
+	return bind(prog, name, args, nil)
+}
+
+// BindChecked is Bind with the checked interpreter mode enabled: the
+// returned kernel logs every __local access against a shadow store and traps
+// on cross-work-item races and divergent barrier counts (see checked.go).
+// The CheckedState is private to the returned kernel; each BindChecked call
+// produces a single-launch kernel.
+func BindChecked(prog *Program, name string, args []Arg) (gpusim.KernelFunc, int, error) {
+	return bind(prog, name, args, NewCheckedState())
+}
+
+// CheckArgs validates an argument list against a kernel's declared
+// signature without building an executable kernel — the eager check behind
+// cl's SetArgs.
+func CheckArgs(prog *Program, name string, args []Arg) error {
+	_, _, _, err := argPlan(prog, name, args)
+	return err
+}
+
+// argPlan resolves the kernel and validates each argument against the
+// declared parameter, computing the __local allocation layout.
+func argPlan(prog *Program, name string, args []Arg) (*Function, []int, int, error) {
 	fn, ok := prog.Functions[name]
 	if !ok {
-		return nil, 0, fmt.Errorf("clc: no function %q in program", name)
+		return nil, nil, 0, fmt.Errorf("clc: no function %q in program", name)
 	}
 	if !fn.IsKernel {
-		return nil, 0, fmt.Errorf("clc: %q is not a __kernel function", name)
+		return nil, nil, 0, fmt.Errorf("clc: %q is not a __kernel function", name)
 	}
 	if len(args) != len(fn.Params) {
-		return nil, 0, fmt.Errorf("clc: kernel %q takes %d arguments, got %d",
+		return nil, nil, 0, fmt.Errorf("clc: kernel %q takes %d arguments, got %d",
 			name, len(fn.Params), len(args))
 	}
 	ldsFloats := 0
 	ldsOffsets := make([]int, len(args))
-	localArrays := map[*DeclStmt]int32{}
 	for i, prm := range fn.Params {
 		a := args[i]
 		switch {
 		case prm.Type.Pointer && prm.Type.Space == KWGLOBAL:
 			if a.Kind != KindBuffer {
-				return nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s %s): need a device buffer",
+				return nil, nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s %s): need a device buffer",
 					name, i, prm.Type, prm.Name)
 			}
 			if prm.Type.Base == KWFLOAT && !a.Buf.IsFloat() ||
 				prm.Type.Base == KWINT && a.Buf.IsFloat() {
-				return nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s %s): buffer element type mismatch",
+				return nil, nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s %s): buffer element type mismatch",
 					name, i, prm.Type, prm.Name)
 			}
 		case prm.Type.Pointer && prm.Type.Space == KWLOCAL:
 			if prm.Type.Base != KWFLOAT {
-				return nil, 0, fmt.Errorf("clc: kernel %q arg %d: only __local float* is supported", name, i)
+				return nil, nil, 0, fmt.Errorf("clc: kernel %q arg %d: only __local float* is supported", name, i)
 			}
 			if a.Kind != KindLocal || a.Local <= 0 {
-				return nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s %s): need LocalArg(n)",
+				return nil, nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s %s): need LocalArg(n)",
 					name, i, prm.Type, prm.Name)
 			}
 			ldsOffsets[i] = ldsFloats
 			ldsFloats += a.Local
 		case prm.Type.Base == KWINT && !prm.Type.Pointer:
 			if a.Kind != KindInt {
-				return nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s): need IntArg", name, i, prm.Name)
+				return nil, nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s): need IntArg", name, i, prm.Name)
 			}
 		case prm.Type.Base == KWFLOAT && !prm.Type.Pointer:
 			if a.Kind != KindFloat {
-				return nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s): need FloatArg", name, i, prm.Name)
+				return nil, nil, 0, fmt.Errorf("clc: kernel %q arg %d (%s): need FloatArg", name, i, prm.Name)
 			}
 		default:
-			return nil, 0, fmt.Errorf("clc: kernel %q arg %d: unsupported parameter type %s",
+			return nil, nil, 0, fmt.Errorf("clc: kernel %q arg %d: unsupported parameter type %s",
 				name, i, prm.Type)
 		}
 	}
+	return fn, ldsOffsets, ldsFloats, nil
+}
+
+func bind(prog *Program, name string, args []Arg, chk *CheckedState) (gpusim.KernelFunc, int, error) {
+	fn, ldsOffsets, ldsFloats, err := argPlan(prog, name, args)
+	if err != nil {
+		return nil, 0, err
+	}
+	localArrays := map[*DeclStmt]int32{}
 
 	// In-kernel __local array declarations claim group memory statically,
 	// like OpenCL's compile-time local allocations.
@@ -131,6 +162,9 @@ func Bind(prog *Program, name string, args []Arg) (gpusim.KernelFunc, int, error
 
 	kf := func(wi *gpusim.Item) {
 		in := &interp{prog: prog, wi: wi, localArrays: localArrays}
+		if chk != nil {
+			in.chk = chk.item(wi)
+		}
 		frame := newFrame()
 		for i, prm := range fn.Params {
 			a := args[i]
@@ -148,6 +182,11 @@ func Bind(prog *Program, name string, args []Arg) (gpusim.KernelFunc, int, error
 			frame.define(prm.Name, v)
 		}
 		in.execBlock(fn.Body, frame)
+		if in.chk != nil {
+			// Reached only on clean return: divergent barrier counts between
+			// the group's work-items mean a barrier was not group-uniform.
+			in.chk.done(name)
+		}
 	}
 	return kf, ldsFloats, nil
 }
@@ -238,6 +277,9 @@ type interp struct {
 	wi          *gpusim.Item
 	depth       int
 	localArrays map[*DeclStmt]int32
+	// chk is non-nil in checked mode (BindChecked): every __local access is
+	// logged against the launch's shadow store.
+	chk *checkedItem
 }
 
 func (in *interp) failf(t Token, format string, args ...any) {
@@ -349,12 +391,18 @@ func (in *interp) load(p value, idx int32, tok Token) value {
 			}
 			var f4 [4]float32
 			for c := int32(0); c < 4; c++ {
+				if in.chk != nil {
+					in.chk.access(p.ldsOff+base+c, false, tok)
+				}
 				f4[c] = in.wi.LoadLDS(int(p.ldsOff + base + c))
 			}
 			return vec4Val(f4)
 		}
 		if idx < 0 || idx >= p.ldsLen {
 			in.failf(tok, "__local index %d out of [0,%d)", idx, p.ldsLen)
+		}
+		if in.chk != nil {
+			in.chk.access(p.ldsOff+idx, false, tok)
 		}
 		return floatVal(in.wi.LoadLDS(int(p.ldsOff + idx)))
 	}
@@ -383,12 +431,18 @@ func (in *interp) store(p value, idx int32, v value, tok Token) {
 			}
 			f4 := in.coerce(v, Type{Base: KWFLOAT, Vec4: true}, tok).f4
 			for c := int32(0); c < 4; c++ {
+				if in.chk != nil {
+					in.chk.access(p.ldsOff+base+c, true, tok)
+				}
 				in.wi.StoreLDS(int(p.ldsOff+base+c), f4[c])
 			}
 			return
 		}
 		if idx < 0 || idx >= p.ldsLen {
 			in.failf(tok, "__local index %d out of [0,%d)", idx, p.ldsLen)
+		}
+		if in.chk != nil {
+			in.chk.access(p.ldsOff+idx, true, tok)
 		}
 		in.wi.StoreLDS(int(p.ldsOff+idx), in.coerce(v, Type{Base: KWFLOAT}, tok).f)
 		return
@@ -807,6 +861,9 @@ func (in *interp) evalCall(x *Call, fr *frame) value {
 		return intVal(int32(in.wi.NumGroups()))
 	case "barrier":
 		in.wi.Barrier()
+		if in.chk != nil {
+			in.chk.barrier()
+		}
 		return value{}
 	case "sqrt", "native_sqrt":
 		return f1(math.Sqrt, sqrtFlops)

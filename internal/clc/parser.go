@@ -19,13 +19,13 @@ func Parse(src string) (*Program, error) {
 			return nil, err
 		}
 		if _, dup := prog.Functions[fn.Name]; dup {
-			return nil, fmt.Errorf("clc: %s: function %q redefined", p.peek().Pos(), fn.Name)
+			return nil, fmt.Errorf("clc: %s: function %q redefined", fn.NameTok.Pos(), fn.Name)
 		}
 		prog.Functions[fn.Name] = fn
 		prog.Order = append(prog.Order, fn.Name)
 	}
 	if len(prog.Kernels()) == 0 {
-		return nil, fmt.Errorf("clc: no __kernel function in program")
+		return nil, fmt.Errorf("clc: %s: no __kernel function in program", p.peek().Pos())
 	}
 	return prog, nil
 }
@@ -112,6 +112,7 @@ func (p *parser) function() (*Function, error) {
 		return nil, err
 	}
 	fn.Name = name.Text
+	fn.NameTok = name
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func (p *parser) function() (*Function, error) {
 			return nil, p.errf(pn, "duplicate parameter %q", pn.Text)
 		}
 		seen[pn.Text] = true
-		fn.Params = append(fn.Params, Param{Type: pt, Name: pn.Text})
+		fn.Params = append(fn.Params, Param{Type: pt, Name: pn.Text, Tok: pn})
 		if !p.accept(COMMA) {
 			break
 		}

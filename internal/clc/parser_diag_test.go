@@ -1,0 +1,125 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every lexer and parser error must carry a line:col position so that
+// kernelcheck (and build logs) can point at the offending token. Sources
+// here start with a newline after the raw-string quote, so the first code
+// line is line 2.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantPos string // "line:col" of the offending token
+		wantMsg string // substring of the message after the position
+	}{
+		{
+			name: "missing_semicolon",
+			src: `
+__kernel void k(__global float* a) {
+    int i = 0
+}`,
+			wantPos: "4:1",
+			wantMsg: "expected",
+		},
+		{
+			name: "bad_char",
+			src: `
+__kernel void k(__global float* a) {
+    int i = @;
+}`,
+			wantPos: "3:13",
+			wantMsg: "",
+		},
+		{
+			name: "duplicate_param",
+			src: `
+__kernel void k(__global float* a, int a) {
+}`,
+			wantPos: "2:40",
+			wantMsg: `duplicate parameter "a"`,
+		},
+		{
+			name: "unknown_member",
+			src: `
+__kernel void k(__global float4* a) {
+    float4 v = a[0];
+    float x = v.q;
+}`,
+			wantPos: "4:17",
+			wantMsg: "unknown member",
+		},
+		{
+			name: "not_assignable",
+			src: `
+__kernel void k(__global float* a) {
+    a[0] + 1.0f = 2.0f;
+}`,
+			wantPos: "3:17",
+			wantMsg: "not assignable",
+		},
+		{
+			name: "bad_array_size",
+			src: `
+__kernel void k(__global float* a) {
+    __local float t[0];
+    t[0] = 1.0f;
+}`,
+			wantPos: "3:21",
+			wantMsg: "bad array size",
+		},
+		{
+			name: "unterminated_block",
+			src: `
+__kernel void k(__global float* a) {
+    a[0] = 1.0f;`,
+			wantPos: "3:17",
+			wantMsg: "unterminated block",
+		},
+		{
+			name: "float4_component_count",
+			src: `
+__kernel void k(__global float4* a) {
+    a[0] = (float4)(1.0f, 2.0f);
+}`,
+			wantPos: "3:12",
+			wantMsg: "4 components or 1 broadcast",
+		},
+		{
+			name: "no_kernel",
+			src: `
+float f(float x) {
+    return x;
+}`,
+			wantPos: "4:2",
+			wantMsg: "no __kernel function",
+		},
+		{
+			name: "void_variable",
+			src: `
+__kernel void k(__global float* a) {
+    void v;
+}`,
+			wantPos: "3:5",
+			wantMsg: "unexpected void",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("malformed kernel parsed without error")
+			}
+			msg := err.Error()
+			if !strings.HasPrefix(msg, "clc: "+tc.wantPos+":") {
+				t.Errorf("error %q does not carry position %s", msg, tc.wantPos)
+			}
+			if tc.wantMsg != "" && !strings.Contains(msg, tc.wantMsg) {
+				t.Errorf("error %q missing %q", msg, tc.wantMsg)
+			}
+		})
+	}
+}

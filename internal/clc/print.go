@@ -121,6 +121,12 @@ func formatStmt(b *strings.Builder, s Stmt, depth int) {
 	}
 }
 
+// ExprString renders an expression in the canonical form used by Format.
+// Because the rendering is fully parenthesised and deterministic, equal
+// strings identify structurally identical expressions — the static analyzers
+// use it as a cheap expression-identity key.
+func ExprString(e Expr) string { return formatExpr(e) }
+
 // capture renders a statement without indentation or newline (for-clauses).
 func capture(s Stmt) string {
 	var b strings.Builder

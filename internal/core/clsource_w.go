@@ -30,6 +30,9 @@ __kernel void wparallel(__global const float* src,
     float ay = 0.0f;
     float az = 0.0f;
 
+    // kernelcheck:allow uncoalesced -- broadcast streaming of the shared list is w-parallel's defining cost
+    // Every active lane reads the same list entry per iteration; removing
+    // this broadcast traffic is exactly what the jw-parallel kernel is for.
     for (int e = 0; e < llen; e++) {
         int idx = lists[base + e];
         float dx = src[4*idx]   - px;

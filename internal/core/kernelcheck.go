@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/clc/analysis"
+	"repro/internal/obs"
+)
+
+// BuiltinKernelSources maps every OpenCL C kernel source shipped by this
+// package to a stable name. cmd/kernelcheck and the -kernel-check flags in
+// the binaries lint exactly this set, so a kernel added here is gated
+// automatically.
+func BuiltinKernelSources() map[string]string {
+	return map[string]string{
+		"iparallel":  IParallelCL,
+		"iparallel4": IParallelFloat4CL,
+		"jparallel":  JParallelCL,
+		"wparallel":  WParallelCL,
+		"jwparallel": JWParallelCL,
+	}
+}
+
+// BuiltinLintResult is the outcome of linting one shipped kernel source.
+type BuiltinLintResult struct {
+	Name   string
+	Result *analysis.Result
+	Err    error // parse/analysis failure, not a finding
+}
+
+// CheckBuiltinKernels lints every shipped kernel source and returns results
+// sorted by name. A non-nil Err on an entry means the source failed to
+// parse, which is a bug regardless of check mode.
+func CheckBuiltinKernels() []BuiltinLintResult {
+	srcs := BuiltinKernelSources()
+	names := make([]string, 0, len(srcs))
+	for n := range srcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]BuiltinLintResult, 0, len(names))
+	for _, n := range names {
+		res, err := analysis.Analyze(srcs[n])
+		out = append(out, BuiltinLintResult{Name: n, Result: res, Err: err})
+	}
+	return out
+}
+
+// PreflightKernelCheck lints every shipped kernel source under the given
+// mode ("off", "warn" or "strict") before a run starts. In warn mode active
+// findings are written to w and the run proceeds; in strict mode any active
+// finding is returned as an error. Lint volumes are published to o's
+// clc.lint.* counters when o is non-nil, mirroring what cl.Context reports
+// per program build.
+func PreflightKernelCheck(mode string, o *obs.Obs, w io.Writer) error {
+	switch mode {
+	case "off":
+		return nil
+	case "warn", "strict":
+	default:
+		return fmt.Errorf("unknown -kernel-check mode %q (want off, warn or strict)", mode)
+	}
+	results := CheckBuiltinKernels()
+	report, active := BuiltinLintReport(results, false)
+	if o != nil {
+		findings, errs, suppressed := 0, 0, 0
+		for _, r := range results {
+			if r.Err != nil {
+				continue
+			}
+			findings += len(r.Result.Active())
+			errs += len(r.Result.Errors())
+			suppressed += len(r.Result.Suppressed())
+		}
+		o.Counter("clc.lint.findings").Add(int64(findings))
+		o.Counter("clc.lint.errors").Add(int64(errs))
+		o.Counter("clc.lint.suppressed").Add(int64(suppressed))
+	}
+	if active == 0 {
+		return nil
+	}
+	if mode == "strict" {
+		return fmt.Errorf("kernel check failed (%d finding(s)):\n%s", active, report)
+	}
+	fmt.Fprintf(w, "kernel check: %d finding(s) on shipped kernels:\n%s", active, report)
+	return nil
+}
+
+// BuiltinLintReport formats the lint results for human consumption: one
+// line per diagnostic, prefixed with the builtin's name. Suppressed
+// findings are included when verbose is set. The second return is the
+// number of active (unsuppressed) findings.
+func BuiltinLintReport(results []BuiltinLintResult, verbose bool) (string, int) {
+	var report string
+	active := 0
+	for _, r := range results {
+		if r.Err != nil {
+			report += fmt.Sprintf("%s: %v\n", r.Name, r.Err)
+			active++
+			continue
+		}
+		for _, d := range r.Result.Active() {
+			report += fmt.Sprintf("%s: %s\n", r.Name, d)
+			active++
+		}
+		if verbose {
+			for _, d := range r.Result.Suppressed() {
+				report += fmt.Sprintf("%s: %s\n", r.Name, d)
+			}
+		}
+	}
+	return report, active
+}
