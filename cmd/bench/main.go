@@ -19,34 +19,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/gpusim"
 	"repro/internal/perf"
-	"repro/internal/pipeline"
 )
 
 func main() {
 	var (
 		quick      = flag.Bool("quick", false, "reduced sweep for CI smoke jobs (fewer sizes, fewer repeats)")
-		sizes      = flag.String("sizes", "", "comma-separated body counts (default: the tracked sweep)")
+		sizes      = cliflags.SizesFlag(flag.CommandLine)
+		device     = cliflags.DeviceFlag(flag.CommandLine, "hd5850")
+		kcheck     = cliflags.KernelCheckFlag(flag.CommandLine, "warn")
+		pipe       = cliflags.PipelineFlag(flag.CommandLine, "serial")
 		repeats    = flag.Int("repeats", 0, "timed repetitions per point (default: sweep default)")
 		plans      = flag.String("plans", "", "comma-separated plans (default: all four)")
 		theta      = flag.Float64("theta", 0.6, "treecode opening angle")
 		eps        = flag.Float64("eps", 0.05, "softening length")
 		seed       = flag.Uint64("seed", 20110511, "workload seed")
-		device     = flag.String("device", "hd5850", "device model: hd5850, hd5870, gtx280, test")
 		clockScale = flag.Float64("clock-scale", 1.0, "multiply the device engine clock (for sensitivity checks)")
 		out        = flag.String("out", "", "output JSON path (default BENCH_<date>.json; '-' for stdout)")
 		baseline   = flag.String("baseline", "", "compare against this baseline JSON; exit 1 on regression")
 		writeBase  = flag.String("write-baseline", "", "also write the report to this path (baseline refresh)")
 		maxRegress = flag.Float64("max-regress", 0.05, "allowed relative worsening per metric vs the baseline")
 		trace      = flag.String("trace", "", "write the merged host+device Chrome trace of the final point here")
-		pipeMode   = flag.String("pipeline", "serial", "cross-evaluation execution: serial or overlap (host work hides behind device work; overlap must never be slower than serial — checked per point)")
-		kcheck     = flag.String("kernel-check", "warn", "lint the shipped OpenCL kernels before the sweep: off, warn, strict")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -55,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := core.PreflightKernelCheck(*kcheck, nil, os.Stderr); err != nil {
+	if err := core.PreflightKernelCheck(kcheck.Mode(), nil, os.Stderr); err != nil {
 		fatalf("%v", err)
 	}
 
@@ -63,11 +61,7 @@ func main() {
 	if *quick {
 		cfg = perf.QuickBenchConfig()
 	}
-	if *sizes != "" {
-		ns, err := parseSizes(*sizes)
-		if err != nil {
-			fatalf("%v", err)
-		}
+	if ns := sizes.List(); ns != nil {
 		cfg.Sizes = ns
 	}
 	if *repeats > 0 {
@@ -79,19 +73,13 @@ func main() {
 	cfg.Theta = float32(*theta)
 	cfg.Eps = float32(*eps)
 	cfg.Seed = *seed
-	dev, err := deviceModel(*device)
-	if err != nil {
-		fatalf("%v", err)
-	}
+	dev := device.Config()
 	if *clockScale <= 0 {
 		fatalf("non-positive -clock-scale %g", *clockScale)
 	}
 	dev.ClockHz *= *clockScale
 	cfg.Device = dev
-	cfg.Pipeline, err = pipeline.ParseMode(*pipeMode)
-	if err != nil {
-		fatalf("%v", err)
-	}
+	cfg.Pipeline = pipe.Mode()
 	// Human-readable output moves to stderr when the JSON goes to stdout.
 	info := os.Stdout
 	if *out == "-" {
@@ -101,6 +89,7 @@ func main() {
 
 	var traceFile *os.File
 	if *trace != "" {
+		var err error
 		traceFile, err = os.Create(*trace)
 		if err != nil {
 			fatalf("%v", err)
@@ -176,32 +165,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(info, "no regressions vs %s (threshold %.0f%%)\n", *baseline, *maxRegress*100)
-}
-
-func parseSizes(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad size %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func deviceModel(name string) (gpusim.DeviceConfig, error) {
-	switch name {
-	case "hd5850":
-		return gpusim.HD5850(), nil
-	case "hd5870":
-		return gpusim.HD5870(), nil
-	case "gtx280":
-		return gpusim.GTX280Class(), nil
-	case "test":
-		return gpusim.TestDevice(), nil
-	}
-	return gpusim.DeviceConfig{}, fmt.Errorf("unknown device %q (hd5850, hd5870, gtx280, test)", name)
 }
 
 func writeReport(path string, rep *perf.BenchReport) error {

@@ -13,16 +13,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/cliflags"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		sizes     = flag.String("sizes", "", "comma-separated body counts (default: the paper's 1024..65536 sweep)")
+		sizes     = cliflags.SizesFlag(flag.CommandLine)
+		kcheck    = cliflags.KernelCheckFlag(flag.CommandLine, "warn")
 		steps     = flag.Int("steps", 100, "steps per table entry (the paper uses 100)")
 		seed      = flag.Uint64("seed", 0, "workload seed (0 = the default)")
 		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
@@ -33,20 +34,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := core.PreflightKernelCheck(kcheck.Mode(), nil, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := exp.DefaultConfig()
 	if *quick {
 		cfg = exp.QuickConfig()
 	}
-	if *sizes != "" {
-		cfg.Sizes = nil
-		for _, s := range strings.Split(*sizes, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "experiments: bad size %q\n", s)
-				os.Exit(2)
-			}
-			cfg.Sizes = append(cfg.Sizes, n)
-		}
+	if ns := sizes.List(); ns != nil {
+		cfg.Sizes = ns
 	}
 	cfg.Steps = *steps
 	if *seed != 0 {

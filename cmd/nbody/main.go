@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	nbody -n 4096 -engine jw-parallel -steps 100 -dt 0.01
+//	nbody -n 4096 -plan jw-parallel -steps 100 -dt 0.01
 //
-// Engines: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel,
-// w-parallel, jw-parallel.
+// Plans: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel,
+// w-parallel, jw-parallel (-engine remains as an alias of -plan).
 // Workloads: plummer, cube, disk, collision.
 package main
 
@@ -21,6 +21,7 @@ import (
 	"repro/internal/bh"
 	"repro/internal/body"
 	"repro/internal/cl"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/fmm"
@@ -37,8 +38,11 @@ import (
 
 func main() {
 	var (
-		n         = flag.Int("n", 4096, "number of bodies")
-		engine    = flag.String("engine", "jw-parallel", "force engine: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel, w-parallel, jw-parallel, jw-parallel-x2, jw-parallel-x4")
+		n         = cliflags.N(flag.CommandLine, 4096)
+		plan      = cliflags.Plan(flag.CommandLine, "jw-parallel", "engine")
+		device    = cliflags.DeviceFlag(flag.CommandLine, "hd5850")
+		kcheck    = cliflags.KernelCheckFlag(flag.CommandLine, "warn")
+		pipe      = cliflags.PipelineFlag(flag.CommandLine, "serial")
 		workload  = flag.String("workload", "plummer", "initial conditions: plummer, hernquist, cube, disk, collision")
 		steps     = flag.Int("steps", 100, "number of time steps")
 		dt        = flag.Float64("dt", 0.01, "time step")
@@ -56,22 +60,17 @@ func main() {
 		perfTo    = flag.String("perf-report", "", "write the perf report (critical path + roofline) of the run to this file (GPU engines only)")
 		tolEnergy = flag.Float64("tol-energy", 0, "watchdog: halt when |E-E0|/|E0| exceeds this (0 disables)")
 		tolMom    = flag.Float64("tol-momentum", 0, "watchdog: halt when ||P-P0|| exceeds this (0 disables)")
-		pipeMode  = flag.String("pipeline", "serial", "cross-step execution on the modelled timeline: serial (steps laid end to end) or overlap (step t+1's host tree/list build hides behind step t's device work; GPU engines only)")
 		pipeWin   = flag.Int("pipeline-window", 8, "steps per pipeline window under -pipeline=overlap (snapshots always join the pipeline)")
-		kcheck    = flag.String("kernel-check", "warn", "lint the shipped OpenCL kernels before the run: off, warn, strict")
 	)
 	flag.Parse()
 
-	mode, err := pipeline.ParseMode(*pipeMode)
-	if err != nil {
-		fail(err)
-	}
+	mode := pipe.Mode()
 
 	var o *obs.Obs
 	if *metricsTo != "" || *traceTo != "" || *debugAddr != "" || *perfTo != "" {
 		o = obs.New()
 	}
-	if err := core.PreflightKernelCheck(*kcheck, o, os.Stderr); err != nil {
+	if err := core.PreflightKernelCheck(kcheck.Mode(), o, os.Stderr); err != nil {
 		fail(err)
 	}
 	if *debugAddr != "" {
@@ -107,7 +106,7 @@ func main() {
 	opt.Theta = float32(*theta)
 	opt.Eps = float32(*eps)
 
-	eng, pe, err := makeEngine(*engine, params, opt, o)
+	eng, pe, err := makeEngine(*plan, params, opt, o, device.Config())
 	if err != nil {
 		fail(err)
 	}
@@ -183,7 +182,7 @@ func main() {
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsTo)
 	}
 	if *traceTo != "" {
-		if err := writeTrace(*traceTo, o, pe); err != nil {
+		if err := writeTrace(*traceTo, o, pe, device.Config()); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote merged host+device trace to %s (open in Perfetto / chrome://tracing)\n", *traceTo)
@@ -192,7 +191,7 @@ func main() {
 		if pe == nil || pe.LastProfile == nil {
 			fail(fmt.Errorf("-perf-report requires a GPU engine (got %s)", eng.Name()))
 		}
-		if err := writePerfReport(*perfTo, o, pe); err != nil {
+		if err := writePerfReport(*perfTo, o, pe, device.Config()); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote perf report to %s\n", *perfTo)
@@ -202,13 +201,13 @@ func main() {
 // writePerfReport builds the critical-path + roofline analysis of the run's
 // final force evaluation (the span bundle covers the whole run, so the stage
 // attribution aggregates every step).
-func writePerfReport(path string, o *obs.Obs, pe *core.Engine) error {
+func writePerfReport(path string, o *obs.Obs, pe *core.Engine, dev gpusim.DeviceConfig) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	rep := perf.BuildPlanReport(gpusim.HD5850(), pe.LastProfile, o.Trace.Spans())
+	rep := perf.BuildPlanReport(dev, pe.LastProfile, o.Trace.Spans())
 	if err := rep.WriteJSON(f); err != nil {
 		return err
 	}
@@ -230,7 +229,7 @@ func writeMetrics(path string, o *obs.Obs) error {
 
 // writeTrace merges the host spans with the device schedule of the last
 // kernel launches (when a GPU plan ran) into one Chrome trace.
-func writeTrace(path string, o *obs.Obs, pe *core.Engine) error {
+func writeTrace(path string, o *obs.Obs, pe *core.Engine, dev gpusim.DeviceConfig) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -240,7 +239,7 @@ func writeTrace(path string, o *obs.Obs, pe *core.Engine) error {
 	if pe != nil {
 		launches = pe.LastLaunches
 	}
-	if err := cl.WriteMergedTrace(f, o.Trace, gpusim.HD5850(), launches...); err != nil {
+	if err := cl.WriteMergedTrace(f, o.Trace, dev, launches...); err != nil {
 		return err
 	}
 	return f.Close()
@@ -262,7 +261,7 @@ func makeWorkload(kind string, n int, seed uint64) (*body.System, error) {
 	return nil, fmt.Errorf("unknown workload %q", kind)
 }
 
-func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs) (sim.Engine, *core.Engine, error) {
+func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs, dev gpusim.DeviceConfig) (sim.Engine, *core.Engine, error) {
 	opt.Trace = o.Tracer() // spans the CPU treecode engines too
 	switch name {
 	case "cpu-pp":
@@ -274,29 +273,14 @@ func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs) (sim.
 	case "cpu-fmm":
 		return &fmm.Engine{Opt: opt}, nil, nil
 	}
-	ctx, err := cl.NewContext(gpusim.HD5850())
+	pe, err := core.NewEngineByName(name,
+		core.WithDevice(dev),
+		core.WithPPParams(params),
+		core.WithBHOptions(opt),
+		core.WithObs(o))
 	if err != nil {
 		return nil, nil, err
 	}
-	var plan core.Plan
-	switch name {
-	case "i-parallel":
-		plan = core.NewIParallel(ctx, params)
-	case "j-parallel":
-		plan = core.NewJParallel(ctx, params)
-	case "w-parallel":
-		plan = core.NewWParallel(ctx, opt)
-	case "jw-parallel":
-		plan = core.NewJWParallel(ctx, opt)
-	case "jw-parallel-x2":
-		plan = core.NewMultiJW(opt, 2, gpusim.HD5850())
-	case "jw-parallel-x4":
-		plan = core.NewMultiJW(opt, 4, gpusim.HD5850())
-	default:
-		return nil, nil, fmt.Errorf("unknown engine %q", name)
-	}
-	pe := core.NewEngine(plan)
-	pe.SetObs(o)
 	return pe, pe, nil
 }
 

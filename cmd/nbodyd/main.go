@@ -1,0 +1,109 @@
+// Command nbodyd serves N-body simulation jobs over HTTP: clients POST a
+// job (workload or explicit bodies, execution plan, step budget), the
+// daemon schedules it onto a pool of modelled-GPU engines, and snapshots
+// stream back as NDJSON while the run progresses.
+//
+// Usage:
+//
+//	nbodyd -addr :8080 -engines 2 -queue 8
+//
+// Endpoints:
+//
+//	POST   /v1/jobs              submit (429 + Retry-After when the queue is full)
+//	GET    /v1/jobs/{id}         status
+//	GET    /v1/jobs/{id}/stream  NDJSON snapshot stream
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /healthz /metrics /debug/serve
+//
+// SIGTERM/SIGINT drains: admission stops (503), queued and running jobs
+// finish (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		engines      = flag.Int("engines", 2, "engine pool size (concurrent jobs)")
+		queueDepth   = flag.Int("queue", 8, "bounded job queue depth (admission control)")
+		device       = cliflags.DeviceFlag(flag.CommandLine, "hd5850")
+		kcheck       = cliflags.KernelCheckFlag(flag.CommandLine, "warn")
+		maxBodies    = flag.Int("max-bodies", 1_000_000, "per-job body-count limit (0: unlimited)")
+		maxSteps     = flag.Int("max-steps", 100_000, "per-job step limit (0: unlimited)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job run deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight jobs finish on SIGTERM")
+		retries      = flag.Int("retries", 1, "engine-failure retries per job")
+	)
+	flag.Parse()
+
+	o := obs.New()
+	if err := core.PreflightKernelCheck(kcheck.Mode(), o, os.Stderr); err != nil {
+		fail(err)
+	}
+	o.Metrics.Publish("nbodyd.metrics")
+
+	pool, err := serve.NewPool(*engines, device.Config(), o)
+	if err != nil {
+		fail(err)
+	}
+	svc := serve.NewService(serve.ServiceConfig{
+		Engines:        *engines,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *jobTimeout,
+		MaxRetries:     *retries,
+		Limits:         serve.Limits{MaxBodies: *maxBodies, MaxSteps: *maxSteps},
+		Obs:            o,
+	}, pool)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewServer(svc)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("nbodyd: serving on http://%s (engines %d, queue %d, device %s)\n",
+		*addr, *engines, *queueDepth, device.Config().Name)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+		return
+	case got := <-sig:
+		fmt.Printf("nbodyd: %v — draining (up to %s)\n", got, *drainTimeout)
+	}
+
+	// Drain: stop admission, let in-flight jobs run out, then close HTTP so
+	// stream readers see their final records before the sockets die.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "nbodyd: drain: %v\n", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "nbodyd: shutdown: %v\n", err)
+	}
+	fmt.Println("nbodyd: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "nbodyd: %v\n", err)
+	os.Exit(1)
+}

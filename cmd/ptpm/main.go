@@ -17,6 +17,7 @@ import (
 	"repro/internal/bh"
 	"repro/internal/body"
 	"repro/internal/cl"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gpusim"
@@ -26,13 +27,14 @@ import (
 
 func main() {
 	var (
-		n         = flag.Int("n", 16384, "number of bodies")
+		n         = cliflags.N(flag.CommandLine, 16384)
+		device    = cliflags.DeviceFlag(flag.CommandLine, "hd5850")
 		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
 		tracePath = flag.String("trace", "", "write a merged host+device Chrome trace of the measured runs to this file")
 	)
 	flag.Parse()
 
-	dev := gpusim.HD5850()
+	dev := device.Config()
 	model := core.TimeSpaceModel{Dev: dev}
 	sys := ic.Plummer(*n, 1)
 
@@ -63,6 +65,7 @@ func main() {
 	// Measured: run each plan once and analyse the actual launch.
 	fmt.Println("Measured launches (same cost model, counted work):")
 	cfg := exp.DefaultConfig()
+	cfg.Device = dev
 	cfg.Sizes = []int{*n}
 	cfg.Theta = float32(*theta)
 	if *tracePath != "" {

@@ -1,0 +1,167 @@
+// Package apicheck renders the exported API surface of a package directory
+// as a sorted, line-oriented text document. The repo commits the rendered
+// surface of its public-facing packages as a golden file; the drift test
+// fails whenever an exported symbol appears, disappears, or changes shape,
+// so API changes are always a reviewed diff instead of an accident.
+package apicheck
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Surface parses the non-test Go files of dir and returns one line per
+// exported symbol, sorted. Lines look like:
+//
+//	func NewPool(size int, dev gpusim.DeviceConfig, o *obs.Obs) (*Pool, error)
+//	method (*Pool) Quarantine(sl *engineSlot, reason string)
+//	type EngineCaps struct
+//	field EngineCaps.Timed TimedEngine
+//	const StateQueued
+//	var ErrQueueFull
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// declLines renders one top-level declaration's exported symbols.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && len(d.Recv.List) == 1 {
+			recv := typeString(fset, d.Recv.List[0].Type)
+			if !exportedType(recv) {
+				return nil
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, funcSig(fset, d.Type))}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, funcSig(fset, d.Type))}
+	case *ast.GenDecl:
+		var lines []string
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, id := range sp.Names {
+					if id.IsExported() {
+						lines = append(lines, fmt.Sprintf("%s %s", kind, id.Name))
+					}
+				}
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				lines = append(lines, typeLines(fset, sp)...)
+			}
+		}
+		return lines
+	}
+	return nil
+}
+
+// typeLines renders an exported type declaration: its kind plus every
+// exported field or interface method (unexported members are part of the
+// implementation, not the surface).
+func typeLines(fset *token.FileSet, sp *ast.TypeSpec) []string {
+	name := sp.Name.Name
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("type %s struct", name)}
+		for _, f := range t.Fields.List {
+			ft := typeString(fset, f.Type)
+			if len(f.Names) == 0 {
+				// Embedded field: exported iff the embedded type is.
+				if exportedType(ft) {
+					lines = append(lines, fmt.Sprintf("field %s.%s (embedded)", name, ft))
+				}
+				continue
+			}
+			for _, id := range f.Names {
+				if id.IsExported() {
+					lines = append(lines, fmt.Sprintf("field %s.%s %s", name, id.Name, ft))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("type %s interface", name)}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				ft := typeString(fset, m.Type)
+				if exportedType(ft) {
+					lines = append(lines, fmt.Sprintf("ifacemethod %s.%s (embedded)", name, ft))
+				}
+				continue
+			}
+			for _, id := range m.Names {
+				if id.IsExported() {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						lines = append(lines, fmt.Sprintf("ifacemethod %s.%s%s", name, id.Name, funcSig(fset, ft)))
+					}
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("type %s %s", name, typeString(fset, sp.Type))}
+	}
+}
+
+// funcSig renders a function type as "(params) results".
+func funcSig(fset *token.FileSet, ft *ast.FuncType) string {
+	s := typeString(fset, ft)
+	return strings.TrimPrefix(s, "func")
+}
+
+// typeString prints an AST type expression as source text.
+func typeString(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return buf.String()
+}
+
+// exportedType reports whether a rendered receiver/embedded type names an
+// exported type after stripping pointers, generics, and package qualifiers.
+func exportedType(s string) bool {
+	s = strings.TrimLeft(s, "*")
+	if i := strings.IndexAny(s, "["); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	return s != "" && ast.IsExported(s)
+}

@@ -1,0 +1,203 @@
+// Package cliflags defines the command-line flags shared by every binary in
+// this module — nbody, bench, experiments, ptpm, kernelcheck and nbodyd —
+// so that -plan, -n, -device, -kernel-check and -pipeline mean the same
+// thing, accept the same values, and fail with the same messages everywhere.
+//
+// Before this package each command declared its own copies, and they had
+// drifted: nbody called the plan flag -engine, bench parsed device names in
+// a private switch, experiments had no kernel gate at all, and size lists
+// were split in two slightly different ways. A flag added here is defined
+// once and picked up by every command that registers it.
+//
+// The typed flags validate at parse time (flag.Value.Set), so a bad value
+// fails with the standard flag-package usage message instead of a mid-run
+// error.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/gpusim"
+	"repro/internal/pipeline"
+)
+
+// Plan registers the canonical -plan flag with the given default, plus any
+// aliases (nbody keeps -engine as a deprecated alias) bound to the same
+// value, and returns the shared value.
+func Plan(fs *flag.FlagSet, def string, aliases ...string) *string {
+	p := new(string)
+	*p = def
+	const usage = "execution plan / force engine (GPU: i-parallel, j-parallel, w-parallel, jw-parallel, jw-parallel-xK; CPU: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm)"
+	fs.StringVar(p, "plan", def, usage)
+	for _, a := range aliases {
+		fs.StringVar(p, a, def, "alias for -plan")
+	}
+	return p
+}
+
+// N registers the shared -n body-count flag.
+func N(fs *flag.FlagSet, def int) *int {
+	return fs.Int("n", def, "number of bodies")
+}
+
+// Device is the -device flag: a modelled-device name validated at parse
+// time. The zero value is invalid; register through DeviceFlag.
+type Device struct {
+	name string
+	cfg  gpusim.DeviceConfig
+}
+
+// DeviceFlag registers -device with the given default name ("hd5850" for
+// every current command) and returns the typed value.
+func DeviceFlag(fs *flag.FlagSet, def string) *Device {
+	d := &Device{}
+	if err := d.Set(def); err != nil {
+		panic(fmt.Sprintf("cliflags: bad default device %q: %v", def, err))
+	}
+	fs.Var(d, "device", "device model: "+strings.Join(DeviceNames(), ", "))
+	return d
+}
+
+// DeviceNames lists the accepted -device values.
+func DeviceNames() []string { return []string{"hd5850", "hd5870", "gtx280", "test"} }
+
+// String implements flag.Value.
+func (d *Device) String() string { return d.name }
+
+// Set implements flag.Value, resolving and validating the device name.
+func (d *Device) Set(s string) error {
+	switch s {
+	case "hd5850":
+		d.cfg = gpusim.HD5850()
+	case "hd5870":
+		d.cfg = gpusim.HD5870()
+	case "gtx280":
+		d.cfg = gpusim.GTX280Class()
+	case "test":
+		d.cfg = gpusim.TestDevice()
+	default:
+		return fmt.Errorf("unknown device %q (want %s)", s, strings.Join(DeviceNames(), ", "))
+	}
+	d.name = s
+	return nil
+}
+
+// Config returns the resolved device model.
+func (d *Device) Config() gpusim.DeviceConfig { return d.cfg }
+
+// KernelCheck is the -kernel-check flag: off, warn or strict, validated at
+// parse time.
+type KernelCheck struct {
+	mode string
+}
+
+// KernelCheckFlag registers -kernel-check with the given default mode
+// (every command defaults to "warn").
+func KernelCheckFlag(fs *flag.FlagSet, def string) *KernelCheck {
+	k := &KernelCheck{}
+	if err := k.Set(def); err != nil {
+		panic(fmt.Sprintf("cliflags: bad default kernel-check mode %q: %v", def, err))
+	}
+	fs.Var(k, "kernel-check", "lint the shipped OpenCL kernels before running: off, warn, strict")
+	return k
+}
+
+// String implements flag.Value.
+func (k *KernelCheck) String() string { return k.mode }
+
+// Set implements flag.Value.
+func (k *KernelCheck) Set(s string) error {
+	switch s {
+	case "off", "warn", "strict":
+		k.mode = s
+		return nil
+	}
+	return fmt.Errorf("unknown kernel-check mode %q (want off, warn or strict)", s)
+}
+
+// Mode returns the validated mode string, as consumed by
+// core.PreflightKernelCheck and core.WithKernelCheck.
+func (k *KernelCheck) Mode() string { return k.mode }
+
+// Pipeline is the -pipeline flag: the cross-step execution mode, validated
+// at parse time.
+type Pipeline struct {
+	mode pipeline.Mode
+}
+
+// PipelineFlag registers -pipeline with the given default ("serial" for
+// every current command).
+func PipelineFlag(fs *flag.FlagSet, def string) *Pipeline {
+	p := &Pipeline{}
+	if err := p.Set(def); err != nil {
+		panic(fmt.Sprintf("cliflags: bad default pipeline mode %q: %v", def, err))
+	}
+	fs.Var(p, "pipeline", "cross-step execution on the modelled timeline: serial or overlap (GPU plans only)")
+	return p
+}
+
+// String implements flag.Value.
+func (p *Pipeline) String() string { return p.mode.String() }
+
+// Set implements flag.Value.
+func (p *Pipeline) Set(s string) error {
+	m, err := pipeline.ParseMode(s)
+	if err != nil {
+		return err
+	}
+	p.mode = m
+	return nil
+}
+
+// Mode returns the parsed pipeline mode.
+func (p *Pipeline) Mode() pipeline.Mode { return p.mode }
+
+// ParseSizes parses a comma-separated list of positive body counts — the
+// one parser behind every -sizes flag.
+func ParseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q (want a positive body count)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Sizes is the -sizes flag: a comma-separated list of body counts, empty
+// meaning "the command's default sweep".
+type Sizes struct {
+	list []int
+	raw  string
+}
+
+// SizesFlag registers -sizes.
+func SizesFlag(fs *flag.FlagSet) *Sizes {
+	s := &Sizes{}
+	fs.Var(s, "sizes", "comma-separated body counts (default: the command's tracked sweep)")
+	return s
+}
+
+// String implements flag.Value.
+func (s *Sizes) String() string { return s.raw }
+
+// Set implements flag.Value.
+func (s *Sizes) Set(v string) error {
+	list, err := ParseSizes(v)
+	if err != nil {
+		return err
+	}
+	s.list, s.raw = list, v
+	return nil
+}
+
+// List returns the parsed sizes; nil when the flag was not given.
+func (s *Sizes) List() []int { return s.list }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
@@ -63,6 +65,18 @@ func (e *Engine) SetObs(o *obs.Obs) {
 	if p, ok := e.Plan.(obs.Observable); ok {
 		p.SetObs(o)
 	}
+}
+
+// AccelContext implements the sim.ContextEngine interface. One force
+// evaluation is the engine's scheduling quantum — the modelled device work is
+// not preemptible — so the context is observed at evaluation boundaries: a
+// cancelled or expired ctx fails the call before any work is enqueued, and a
+// cancellation arriving mid-evaluation takes effect at the next call.
+func (e *Engine) AccelContext(ctx context.Context, s *body.System) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.Accel(s)
 }
 
 // Accel implements the sim.Engine interface.

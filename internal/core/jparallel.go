@@ -38,6 +38,9 @@ type JParallel struct {
 }
 
 // NewJParallel creates the plan on the given context.
+//
+// Deprecated: new code should construct plans through NewPlanByName
+// ("j-parallel"); see NewIParallel.
 func NewJParallel(ctx *cl.Context, params pp.Params) *JParallel {
 	return &JParallel{Params: params, GroupSize: 64, planBase: newPlanBase(ctx)}
 }

@@ -66,6 +66,9 @@ type JWParallel struct {
 }
 
 // NewJWParallel creates the plan on the given context.
+//
+// Deprecated: new code should construct plans through NewPlanByName
+// ("jw-parallel"); see NewIParallel.
 func NewJWParallel(ctx *cl.Context, opt bh.Options) *JWParallel {
 	return &JWParallel{
 		Opt:       opt,

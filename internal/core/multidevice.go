@@ -52,6 +52,9 @@ type deviceState struct {
 }
 
 // NewMultiJW creates the plan with the given device count.
+//
+// Deprecated: new code should construct plans through NewPlanByName
+// ("jw-parallel-xK"); see NewIParallel.
 func NewMultiJW(opt bh.Options, devices int, cfg gpusim.DeviceConfig) *MultiJW {
 	return &MultiJW{
 		Opt:       opt,

@@ -43,6 +43,9 @@ type WParallel struct {
 }
 
 // NewWParallel creates the plan on the given context.
+//
+// Deprecated: new code should construct plans through NewPlanByName
+// ("w-parallel"); see NewIParallel.
 func NewWParallel(ctx *cl.Context, opt bh.Options) *WParallel {
 	return &WParallel{
 		Opt:       opt,

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
@@ -9,13 +10,22 @@ import (
 	"repro/internal/obs"
 )
 
+// PlanReportSchemaVersion identifies the perf-report JSON layout; bump on
+// breaking changes so downstream tooling refuses to parse files it does not
+// understand.
+//
+// v1 is the original layout plus the schema_version field itself;
+// ReadPlanReport accepts legacy files without the field.
+const PlanReportSchemaVersion = 1
+
 // PlanReport is the full perf analysis of one (plan, N) force evaluation:
 // the modelled time split with its critical path, and a roofline/occupancy
 // report per kernel launch. Every field is derived from modelled quantities,
 // so reports are deterministic and diffable across machines.
 type PlanReport struct {
-	Plan string `json:"plan"`
-	N    int    `json:"n"`
+	SchemaVersion int    `json:"schema_version"`
+	Plan          string `json:"plan"`
+	N             int    `json:"n"`
 
 	Interactions int64 `json:"interactions"`
 	Flops        int64 `json:"flops"`
@@ -38,6 +48,7 @@ type PlanReport struct {
 // way).
 func BuildPlanReport(cfg gpusim.DeviceConfig, prof *core.RunProfile, spans []obs.SpanRecord) PlanReport {
 	r := PlanReport{
+		SchemaVersion:   PlanReportSchemaVersion,
 		Plan:            prof.Plan,
 		N:               prof.N,
 		Interactions:    prof.Interactions,
@@ -66,4 +77,22 @@ func (r PlanReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadPlanReport decodes a perf-report document. Files from before the
+// schema_version field are upgraded in memory to v1 (the layout did not
+// change); files from a newer schema are rejected.
+func ReadPlanReport(rd io.Reader) (PlanReport, error) {
+	var r PlanReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return r, fmt.Errorf("perf: plan report: %w", err)
+	}
+	if r.SchemaVersion == 0 {
+		r.SchemaVersion = PlanReportSchemaVersion
+	}
+	if r.SchemaVersion > PlanReportSchemaVersion {
+		return r, fmt.Errorf("perf: plan report schema v%d is newer than this binary's v%d",
+			r.SchemaVersion, PlanReportSchemaVersion)
+	}
+	return r, nil
 }

@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/ic"
+	"repro/internal/obs"
+)
+
+// buildTestReport runs one jw-parallel evaluation on the test device and
+// returns its report.
+func buildTestReport(t *testing.T) PlanReport {
+	t.Helper()
+	plan, err := newPlan("jw-parallel", gpusim.TestDevice(), 0.6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	plan.(obs.Observable).SetObs(o)
+	sys := ic.Plummer(64, 7)
+	prof, err := plan.Accel(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildPlanReport(gpusim.TestDevice(), prof, o.Trace.Spans())
+}
+
+func TestPlanReportCarriesSchemaVersion(t *testing.T) {
+	rep := buildTestReport(t)
+	if rep.SchemaVersion != PlanReportSchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep.SchemaVersion, PlanReportSchemaVersion)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version": 1`) {
+		t.Fatal("serialized report is missing schema_version")
+	}
+}
+
+func TestPlanReportRoundTrip(t *testing.T) {
+	rep := buildTestReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlanReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip changed the report:\n in %+v\nout %+v", rep, got)
+	}
+}
+
+func TestReadPlanReportUpgradesLegacy(t *testing.T) {
+	// A pre-versioning file has no schema_version; it decodes as v1.
+	legacy := `{"plan":"jw-parallel","n":64,"interactions":10,"flops":230}`
+	got, err := ReadPlanReport(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != PlanReportSchemaVersion {
+		t.Fatalf("legacy file upgraded to v%d, want v%d", got.SchemaVersion, PlanReportSchemaVersion)
+	}
+	if got.Plan != "jw-parallel" || got.N != 64 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+}
+
+func TestReadPlanReportRejectsNewerSchema(t *testing.T) {
+	future := `{"schema_version":99,"plan":"jw-parallel","n":64}`
+	if _, err := ReadPlanReport(strings.NewReader(future)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}

@@ -1,0 +1,369 @@
+// Package serve exposes the simulation engines as a long-lived HTTP/JSON
+// job service: clients POST simulation jobs (an initial-conditions spec or
+// explicit bodies, an execution plan, a step budget), the service schedules
+// them across a pool of engines sharded over modelled devices, and streams
+// snapshots back as the integrator records them.
+//
+// The host-side scheduler treats the GPUs exactly the way the multiple-walk
+// literature does (Hamada et al. SC'09; Nyland et al., GPU Gems 3): devices
+// are shared resources fed by a queue with admission control — a full queue
+// turns new work away (HTTP 429 + Retry-After) instead of letting latency
+// grow without bound, jobs carry deadlines and can be cancelled mid-run,
+// an engine that fails a job is quarantined and the job retried on another,
+// and SIGTERM drains in-flight work before the process exits.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/body"
+	"repro/internal/core"
+	"repro/internal/ic"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+// Schema versions of the service's three JSON documents. Bump on breaking
+// layout changes; decoders reject documents from a newer schema than they
+// were built with.
+const (
+	// JobSchemaVersion covers JobSpec (requests) and JobStatus (responses).
+	JobSchemaVersion = 1
+	// SnapshotSchemaVersion covers the SnapshotRecord stream lines.
+	SnapshotSchemaVersion = 1
+)
+
+// WorkloadSpec names a generated initial-conditions model.
+type WorkloadSpec struct {
+	// Kind is one of plummer, hernquist, cube, disk, collision.
+	Kind string `json:"kind"`
+	// N is the body count.
+	N int `json:"n"`
+	// Seed selects the realization (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// BodySpec is one explicitly uploaded body.
+type BodySpec struct {
+	Pos  [3]float32 `json:"pos"`
+	Vel  [3]float32 `json:"vel"`
+	Mass float32    `json:"mass"`
+}
+
+// ToleranceSpec configures the conservation watchdog for a job. Zero fields
+// disable the corresponding check.
+type ToleranceSpec struct {
+	// Energy halts the run when |E-E0|/|E0| exceeds it.
+	Energy float64 `json:"energy,omitempty"`
+	// Momentum halts the run when ||P-P0|| exceeds it.
+	Momentum float64 `json:"momentum,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs: one simulation job. Exactly one of
+// Workload and Bodies supplies the initial conditions.
+type JobSpec struct {
+	SchemaVersion int `json:"schema_version"`
+	// Plan is the execution plan (core.PlanNames: i-parallel, j-parallel,
+	// w-parallel, jw-parallel, jw-parallel-xK, ...).
+	Plan     string        `json:"plan"`
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	Bodies   []BodySpec    `json:"bodies,omitempty"`
+	// Steps and DT drive the integrator.
+	Steps int     `json:"steps"`
+	DT    float64 `json:"dt"`
+	// SnapshotEvery records (and streams) diagnostics every k steps; 0
+	// records the start and end only.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// Integrator is euler, leapfrog (default) or verlet.
+	Integrator string `json:"integrator,omitempty"`
+	// Theta and Eps configure the force calculation (defaults 0.6, 0.05).
+	Theta float64 `json:"theta,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+	// Pipeline is serial (default) or overlap; PipelineWindow groups steps
+	// per window under overlap (default 8).
+	Pipeline       string `json:"pipeline,omitempty"`
+	PipelineWindow int    `json:"pipeline_window,omitempty"`
+	// TimeoutMS bounds the job's run time once it starts executing; 0 uses
+	// the service default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tolerances aborts the run when conservation breaks.
+	Tolerances *ToleranceSpec `json:"tolerances,omitempty"`
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle: queued -> running -> one of the three terminal states.
+// A cancelled queued job never runs.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the service's description of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	SchemaVersion int      `json:"schema_version"`
+	ID            string   `json:"id"`
+	State         JobState `json:"state"`
+	Plan          string   `json:"plan"`
+	N             int      `json:"n"`
+	Steps         int      `json:"steps"`
+	// Engine is the pool slot the job ran on (-1 while queued).
+	Engine int `json:"engine"`
+	// EngineCaps lists the engine's optional capabilities (sim.Caps).
+	EngineCaps string `json:"engine_caps,omitempty"`
+	// Retries counts engine-failure retries consumed so far.
+	Retries int `json:"retries"`
+	// Snapshots is the number of snapshot records streamed so far.
+	Snapshots int    `json:"snapshots"`
+	Error     string `json:"error,omitempty"`
+	// Unix milliseconds; zero when the phase has not been reached.
+	SubmittedAtMS int64 `json:"submitted_at_ms"`
+	StartedAtMS   int64 `json:"started_at_ms,omitempty"`
+	FinishedAtMS  int64 `json:"finished_at_ms,omitempty"`
+}
+
+// SnapshotJSON is one sim.Snapshot in wire form.
+type SnapshotJSON struct {
+	Step                  int        `json:"step"`
+	Time                  float64    `json:"time"`
+	Kinetic               float64    `json:"kinetic"`
+	Potential             float64    `json:"potential"`
+	Total                 float64    `json:"total"`
+	Momentum              [3]float64 `json:"momentum"`
+	VirialRatio           float64    `json:"virial_ratio"`
+	Interactions          int64      `json:"interactions"`
+	WallSeconds           float64    `json:"wall_seconds"`
+	EngineSeconds         float64    `json:"engine_seconds,omitempty"`
+	EngineExecutedSeconds float64    `json:"engine_executed_seconds,omitempty"`
+}
+
+// snapshotJSON converts a sim.Snapshot to wire form.
+func snapshotJSON(sn sim.Snapshot) *SnapshotJSON {
+	return &SnapshotJSON{
+		Step:                  sn.Step,
+		Time:                  sn.Time,
+		Kinetic:               sn.Kinetic,
+		Potential:             sn.Potential,
+		Total:                 sn.Total,
+		Momentum:              [3]float64{sn.Momentum.X, sn.Momentum.Y, sn.Momentum.Z},
+		VirialRatio:           sn.VirialRatio,
+		Interactions:          sn.Interactions,
+		WallSeconds:           sn.WallSeconds,
+		EngineSeconds:         sn.EngineSeconds,
+		EngineExecutedSeconds: sn.EngineExecutedSeconds,
+	}
+}
+
+// Snapshot converts the wire form back to a sim.Snapshot (round-trip
+// decoding, used by clients and the schema tests).
+func (s *SnapshotJSON) Snapshot() sim.Snapshot {
+	return sim.Snapshot{
+		Step:                  s.Step,
+		Time:                  s.Time,
+		Kinetic:               s.Kinetic,
+		Potential:             s.Potential,
+		Total:                 s.Total,
+		Momentum:              vec.D3{X: s.Momentum[0], Y: s.Momentum[1], Z: s.Momentum[2]},
+		VirialRatio:           s.VirialRatio,
+		Interactions:          s.Interactions,
+		WallSeconds:           s.WallSeconds,
+		EngineSeconds:         s.EngineSeconds,
+		EngineExecutedSeconds: s.EngineExecutedSeconds,
+	}
+}
+
+// SnapshotRecord is one line of the GET /v1/jobs/{id}/stream NDJSON stream:
+// either a snapshot (Snapshot non-nil) or the final record (Final true,
+// State terminal, Error set when the job failed). A job that retried on a
+// fresh engine restarts its stream from step 0 with increasing Seq.
+type SnapshotRecord struct {
+	SchemaVersion int           `json:"schema_version"`
+	JobID         string        `json:"job_id"`
+	Seq           int           `json:"seq"`
+	Snapshot      *SnapshotJSON `json:"snapshot,omitempty"`
+	Final         bool          `json:"final,omitempty"`
+	State         JobState      `json:"state,omitempty"`
+	Error         string        `json:"error,omitempty"`
+}
+
+// Limits bounds what a single job may ask for — the service-side half of
+// admission control (the queue bound is the other half).
+type Limits struct {
+	// MaxBodies and MaxSteps cap the job size; zero means unlimited.
+	MaxBodies int
+	MaxSteps  int
+}
+
+// validPlan accepts the core plan names plus the open-ended jw-parallel-xK
+// family (NewPlanByName parses any K >= 2). Checking at admission keeps an
+// unknown plan from quarantining every engine slot while the retries burn
+// through the pool.
+func validPlan(name string) bool {
+	for _, known := range core.PlanNames() {
+		if name == known {
+			return true
+		}
+	}
+	if k, ok := strings.CutPrefix(name, "jw-parallel-x"); ok {
+		if n, err := strconv.Atoi(k); err == nil && n >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// workloadKinds mirrors the generators in internal/ic.
+var workloadKinds = map[string]bool{
+	"plummer": true, "hernquist": true, "cube": true, "disk": true, "collision": true,
+}
+
+// Validate checks the spec against the schema and the service limits,
+// filling nothing in: defaults are applied at run time so the stored spec
+// stays what the client sent.
+func (s *JobSpec) Validate(lim Limits) error {
+	if s.SchemaVersion != 0 && s.SchemaVersion != JobSchemaVersion {
+		return fmt.Errorf("unsupported schema_version %d (this service speaks %d)", s.SchemaVersion, JobSchemaVersion)
+	}
+	if s.Plan == "" {
+		return fmt.Errorf("missing plan")
+	}
+	if !validPlan(s.Plan) {
+		return fmt.Errorf("unknown plan %q (known: %v)", s.Plan, core.PlanNames())
+	}
+	if (s.Workload == nil) == (len(s.Bodies) == 0) {
+		return fmt.Errorf("exactly one of workload and bodies must be given")
+	}
+	n := len(s.Bodies)
+	if s.Workload != nil {
+		if !workloadKinds[s.Workload.Kind] {
+			return fmt.Errorf("unknown workload kind %q", s.Workload.Kind)
+		}
+		if s.Workload.N <= 0 {
+			return fmt.Errorf("workload n %d must be positive", s.Workload.N)
+		}
+		n = s.Workload.N
+	}
+	if lim.MaxBodies > 0 && n > lim.MaxBodies {
+		return fmt.Errorf("n %d exceeds the service limit %d", n, lim.MaxBodies)
+	}
+	if s.Steps <= 0 {
+		return fmt.Errorf("steps %d must be positive", s.Steps)
+	}
+	if lim.MaxSteps > 0 && s.Steps > lim.MaxSteps {
+		return fmt.Errorf("steps %d exceeds the service limit %d", s.Steps, lim.MaxSteps)
+	}
+	if s.DT <= 0 {
+		return fmt.Errorf("dt %g must be positive", s.DT)
+	}
+	if s.SnapshotEvery < 0 {
+		return fmt.Errorf("snapshot_every %d must be non-negative", s.SnapshotEvery)
+	}
+	switch s.Integrator {
+	case "", "euler", "leapfrog", "verlet":
+	default:
+		return fmt.Errorf("unknown integrator %q", s.Integrator)
+	}
+	switch s.Pipeline {
+	case "", "serial", "overlap":
+	default:
+		return fmt.Errorf("unknown pipeline mode %q", s.Pipeline)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d must be non-negative", s.TimeoutMS)
+	}
+	if strings.ContainsAny(s.Plan, " \t\n") {
+		return fmt.Errorf("malformed plan %q", s.Plan)
+	}
+	return nil
+}
+
+// N returns the job's body count.
+func (s *JobSpec) N() int {
+	if s.Workload != nil {
+		return s.Workload.N
+	}
+	return len(s.Bodies)
+}
+
+// System builds the job's initial conditions. Each call returns a fresh
+// system, so a retried job restarts from the same state.
+func (s *JobSpec) System() (*body.System, error) {
+	if s.Workload != nil {
+		seed := s.Workload.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		n := s.Workload.N
+		switch s.Workload.Kind {
+		case "plummer":
+			return ic.Plummer(n, seed), nil
+		case "hernquist":
+			return ic.Hernquist(n, seed), nil
+		case "cube":
+			return ic.UniformCube(n, 2.0, seed), nil
+		case "disk":
+			return ic.Disk(n, 1.0, seed), nil
+		case "collision":
+			return ic.Collision(n, 4.0, 0.5, seed), nil
+		}
+		return nil, fmt.Errorf("unknown workload kind %q", s.Workload.Kind)
+	}
+	sys := body.NewSystem(len(s.Bodies))
+	for i, b := range s.Bodies {
+		sys.Pos[i] = vec.V3{X: b.Pos[0], Y: b.Pos[1], Z: b.Pos[2]}
+		sys.Vel[i] = vec.V3{X: b.Vel[0], Y: b.Vel[1], Z: b.Vel[2]}
+		sys.Mass[i] = b.Mass
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("uploaded bodies: %w", err)
+	}
+	return sys, nil
+}
+
+// watchdog builds the job's conservation watchdog, nil when no tolerance is
+// set.
+func (s *JobSpec) watchdog() *perf.Watchdog {
+	if s.Tolerances == nil || (s.Tolerances.Energy <= 0 && s.Tolerances.Momentum <= 0) {
+		return nil
+	}
+	return &perf.Watchdog{Tol: perf.Tolerances{
+		MaxEnergyDrift:   s.Tolerances.Energy,
+		MaxMomentumDrift: s.Tolerances.Momentum,
+	}}
+}
+
+// timeout returns the job's run deadline, falling back to def.
+func (s *JobSpec) timeout(def time.Duration) time.Duration {
+	if s.TimeoutMS > 0 {
+		return time.Duration(s.TimeoutMS) * time.Millisecond
+	}
+	return def
+}
+
+// DecodeJobSpec decodes and validates a JobSpec document.
+func DecodeJobSpec(data []byte, lim Limits) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("bad job spec: %w", err)
+	}
+	if err := spec.Validate(lim); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bh"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/obs"
+	"repro/internal/pp"
+	"repro/internal/sim"
+)
+
+// engineSlot is one schedulable engine in the pool: a modelled device plus a
+// cache of engines built on it, one per (plan, force-config) combination.
+// Engines are cached because plan construction compiles kernels; two jobs
+// with the same plan reuse the compiled engine, and the pool hands a slot to
+// at most one job at a time so the cache needs no per-engine locking.
+type engineSlot struct {
+	id  int
+	dev gpusim.DeviceConfig
+	obs *obs.Obs
+
+	mu      sync.Mutex
+	engines map[string]sim.Engine
+	// failures counts jobs this slot has failed (for /debug and the
+	// quarantine decision trail).
+	failures int
+}
+
+// engineKey identifies a cached engine: same plan + same force parameters.
+func engineKey(plan string, theta, eps float64) string {
+	return fmt.Sprintf("%s|t=%g|e=%g", plan, theta, eps)
+}
+
+// engine returns the slot's engine for the plan, building and caching it on
+// first use.
+func (sl *engineSlot) engine(plan string, theta, eps float64) (sim.Engine, error) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	key := engineKey(plan, theta, eps)
+	if eng, ok := sl.engines[key]; ok {
+		return eng, nil
+	}
+	params := pp.DefaultParams()
+	params.Eps = float32(eps)
+	opt := bh.DefaultOptions()
+	opt.Theta = float32(theta)
+	opt.Eps = float32(eps)
+	eng, err := core.NewEngineByName(plan,
+		core.WithDevice(sl.dev),
+		core.WithPPParams(params),
+		core.WithBHOptions(opt),
+		core.WithObs(sl.obs))
+	if err != nil {
+		return nil, err
+	}
+	sl.engines[key] = eng
+	return eng, nil
+}
+
+// Pool shards jobs across a fixed set of modelled devices. Acquire blocks
+// until a healthy slot is free; Quarantine retires a slot that failed a job
+// so retries land elsewhere. When every slot is quarantined the pool is dead
+// and Acquire fails fast rather than blocking forever.
+type Pool struct {
+	slots chan *engineSlot
+	all   []*engineSlot
+
+	mu          sync.Mutex
+	quarantined map[int]string // slot id -> reason
+	dead        chan struct{}  // closed when all slots are quarantined
+
+	// buildEngine, when non-nil, replaces engineSlot.engine — the tests use
+	// it to inject engines that fail on demand.
+	buildEngine func(sl *engineSlot, plan string, theta, eps float64) (sim.Engine, error)
+}
+
+// engineFor builds (or fetches the cached) engine for the slot.
+func (p *Pool) engineFor(sl *engineSlot, plan string, theta, eps float64) (sim.Engine, error) {
+	if p.buildEngine != nil {
+		return p.buildEngine(sl, plan, theta, eps)
+	}
+	return sl.engine(plan, theta, eps)
+}
+
+// NewPool builds a pool of size engine slots, each with its own modelled
+// device so concurrent jobs never share device state.
+func NewPool(size int, dev gpusim.DeviceConfig, o *obs.Obs) (*Pool, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("pool size %d must be positive", size)
+	}
+	p := &Pool{
+		slots:       make(chan *engineSlot, size),
+		quarantined: make(map[int]string),
+		dead:        make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		sl := &engineSlot{id: i, dev: dev, obs: o, engines: make(map[string]sim.Engine)}
+		p.all = append(p.all, sl)
+		p.slots <- sl
+	}
+	return p, nil
+}
+
+// Size returns the number of slots the pool was built with.
+func (p *Pool) Size() int { return len(p.all) }
+
+// Healthy returns the number of slots not quarantined.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.all) - len(p.quarantined)
+}
+
+// ErrPoolDead reports that every engine slot has been quarantined.
+var ErrPoolDead = fmt.Errorf("serve: all engine slots quarantined")
+
+// acquire takes a healthy slot, blocking until one frees up. done aborts the
+// wait (job cancelled while queued for an engine).
+func (p *Pool) acquire(done <-chan struct{}) (*engineSlot, error) {
+	for {
+		select {
+		case sl := <-p.slots:
+			p.mu.Lock()
+			_, bad := p.quarantined[sl.id]
+			p.mu.Unlock()
+			if bad {
+				// A slot quarantined while idle in the channel: drop it.
+				continue
+			}
+			return sl, nil
+		case <-p.dead:
+			return nil, ErrPoolDead
+		case <-done:
+			return nil, fmt.Errorf("serve: cancelled while waiting for an engine")
+		}
+	}
+}
+
+// release returns a slot to the pool unless it was quarantined while held.
+func (p *Pool) release(sl *engineSlot) {
+	p.mu.Lock()
+	_, bad := p.quarantined[sl.id]
+	p.mu.Unlock()
+	if bad {
+		return
+	}
+	p.slots <- sl
+}
+
+// Quarantine retires the slot: it is never handed out again. The caller
+// still holds the slot (it came from acquire), so it is simply not returned.
+// Closing dead when the last healthy slot goes down wakes every waiter.
+func (p *Pool) Quarantine(sl *engineSlot, reason string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, done := p.quarantined[sl.id]; done {
+		return
+	}
+	sl.mu.Lock()
+	sl.failures++
+	sl.mu.Unlock()
+	p.quarantined[sl.id] = reason
+	if len(p.quarantined) == len(p.all) {
+		close(p.dead)
+	}
+}
+
+// slotInfo is the /debug view of one slot.
+type slotInfo struct {
+	ID          int    `json:"id"`
+	Device      string `json:"device"`
+	Engines     int    `json:"engines_cached"`
+	Failures    int    `json:"failures"`
+	Quarantined string `json:"quarantined,omitempty"`
+}
+
+// Info snapshots every slot for the debug endpoint.
+func (p *Pool) Info() []slotInfo {
+	p.mu.Lock()
+	q := make(map[int]string, len(p.quarantined))
+	for id, why := range p.quarantined {
+		q[id] = why
+	}
+	p.mu.Unlock()
+	out := make([]slotInfo, 0, len(p.all))
+	for _, sl := range p.all {
+		sl.mu.Lock()
+		info := slotInfo{
+			ID:          sl.id,
+			Device:      sl.dev.Name,
+			Engines:     len(sl.engines),
+			Failures:    sl.failures,
+			Quarantined: q[sl.id],
+		}
+		sl.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxJobBody bounds a request body (uploaded body lists can be large but
+// not unbounded).
+const maxJobBody = 64 << 20
+
+// Server is the HTTP face of the Service.
+//
+//	POST   /v1/jobs              submit a job (JobSpec) -> 202 JobStatus
+//	GET    /v1/jobs              list jobs -> [JobStatus]
+//	GET    /v1/jobs/{id}         job status -> JobStatus
+//	DELETE /v1/jobs/{id}         cancel -> JobStatus
+//	GET    /v1/jobs/{id}/stream  NDJSON snapshot stream (SnapshotRecord per
+//	                             line, ?from=N resumes mid-stream)
+//	GET    /healthz              liveness + drain state
+//	GET    /metrics              obs metrics registry snapshot (JSON)
+//	GET    /debug/serve          pool + queue internals (JSON)
+//
+// A full queue answers 429 with Retry-After; a draining service answers 503.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+	// RetryAfterSeconds is the hint sent with 429 responses.
+	RetryAfterSeconds int
+}
+
+// NewServer wires the routes.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), RetryAfterSeconds: 1}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /debug/serve", s.debug)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v with the right content type.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps service errors to status codes.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrBadSpec):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxJobBody))
+	if err != nil {
+		s.writeErr(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		return
+	}
+	spec, err := DecodeJobSpec(data, s.svc.cfg.Limits)
+	if err != nil {
+		if !errors.Is(err, ErrBadSpec) {
+			err = fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		s.writeErr(w, err)
+		return
+	}
+	st, err := s.svc.Submit(spec)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Jobs())
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// stream writes NDJSON: one SnapshotRecord per line, flushed per record,
+// ending with the final record (or when the client disconnects).
+func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			s.writeErr(w, fmt.Errorf("%w: bad from %q", ErrBadSpec, q))
+			return
+		}
+		from = n
+	}
+	id := r.PathValue("id")
+	if _, err := s.svc.Job(id); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := s.svc.Stream(r.Context(), id, from, func(rec SnapshotRecord) error {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		// Mid-stream failure: the status line is long gone, nothing to do
+		// beyond ending the response.
+		return
+	}
+}
+
+// healthView is the /healthz body.
+type healthView struct {
+	OK             bool `json:"ok"`
+	Draining       bool `json:"draining"`
+	HealthyEngines int  `json:"healthy_engines"`
+	QueueDepth     int  `json:"queue_depth"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	v := healthView{
+		OK:             s.svc.pool.Healthy() > 0 && !s.svc.Draining(),
+		Draining:       s.svc.Draining(),
+		HealthyEngines: s.svc.pool.Healthy(),
+		QueueDepth:     s.svc.QueueDepth(),
+	}
+	code := http.StatusOK
+	if !v.OK {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, v)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.svc.obs.Metrics.WriteJSON(w)
+}
+
+// debugView is the /debug/serve body.
+type debugView struct {
+	Pool       []slotInfo  `json:"pool"`
+	QueueDepth int         `json:"queue_depth"`
+	QueueCap   int         `json:"queue_cap"`
+	Draining   bool        `json:"draining"`
+	Jobs       []JobStatus `json:"jobs"`
+}
+
+func (s *Server) debug(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, debugView{
+		Pool:       s.svc.pool.Info(),
+		QueueDepth: s.svc.QueueDepth(),
+		QueueCap:   cap(s.svc.queue),
+		Draining:   s.svc.Draining(),
+		Jobs:       s.svc.Jobs(),
+	})
+}

@@ -1,0 +1,539 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/integrate"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Sentinel errors surfaced to HTTP status codes by the server layer.
+var (
+	// ErrQueueFull is admission control: the bounded queue is at capacity
+	// and the job was turned away (429 + Retry-After).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining reports that the service is shutting down and accepts no
+	// new jobs (503).
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+	// ErrNotFound reports an unknown job id (404).
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// ServiceConfig sizes the service.
+type ServiceConfig struct {
+	// Engines is the pool size (concurrent jobs). Default 2.
+	Engines int
+	// QueueDepth bounds the number of queued-but-not-running jobs; a submit
+	// past this limit is rejected with ErrQueueFull. Default 8.
+	QueueDepth int
+	// DefaultTimeout bounds a job's run time when the spec sets none.
+	// Default 5 minutes.
+	DefaultTimeout time.Duration
+	// MaxRetries is how many times a job is retried on a fresh engine after
+	// an engine failure (not after cancellation, deadline, or a physics
+	// tolerance violation). Default 1.
+	MaxRetries int
+	// Limits is per-job admission control.
+	Limits Limits
+	// Obs receives the service's spans and metrics; obs.New() when nil.
+	Obs *obs.Obs
+}
+
+// withDefaults fills the zero fields.
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Engines <= 0 {
+		c.Engines = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+	return c
+}
+
+// job is the service's internal record of one submitted job.
+type job struct {
+	id   string
+	spec JobSpec
+
+	ctx    context.Context // cancelled by Cancel or service shutdown
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	status  JobStatus
+	records []SnapshotRecord
+	notify  chan struct{} // closed and replaced whenever records/status change
+	seq     int
+}
+
+// publish appends a stream record (already sequenced) and wakes streamers.
+// Callers hold j.mu.
+func (j *job) publishLocked(rec SnapshotRecord) {
+	rec.Seq = j.seq
+	j.seq++
+	j.records = append(j.records, rec)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// emit publishes a snapshot record.
+func (j *job) emit(sn sim.Snapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status.Snapshots++
+	j.publishLocked(SnapshotRecord{
+		SchemaVersion: SnapshotSchemaVersion,
+		JobID:         j.id,
+		Snapshot:      snapshotJSON(sn),
+	})
+}
+
+// finish moves the job to a terminal state and publishes the final record.
+// It reports whether it made the transition (false when already terminal),
+// so exactly one caller counts the outcome.
+func (j *job) finish(state JobState, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State.Terminal() {
+		return false
+	}
+	j.status.State = state
+	j.status.FinishedAtMS = time.Now().UnixMilli()
+	if err != nil {
+		j.status.Error = err.Error()
+	}
+	j.publishLocked(SnapshotRecord{
+		SchemaVersion: SnapshotSchemaVersion,
+		JobID:         j.id,
+		Final:         true,
+		State:         state,
+		Error:         j.status.Error,
+	})
+	return true
+}
+
+// Status snapshots the job's public state.
+func (j *job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Service runs simulation jobs from a bounded queue on a pool of engines.
+type Service struct {
+	cfg  ServiceConfig
+	pool *Pool
+	obs  *obs.Obs
+
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	draining bool
+	nextID   atomic.Int64
+
+	workers sync.WaitGroup
+
+	// metrics
+	mAccepted    *obs.Counter
+	mRejected    *obs.Counter
+	mDone        *obs.Counter
+	mFailed      *obs.Counter
+	mCancelled   *obs.Counter
+	mRetries     *obs.Counter
+	mQueueDepth  *obs.Gauge
+	mQuarantined *obs.Gauge
+	mJobMS       *obs.Histogram
+}
+
+// NewService builds the service and starts one worker per pool slot.
+func NewService(cfg ServiceConfig, pool *Pool) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		pool:  pool,
+		obs:   cfg.Obs,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+
+		mAccepted:    cfg.Obs.Metrics.Counter("serve.jobs.accepted"),
+		mRejected:    cfg.Obs.Metrics.Counter("serve.jobs.rejected"),
+		mDone:        cfg.Obs.Metrics.Counter("serve.jobs.done"),
+		mFailed:      cfg.Obs.Metrics.Counter("serve.jobs.failed"),
+		mCancelled:   cfg.Obs.Metrics.Counter("serve.jobs.cancelled"),
+		mRetries:     cfg.Obs.Metrics.Counter("serve.jobs.retries"),
+		mQueueDepth:  cfg.Obs.Metrics.Gauge("serve.queue.depth"),
+		mQuarantined: cfg.Obs.Metrics.Gauge("serve.engines.quarantined"),
+		mJobMS:       cfg.Obs.Metrics.Histogram("serve.job.ms", []float64{1, 10, 100, 1000, 10000, 60000}),
+	}
+	for i := 0; i < pool.Size(); i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. It never blocks: a full queue returns
+// ErrQueueFull immediately (the admission-control contract).
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(s.cfg.Limits); err != nil {
+		return JobStatus{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:     fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		spec:   spec,
+		ctx:    ctx,
+		cancel: cancel,
+		notify: make(chan struct{}),
+	}
+	j.status = JobStatus{
+		SchemaVersion: JobSchemaVersion,
+		ID:            j.id,
+		State:         StateQueued,
+		Plan:          spec.Plan,
+		N:             spec.N(),
+		Steps:         spec.Steps,
+		Engine:        -1,
+		SubmittedAtMS: time.Now().UnixMilli(),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		s.mRejected.Inc()
+		return JobStatus{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		s.mAccepted.Inc()
+		s.mQueueDepth.Set(float64(len(s.queue)))
+		return j.Status(), nil
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.mRejected.Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// ErrBadSpec wraps spec validation failures (400).
+var ErrBadSpec = errors.New("serve: invalid job spec")
+
+// Job returns a job's status.
+func (s *Service) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return j.Status(), nil
+}
+
+// Jobs lists every known job, newest first not guaranteed.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.Status())
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Cancel cancels a job. A queued job moves to cancelled immediately (the
+// worker later discards the husk); a running job observes the cancellation
+// at its next step boundary.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	j.mu.Lock()
+	queued := j.status.State == StateQueued
+	j.mu.Unlock()
+	j.cancel()
+	if queued {
+		if j.finish(StateCancelled, errors.New("cancelled while queued")) {
+			s.mCancelled.Inc()
+		}
+	}
+	return j.Status(), nil
+}
+
+// Stream replays the job's records from seq `from` and then follows live
+// appends until the final record or ctx is done. Each record is passed to
+// sink; a sink error stops the stream (client went away).
+func (s *Service) Stream(ctx context.Context, id string, from int, sink func(SnapshotRecord) error) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	next := from
+	for {
+		j.mu.Lock()
+		records := j.records
+		notify := j.notify
+		j.mu.Unlock()
+		for ; next < len(records); next++ {
+			rec := records[next]
+			if err := sink(rec); err != nil {
+				return err
+			}
+			if rec.Final {
+				return nil
+			}
+		}
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// QueueDepth returns the number of queued jobs.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission, lets queued and running jobs finish, and returns
+// when every worker has exited. ctx bounds the wait: when it expires the
+// remaining jobs are cancelled and Drain waits for them to unwind.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: already draining")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force: cancel everything still live and wait for the unwind.
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue; it exits when Drain closes the queue.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.mQueueDepth.Set(float64(len(s.queue)))
+		s.run(j)
+	}
+}
+
+// run executes one job end to end: acquire an engine, run the simulation
+// with snapshots streaming, classify the outcome, retry on engine failure.
+func (s *Service) run(j *job) {
+	start := time.Now()
+	span := s.obs.Tracer().Start("job "+j.id, "serve").
+		Arg("plan", j.spec.Plan).Arg("n", j.spec.N()).Arg("steps", j.spec.Steps)
+	defer func() {
+		span.Arg("state", string(j.Status().State)).End()
+		s.mJobMS.Observe(float64(time.Since(start).Milliseconds()))
+	}()
+
+	if err := j.ctx.Err(); err != nil {
+		if j.finish(StateCancelled, fmt.Errorf("cancelled while queued")) {
+			s.mCancelled.Inc()
+		}
+		return
+	}
+
+	j.mu.Lock()
+	if j.status.State.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status.State = StateRunning
+	j.status.StartedAtMS = time.Now().UnixMilli()
+	j.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retry, err := s.attempt(j)
+		if err == nil {
+			if j.finish(StateDone, nil) {
+				s.mDone.Inc()
+			}
+			return
+		}
+		lastErr = err
+		if errors.Is(err, context.Canceled) || j.ctx.Err() != nil {
+			if j.finish(StateCancelled, err) {
+				s.mCancelled.Inc()
+			}
+			return
+		}
+		if !retry || attempt >= s.cfg.MaxRetries {
+			break
+		}
+		s.mRetries.Inc()
+		j.mu.Lock()
+		j.status.Retries++
+		j.mu.Unlock()
+	}
+	if j.finish(StateFailed, lastErr) {
+		s.mFailed.Inc()
+	}
+}
+
+// attempt runs the job once on a freshly acquired engine. The bool reports
+// whether the failure is worth retrying on another engine: engine faults
+// are, while cancellation, deadlines, physics violations and spec errors are
+// not (they would fail identically anywhere).
+func (s *Service) attempt(j *job) (retry bool, err error) {
+	sl, err := s.pool.acquire(j.ctx.Done())
+	if err != nil {
+		return false, err
+	}
+	s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
+
+	spec := &j.spec
+	theta := spec.Theta
+	if theta == 0 {
+		theta = 0.6
+	}
+	eps := spec.Eps
+	if eps == 0 {
+		eps = 0.05
+	}
+	eng, err := s.pool.engineFor(sl, spec.Plan, theta, eps)
+	if err != nil {
+		// The plan would not build on this device: quarantine and retry.
+		s.pool.Quarantine(sl, err.Error())
+		s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
+		return true, fmt.Errorf("engine %d: %w", sl.id, err)
+	}
+
+	j.mu.Lock()
+	j.status.Engine = sl.id
+	j.status.EngineCaps = sim.Caps(eng).String()
+	j.mu.Unlock()
+
+	sys, err := spec.System()
+	if err != nil {
+		s.pool.release(sl)
+		return false, err
+	}
+	integName := spec.Integrator
+	if integName == "" {
+		integName = "leapfrog"
+	}
+	integ, err := integrate.New(integName)
+	if err != nil {
+		s.pool.release(sl)
+		return false, err
+	}
+
+	// Pipeline mode lives on the cached engine, so set it for every job:
+	// a serial job after an overlap job must not inherit overlap.
+	window := 0
+	mode := pipeline.Serial
+	if spec.Pipeline == "overlap" {
+		window = spec.PipelineWindow
+		if window < 2 {
+			window = 8
+		}
+		mode = pipeline.Overlap
+	}
+	if pe, ok := eng.(*core.Engine); ok {
+		pe.Mode = mode
+	} else if mode == pipeline.Overlap {
+		s.pool.release(sl)
+		return false, fmt.Errorf("plan %s does not support pipeline overlap", spec.Plan)
+	}
+
+	ctx, cancel := context.WithTimeout(j.ctx, spec.timeout(s.cfg.DefaultTimeout))
+	defer cancel()
+
+	_, runErr := sim.RunContext(ctx, sys, eng, integ, sim.Config{
+		DT:             float32(spec.DT),
+		Steps:          spec.Steps,
+		SnapshotEvery:  spec.SnapshotEvery,
+		G:              1,
+		Eps:            eps,
+		Obs:            s.obs,
+		Watchdog:       spec.watchdog(),
+		PipelineWindow: window,
+		OnSnapshot: func(sn sim.Snapshot) error {
+			j.emit(sn)
+			return nil
+		},
+	})
+	if runErr == nil {
+		s.pool.release(sl)
+		return false, nil
+	}
+
+	// Classify before releasing: a quarantined slot must never re-enter the
+	// free list, even for an instant.
+	var viol *perf.Violation
+	switch {
+	case errors.Is(runErr, context.Canceled), errors.Is(runErr, context.DeadlineExceeded):
+		// The engine is fine; the job was cancelled or ran out of time.
+		s.pool.release(sl)
+		return false, runErr
+	case errors.As(runErr, &viol):
+		// Deterministic physics failure: another engine computes the same
+		// trajectory, retrying only burns a device.
+		s.pool.release(sl)
+		return false, runErr
+	default:
+		// The engine itself failed. Quarantine the slot (consuming it — it
+		// is never released) so the retry and every later job land on a
+		// healthy one.
+		s.pool.Quarantine(sl, runErr.Error())
+		s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
+		return true, fmt.Errorf("engine %d: %w", sl.id, runErr)
+	}
+}

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -136,27 +137,45 @@ type Config struct {
 	// window boundaries and before every snapshot. <= 1 runs every step to
 	// completion (serial).
 	PipelineWindow int
+	// OnSnapshot, when non-nil, receives every snapshot as it is recorded
+	// (the job service streams them to HTTP clients this way). A non-nil
+	// return aborts the run with that error; the snapshots recorded so far
+	// are still returned.
+	OnSnapshot func(Snapshot) error
 }
 
-// Run advances the system and returns the recorded snapshots.
+// Run advances the system and returns the recorded snapshots. It is
+// RunContext under a background context: no deadline, no cancellation, and
+// trajectory output identical to the pre-context API.
 func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]Snapshot, error) {
+	return RunContext(context.Background(), s, eng, integ, cfg)
+}
+
+// RunContext advances the system and returns the recorded snapshots,
+// honoring ctx between integrator steps: when ctx is cancelled or its
+// deadline passes, the run stops before the next step, joins any open
+// pipeline window so the engine is reusable, and returns the snapshots
+// recorded so far alongside the context's error. Engines that implement
+// ContextEngine additionally observe ctx inside each force evaluation.
+func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]Snapshot, error) {
 	if cfg.DT <= 0 {
 		return nil, fmt.Errorf("sim: non-positive dt %g", cfg.DT)
 	}
 	if cfg.Steps < 0 {
 		return nil, fmt.Errorf("sim: negative step count %d", cfg.Steps)
 	}
+	caps := Caps(eng)
 	var engineErr error
 	force := func(sys *body.System) int64 {
-		n, err := eng.Accel(sys)
+		n, err := caps.Accel(ctx, eng, sys)
 		if err != nil && engineErr == nil {
 			engineErr = err
 		}
 		return n
 	}
 
-	timed, _ := eng.(TimedEngine)
-	batch, _ := eng.(BatchEngine)
+	timed := caps.Timed
+	batch := caps.Batch
 	useBatch := batch != nil && cfg.PipelineWindow > 1
 
 	var snaps []Snapshot
@@ -181,8 +200,8 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 		if timed != nil {
 			sn.EngineSeconds = timed.TotalSeconds()
 		}
-		if executed, ok := eng.(interface{ ExecutedSeconds() float64 }); ok {
-			sn.EngineExecutedSeconds = executed.ExecutedSeconds()
+		if caps.Executed != nil {
+			sn.EngineExecutedSeconds = caps.Executed.ExecutedSeconds()
 		}
 		if len(snaps) == 0 {
 			e0 = sn.Total
@@ -210,6 +229,11 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 		if err := cfg.Watchdog.Check(step, k, p, sn.Momentum); err != nil {
 			return fmt.Errorf("sim: %s halted: %w", eng.Name(), err)
 		}
+		if cfg.OnSnapshot != nil {
+			if err := cfg.OnSnapshot(sn); err != nil {
+				return fmt.Errorf("sim: snapshot sink at step %d: %w", step, err)
+			}
+		}
 		return nil
 	}
 
@@ -219,6 +243,15 @@ func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]
 	windowOpen := false
 	windowSteps := 0
 	for step := 1; step <= cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			// Join the pipeline before bailing so the engine's executed
+			// timeline is consistent and the engine can be handed the next
+			// job (the serve pool relies on this).
+			if windowOpen {
+				batch.FlushBatch()
+			}
+			return snaps, fmt.Errorf("sim: %s cancelled before step %d: %w", eng.Name(), step, err)
+		}
 		if useBatch && !windowOpen {
 			batch.StartBatch()
 			windowOpen = true
