@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -136,7 +137,20 @@ func main() {
 			MaxMomentumDrift: *tolMom,
 		}}
 	}
-	snaps, err := sim.Run(sys, eng, ig, sim.Config{
+	// A telemetry-enabled run is correlated end to end: mint a trace, open
+	// the run's root span on it, and thread the position through the context
+	// so step spans, engine evaluations, and the merged trace all carry one
+	// trace_id. Telemetry-off runs take the plain path.
+	ctx := context.Background()
+	var rootSpan *obs.Span
+	if o != nil {
+		tc := obs.NewTraceContext()
+		rootSpan = o.Start("run", "host").Trace(tc).
+			Arg("plan", eng.Name()).Arg("n", *n).Arg("steps", *steps)
+		ctx = obs.WithTraceContext(ctx, tc)
+		fmt.Printf("trace id: %s\n", tc.TraceID)
+	}
+	snaps, err := sim.RunContext(ctx, sys, eng, ig, sim.Config{
 		DT:             float32(*dt),
 		Steps:          *steps,
 		SnapshotEvery:  *every,
@@ -147,6 +161,7 @@ func main() {
 		Watchdog:       dog,
 		PipelineWindow: windowFor(mode, *pipeWin),
 	})
+	rootSpan.End()
 	if err != nil {
 		fail(err)
 	}

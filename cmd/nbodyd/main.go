@@ -12,8 +12,13 @@
 //	POST   /v1/jobs              submit (429 + Retry-After when the queue is full)
 //	GET    /v1/jobs/{id}         status
 //	GET    /v1/jobs/{id}/stream  NDJSON snapshot stream
+//	GET    /v1/jobs/{id}/flight  per-job flight recorder
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /healthz /metrics /debug/serve
+//
+// Every log line is structured (JSON by default, -log-format=text for
+// humans); lines about a job carry job_id and trace_id, so one job can be
+// followed across the access log, the service log, and its NDJSON stream.
 //
 // SIGTERM/SIGINT drains: admission stops (503), queued and running jobs
 // finish (bounded by -drain-timeout), then the process exits.
@@ -24,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,8 +54,14 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job run deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight jobs finish on SIGTERM")
 		retries      = flag.Int("retries", 1, "engine-failure retries per job")
+		logFormat    = flag.String("log-format", "json", "structured log encoding: json or text")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fail(err)
+	}
 
 	o := obs.New()
 	if err := core.PreflightKernelCheck(kcheck.Mode(), o, os.Stderr); err != nil {
@@ -68,13 +80,17 @@ func main() {
 		MaxRetries:     *retries,
 		Limits:         serve.Limits{MaxBodies: *maxBodies, MaxSteps: *maxSteps},
 		Obs:            o,
+		Logger:         logger,
 	}, pool)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewServer(svc)}
+	handler := serve.NewServer(svc)
+	handler.AccessLog = logger
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("nbodyd: serving on http://%s (engines %d, queue %d, device %s)\n",
-		*addr, *engines, *queueDepth, device.Config().Name)
+	logger.Info("serving",
+		"addr", *addr, "engines", *engines, "queue", *queueDepth,
+		"device", device.Config().Name)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -85,7 +101,7 @@ func main() {
 		}
 		return
 	case got := <-sig:
-		fmt.Printf("nbodyd: %v — draining (up to %s)\n", got, *drainTimeout)
+		logger.Info("signal received, draining", "signal", got.String(), "drain_timeout", drainTimeout.String())
 	}
 
 	// Drain: stop admission, let in-flight jobs run out, then close HTTP so
@@ -93,14 +109,26 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Drain(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "nbodyd: drain: %v\n", err)
+		logger.Error("drain", "error", err.Error())
 	}
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "nbodyd: shutdown: %v\n", err)
+		logger.Error("shutdown", "error", err.Error())
 	}
-	fmt.Println("nbodyd: drained, bye")
+	logger.Info("drained, exiting")
+}
+
+// newLogger builds the process logger on stderr in the requested encoding.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want json or text)", format)
+	}
 }
 
 func fail(err error) {

@@ -298,9 +298,33 @@ func (p Profile) PipelinedSeconds() float64 {
 func WriteMergedTrace(w io.Writer, tr *obs.Tracer, cfg gpusim.DeviceConfig, results ...*gpusim.Result) error {
 	events := tr.TraceEvents()
 	events = append(events, gpusim.TraceEvents(cfg, obs.PIDDeviceBase, results...)...)
-	return obs.WriteChromeTrace(w, map[string]any{
+	meta := map[string]any{
 		"device": cfg.Name,
-	}, events)
+	}
+	// When the run was correlated (job service, traced CLI run), surface the
+	// trace ids in the file metadata so a dump can be matched to its log
+	// lines and job status without opening the event stream.
+	if ids := traceIDs(tr); len(ids) > 0 {
+		meta["trace_id"] = ids[0]
+		if len(ids) > 1 {
+			meta["trace_ids"] = ids
+		}
+	}
+	return obs.WriteChromeTrace(w, meta, events)
+}
+
+// traceIDs collects the distinct distributed-trace ids present in the
+// tracer's spans, in first-appearance order.
+func traceIDs(tr *obs.Tracer) []string {
+	var ids []string
+	seen := map[string]bool{}
+	for _, sp := range tr.Spans() {
+		if sp.TraceID != "" && !seen[sp.TraceID] {
+			seen[sp.TraceID] = true
+			ids = append(ids, sp.TraceID)
+		}
+	}
+	return ids
 }
 
 // Profile aggregates the queue's event log.

@@ -76,6 +76,14 @@ func (e *Engine) AccelContext(ctx context.Context, s *body.System) (int64, error
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	// When the caller is running inside a distributed trace (the serve layer
+	// threads its attempt span through ctx), each evaluation records a stamped
+	// span so the merged Chrome trace links device work to the owning job.
+	// Untraced runs skip the span entirely: their trace output is unchanged.
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		sp := e.obs.Start("accel", "engine").Track(e.Name()).ChildOf(tc)
+		defer sp.End()
+	}
 	return e.Accel(s)
 }
 

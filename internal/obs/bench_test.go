@@ -1,6 +1,10 @@
 package obs
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
 
 // The disabled path must be free: instrumented code holds nil pointers and
 // every call must reduce to a nil check. These benchmarks pin that floor
@@ -57,5 +61,73 @@ func BenchmarkSpanStartEnd(b *testing.B) {
 	b.StopTimer()
 	if len(tr.Spans()) != b.N {
 		b.Fatal("span loss")
+	}
+}
+
+// Trace-ID stamping and flight-recorder appends ride the per-step hot path
+// of the job service, so both get the same treatment as the base span path:
+// a nil no-op benchmark pinning the disabled floor and an enabled benchmark
+// pinning the real cost (gated in CI by TestOverheadGate).
+
+func BenchmarkNilSpanChildOf(b *testing.B) {
+	var tr *Tracer
+	tc := NewTraceContext()
+	for i := 0; i < b.N; i++ {
+		tr.Start("x", "host").ChildOf(tc).End()
+	}
+}
+
+func BenchmarkNilFlightRecord(b *testing.B) {
+	var r *FlightRecorder
+	for i := 0; i < b.N; i++ {
+		r.Record(FlightEvent{Kind: "event", Name: "x"})
+	}
+}
+
+func BenchmarkSpanChildOfStamp(b *testing.B) {
+	tr := NewTracer()
+	tc := NewTraceContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Start("x", "host").ChildOf(tc).End()
+	}
+	b.StopTimer()
+	if len(tr.Spans()) != b.N {
+		b.Fatal("span loss")
+	}
+}
+
+func BenchmarkStartCtxWithTrace(b *testing.B) {
+	tr := NewTracer()
+	ctx := WithTraceContext(context.Background(), NewTraceContext())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.StartCtx(ctx, "x", "host").End()
+	}
+}
+
+func BenchmarkTraceContextFrom(b *testing.B) {
+	ctx := WithTraceContext(context.Background(), NewTraceContext())
+	for i := 0; i < b.N; i++ {
+		if tc := TraceContextFrom(ctx); !tc.Valid() {
+			b.Fatal("lost the trace context")
+		}
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	r := NewFlightRecorder(64)
+	ev := FlightEvent{Kind: "event", Name: "snapshot", AtUnixMS: time.Now().UnixMilli()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkNewTraceContext(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tc := NewTraceContext(); !tc.Valid() {
+			b.Fatal("invalid context minted")
+		}
 	}
 }

@@ -17,6 +17,8 @@
 // disabled. The package deliberately depends on the standard library only.
 package obs
 
+import "context"
+
 // Obs bundles a tracer and a metrics registry so instrumented code threads
 // one pointer. The zero value and nil are valid (fully disabled).
 type Obs struct {
@@ -52,6 +54,15 @@ func (o *Obs) Start(name, category string) *Span {
 		return nil
 	}
 	return o.Trace.Start(name, category)
+}
+
+// StartCtx opens a wall-clock span as a child of the trace context carried
+// by ctx (no-op when o or the tracer is nil).
+func (o *Obs) StartCtx(ctx context.Context, name, category string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.StartCtx(ctx, name, category)
 }
 
 // Counter returns the named counter (nil when disabled).

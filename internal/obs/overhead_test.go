@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// overheadThresholds mirrors testdata/overhead_thresholds.json: committed
+// per-op ceilings for the telemetry hot paths.
+type overheadThresholds struct {
+	NilSpanChildOfNS   float64 `json:"nil_span_child_of_ns"`
+	NilFlightRecordNS  float64 `json:"nil_flight_record_ns"`
+	SpanChildOfStampNS float64 `json:"span_child_of_stamp_ns"`
+	FlightRecordNS     float64 `json:"flight_record_ns"`
+	TraceContextFromNS float64 `json:"trace_context_from_ns"`
+}
+
+// TestOverheadGate measures the trace-stamping and flight-recorder paths and
+// fails when any exceeds its committed ceiling. It runs only when
+// OBS_OVERHEAD_GATE=1 (a CI job sets it): benchmark numbers on a loaded
+// local machine are noise, and the ceilings are calibrated for the CI
+// runner class with an order of magnitude of slack.
+func TestOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") != "1" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 to run the telemetry overhead gate")
+	}
+	data, err := os.ReadFile("testdata/overhead_thresholds.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var th overheadThresholds
+	if err := json.Unmarshal(data, &th); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, limitNS float64, fn func(b *testing.B)) {
+		t.Helper()
+		// Best of three: the gate asks "can this path run at its budget",
+		// not "did the scheduler leave us alone every time".
+		best := float64(0)
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(fn)
+			ns := float64(r.NsPerOp())
+			if i == 0 || ns < best {
+				best = ns
+			}
+		}
+		t.Logf("%s: %.1f ns/op (ceiling %g)", name, best, limitNS)
+		if best > limitNS {
+			t.Errorf("%s: %.1f ns/op exceeds the committed ceiling %g ns/op", name, best, limitNS)
+		}
+	}
+
+	check("nil span ChildOf", th.NilSpanChildOfNS, func(b *testing.B) {
+		var tr *Tracer
+		tc := NewTraceContext()
+		for i := 0; i < b.N; i++ {
+			tr.Start("x", "host").ChildOf(tc).End()
+		}
+	})
+	check("nil flight Record", th.NilFlightRecordNS, func(b *testing.B) {
+		var r *FlightRecorder
+		for i := 0; i < b.N; i++ {
+			r.Record(FlightEvent{Kind: "event", Name: "x"})
+		}
+	})
+	check("span ChildOf stamp", th.SpanChildOfStampNS, func(b *testing.B) {
+		tr := NewTracer()
+		tc := NewTraceContext()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Start("x", "host").ChildOf(tc).End()
+		}
+	})
+	check("flight Record", th.FlightRecordNS, func(b *testing.B) {
+		r := NewFlightRecorder(64)
+		ev := FlightEvent{Kind: "event", Name: "snapshot", AtUnixMS: time.Now().UnixMilli()}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Record(ev)
+		}
+	})
+	check("TraceContextFrom", th.TraceContextFromNS, func(b *testing.B) {
+		ctx := WithTraceContext(context.Background(), NewTraceContext())
+		for i := 0; i < b.N; i++ {
+			if tc := TraceContextFrom(ctx); !tc.Valid() {
+				b.Fatal("lost the trace context")
+			}
+		}
+	})
+}

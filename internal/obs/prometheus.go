@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// this file writes (the format Prometheus' text parser speaks).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PrometheusName sanitizes a registry metric name into a valid Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted names map
+// dots (and any other invalid rune) to underscores, so "serve.jobs.accepted"
+// is exposed as "serve_jobs_accepted".
+func PrometheusName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus' text format expects,
+// including +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket series with an explicit +Inf bucket plus
+// _sum and _count. Families are emitted in deterministic order (counters,
+// gauges, histograms; each sorted by exposed name), and a name that
+// sanitizes into an already-emitted family is skipped rather than emitted
+// twice — a scrape must never see duplicate metric names.
+//
+// The JSON exposition (WriteJSON) remains the lossless native format; this
+// one exists so a stock Prometheus/OpenMetrics scraper can consume /metrics
+// without a sidecar.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	seen := make(map[string]bool)
+
+	names := make([]string, 0, len(s.Counters))
+	byName := make(map[string]string, len(s.Counters))
+	for name := range s.Counters {
+		n := PrometheusName(name)
+		if seen[n] || byName[n] != "" {
+			continue
+		}
+		byName[n] = name
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seen[n] = true
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[byName[n]]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	byName = make(map[string]string, len(s.Gauges))
+	for name := range s.Gauges {
+		n := PrometheusName(name)
+		if seen[n] || byName[n] != "" {
+			continue
+		}
+		byName[n] = name
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seen[n] = true
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[byName[n]])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	byName = make(map[string]string, len(s.Histograms))
+	for name := range s.Histograms {
+		n := PrometheusName(name)
+		// A histogram occupies n, n_bucket, n_sum, n_count.
+		if seen[n] || seen[n+"_bucket"] || seen[n+"_sum"] || seen[n+"_count"] || byName[n] != "" {
+			continue
+		}
+		byName[n] = name
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seen[n], seen[n+"_bucket"], seen[n+"_sum"], seen[n+"_count"] = true, true, true, true
+		h := s.Histograms[byName[n]]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		// The registry stores per-bucket counts; Prometheus buckets are
+		// cumulative ("observations <= le").
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

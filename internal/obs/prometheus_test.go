@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name  string
+	le    string // value of the le label, "" when absent
+	value float64
+}
+
+// parsePrometheus is a minimal parser of the text exposition format: it
+// returns the TYPE declarations and the samples, and fails the test on any
+// line it cannot parse. It is deliberately strict — this is the test's
+// stand-in for a scraper.
+func parsePrometheus(t *testing.T, data []byte) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, kind := parts[2], parts[3]
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate TYPE declaration for %q", name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type %q in %q", kind, line)
+			}
+			types[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s promSample
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			s.name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("malformed labels in %q", line)
+			}
+			labels := rest[i+1 : j]
+			for _, kv := range strings.Split(labels, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					t.Fatalf("malformed label %q in %q", kv, line)
+				}
+				uq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("unquoting label value %q in %q: %v", v, line, err)
+				}
+				if k == "le" {
+					s.le = uq
+				}
+			}
+			rest = strings.TrimSpace(rest[j+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			s.name, rest = fields[0], fields[1]
+		}
+		v, err := parsePromValue(rest)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return types, samples
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// baseFamily strips the histogram sample suffixes.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if s, ok := strings.CutSuffix(name, suf); ok {
+			return s
+		}
+	}
+	return name
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs.accepted").Add(7)
+	r.Counter("serve.jobs.failed").Add(1)
+	r.Gauge("serve.queue.depth").Set(3)
+	r.Gauge("engine.sustained.gflops").Set(123.456)
+	h := r.Histogram("serve.job.ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parsePrometheus(t, buf.Bytes())
+
+	// Every sample belongs to a declared family; a scraper rejects strays.
+	for _, s := range samples {
+		fam := s.name
+		if types[fam] == "" {
+			fam = baseFamily(s.name)
+		}
+		if types[fam] == "" {
+			t.Fatalf("sample %q has no TYPE declaration", s.name)
+		}
+	}
+	// No duplicate sample names outside histogram series.
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if s.name == "serve_job_ms_bucket" {
+			continue
+		}
+		key := s.name + "|" + s.le
+		if seen[key] {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		seen[key] = true
+	}
+
+	if types["serve_jobs_accepted"] != "counter" {
+		t.Fatalf("serve_jobs_accepted type %q, want counter (types: %v)", types["serve_jobs_accepted"], types)
+	}
+	if types["serve_job_ms"] != "histogram" {
+		t.Fatalf("serve_job_ms type %q, want histogram", types["serve_job_ms"])
+	}
+
+	find := func(name, le string) float64 {
+		t.Helper()
+		for _, s := range samples {
+			if s.name == name && s.le == le {
+				return s.value
+			}
+		}
+		t.Fatalf("sample %s{le=%q} not found", name, le)
+		return 0
+	}
+	if got := find("serve_jobs_accepted", ""); got != 7 {
+		t.Fatalf("serve_jobs_accepted = %g, want 7", got)
+	}
+	if got := find("engine_sustained_gflops", ""); got != 123.456 {
+		t.Fatalf("engine_sustained_gflops = %g, want 123.456", got)
+	}
+
+	// Histogram: buckets cumulative and non-decreasing, +Inf == count.
+	wantBuckets := map[string]float64{"1": 1, "10": 3, "100": 4, "+Inf": 5}
+	var prev float64
+	for _, le := range []string{"1", "10", "100", "+Inf"} {
+		got := find("serve_job_ms_bucket", le)
+		if got != wantBuckets[le] {
+			t.Fatalf("bucket le=%s = %g, want %g", le, got, wantBuckets[le])
+		}
+		if got < prev {
+			t.Fatalf("bucket le=%s = %g < previous %g: not cumulative", le, got, prev)
+		}
+		prev = got
+	}
+	if got := find("serve_job_ms_count", ""); got != 5 {
+		t.Fatalf("count = %g, want 5", got)
+	}
+	if got, want := find("serve_job_ms_sum", ""), 0.5+5+5+50+500; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestWritePrometheusNameCollisionSkipsDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Inc()
+	r.Counter("a_b").Inc() // sanitizes to the same exposed name
+	r.Gauge("a.b").Set(1)  // cross-type collision with the counter family
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, _ := parsePrometheus(t, buf.Bytes()) // parse fails on duplicate TYPE
+	if len(types) != 1 {
+		t.Fatalf("exposed %d families %v, want exactly 1 survivor", len(types), types)
+	}
+}
+
+func TestPrometheusName(t *testing.T) {
+	cases := map[string]string{
+		"serve.jobs.accepted": "serve_jobs_accepted",
+		"sim.step.ms":         "sim_step_ms",
+		"ok_name":             "ok_name",
+		"9lead":               "_lead",
+		"":                    "_",
+		"a-b c":               "a_b_c",
+	}
+	for in, want := range cases {
+		if got := PrometheusName(in); got != want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", buf.String())
+	}
+	var r *Registry
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramBucketLabelsDistinct guards the le formatting: every bound
+// must render to a distinct label or cumulative counts silently merge.
+func TestHistogramBucketLabelsDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", DefaultMillisBuckets).Observe(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, samples := parsePrometheus(t, buf.Bytes())
+	les := map[string]bool{}
+	n := 0
+	for _, s := range samples {
+		if s.name != "h_bucket" {
+			continue
+		}
+		n++
+		if les[s.le] {
+			t.Fatalf("duplicate le label %q", s.le)
+		}
+		les[s.le] = true
+	}
+	if want := len(DefaultMillisBuckets) + 1; n != want {
+		t.Fatalf("emitted %d buckets, want %d", n, want)
+	}
+}

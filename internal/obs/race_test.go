@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// These tests are meaningful under -race (CI runs the full suite with it):
+// they drive the registry's hot paths from many goroutines at once and
+// assert nothing is lost, so a locking regression shows up either as a race
+// report or as a miscount.
+
+func TestHistogramConcurrentObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100, 1000})
+	const writers, per = 8, 1000
+	var readErr error
+	var readMu sync.Mutex
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	// Readers snapshot (and take quantiles) while writers observe.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := h.Snapshot()
+					if s.Count > 0 {
+						// Quantiles must stay inside the observed range even
+						// mid-write.
+						if q := s.Quantile(0.95); q < s.Min || q > s.Max {
+							readMu.Lock()
+							readErr = fmt.Errorf("quantile %g outside [%g, %g]", q, s.Min, s.Max)
+							readMu.Unlock()
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64((w*per + i) % 2000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*per {
+		t.Fatalf("count %d, want %d", s.Count, writers*per)
+	}
+	var inBuckets int64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+}
+
+func TestRegistryWriteJSONUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers create and update metrics with overlapping names, forcing the
+	// registry's create-on-first-use path and the metric hot paths at once.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(fmt.Sprintf("c%d", i%10)).Inc()
+				r.Gauge(fmt.Sprintf("g%d", i%10)).Set(float64(i))
+				r.Histogram(fmt.Sprintf("h%d", i%5), nil).Observe(float64(i % 100))
+			}
+		}(w)
+	}
+	// Serialize snapshots in both formats while the writers hammer.
+	for i := 0; i < 50; i++ {
+		if err := r.WriteJSON(io.Discard); err != nil {
+			t.Fatalf("WriteJSON under writers: %v", err)
+		}
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatalf("WritePrometheus under writers: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Post-quiescence snapshot is internally consistent.
+	s := r.Snapshot()
+	for name, h := range s.Histograms {
+		var sum int64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != h.Count {
+			t.Fatalf("histogram %s: bucket sum %d != count %d", name, sum, h.Count)
+		}
+	}
+}
+
+func TestTracerConcurrentStamping(t *testing.T) {
+	tr := NewTracer()
+	root := NewTraceContext()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Start("s", "c").ChildOf(root).End()
+			}
+		}()
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != 8*200 {
+		t.Fatalf("recorded %d spans, want %d", len(spans), 8*200)
+	}
+	ids := map[string]bool{}
+	for _, sp := range spans {
+		if sp.TraceID != root.TraceID || sp.ParentID != root.SpanID {
+			t.Fatalf("span lost its stamp: %+v", sp)
+		}
+		if ids[sp.SpanID] {
+			t.Fatalf("duplicate span id %s", sp.SpanID)
+		}
+		ids[sp.SpanID] = true
+	}
+}

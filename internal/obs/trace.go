@@ -97,6 +97,22 @@ func (t *Tracer) TraceEvents() []TraceEvent {
 		if track == "" {
 			track = sp.Category
 		}
+		args := sp.Args
+		if sp.TraceID != "" {
+			// Copy before augmenting: the span's own Args map must not grow
+			// trace keys behind the recorder's back.
+			args = make(map[string]any, len(sp.Args)+3)
+			for k, v := range sp.Args {
+				args[k] = v
+			}
+			args["trace_id"] = sp.TraceID
+			if sp.SpanID != "" {
+				args["span_id"] = sp.SpanID
+			}
+			if sp.ParentID != "" {
+				args["parent_id"] = sp.ParentID
+			}
+		}
 		events = append(events, TraceEvent{
 			Name:     sp.Name,
 			Category: sp.Category,
@@ -105,7 +121,7 @@ func (t *Tracer) TraceEvents() []TraceEvent {
 			Dur:      sp.DurUS,
 			PID:      pidOf[sp.Domain],
 			TID:      tidOf[sp.Domain][track],
-			Args:     sp.Args,
+			Args:     args,
 		})
 	}
 	return events

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -33,6 +34,11 @@ type SpanRecord struct {
 	StartUS float64 // microseconds since the domain's origin
 	DurUS   float64
 	Args    map[string]any
+	// TraceID/SpanID/ParentID link the span into a distributed trace (see
+	// TraceContext); all empty when the span was recorded outside one.
+	TraceID  string
+	SpanID   string
+	ParentID string
 }
 
 // Tracer collects spans. It is safe for concurrent use; a nil *Tracer is a
@@ -59,9 +65,26 @@ type Span struct {
 // Start opens a wall-clock span. The returned span must be closed with End.
 func (t *Tracer) Start(name, category string) *Span {
 	if t == nil {
+		return nil // before time.Now(): the disabled path must stay free
+	}
+	return t.StartAt(name, category, time.Now())
+}
+
+// StartAt opens a wall-clock span that began at the given instant — used to
+// record intervals whose start predates the call, like a job's queue wait
+// (the span is opened when the worker picks the job up, backdated to the
+// submit time). The returned span must still be closed with End.
+func (t *Tracer) StartAt(name, category string, start time.Time) *Span {
+	if t == nil {
 		return nil
 	}
-	return &Span{t: t, start: time.Now(), rec: SpanRecord{Name: name, Category: category, Domain: DomainWall}}
+	return &Span{t: t, start: start, rec: SpanRecord{Name: name, Category: category, Domain: DomainWall}}
+}
+
+// StartCtx opens a wall-clock span as a child of the trace context carried by
+// ctx (plain Start when ctx carries none).
+func (t *Tracer) StartCtx(ctx context.Context, name, category string) *Span {
+	return t.Start(name, category).ChildOf(TraceContextFrom(ctx))
 }
 
 // Track assigns the span to a named trace row and returns the span.
@@ -70,6 +93,47 @@ func (s *Span) Track(track string) *Span {
 		s.rec.Track = track
 	}
 	return s
+}
+
+// Trace stamps the span as occupying tc itself: the span IS tc.SpanID within
+// tc.TraceID. Use for a root span whose context children will link to; an
+// invalid tc leaves the span unstamped.
+func (s *Span) Trace(tc TraceContext) *Span {
+	if s != nil && tc.Valid() {
+		s.rec.TraceID = tc.TraceID
+		s.rec.SpanID = tc.SpanID
+	}
+	return s
+}
+
+// ChildOf stamps the span as a fresh child of tc (same trace, new span id,
+// parent link to tc.SpanID); an invalid tc leaves the span unstamped.
+func (s *Span) ChildOf(tc TraceContext) *Span {
+	if s != nil && tc.Valid() {
+		s.rec.TraceID = tc.TraceID
+		s.rec.ParentID = tc.SpanID
+		s.rec.SpanID = NewSpanID()
+	}
+	return s
+}
+
+// Parent records an explicit parent span id (for root spans adopted from an
+// inbound traceparent, whose parent lives in the caller's process).
+func (s *Span) Parent(spanID string) *Span {
+	if s != nil {
+		s.rec.ParentID = spanID
+	}
+	return s
+}
+
+// TraceContext returns the span's own position in its trace — hand it to
+// WithTraceContext so nested work records this span as its parent. Zero when
+// the span is unstamped or nil.
+func (s *Span) TraceContext() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}
 }
 
 // Arg attaches an attribute and returns the span.

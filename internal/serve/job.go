@@ -23,6 +23,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/core"
 	"repro/internal/ic"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/vec"
@@ -118,9 +119,14 @@ type JobStatus struct {
 	SchemaVersion int      `json:"schema_version"`
 	ID            string   `json:"id"`
 	State         JobState `json:"state"`
-	Plan          string   `json:"plan"`
-	N             int      `json:"n"`
-	Steps         int      `json:"steps"`
+	// TraceID correlates everything the job produced: the same 32-hex id
+	// appears in the daemon's log lines, every streamed SnapshotRecord, the
+	// job's spans in the merged Chrome trace, and the flight recorder. It is
+	// minted at submit, or adopted from the client's traceparent header.
+	TraceID string   `json:"trace_id,omitempty"`
+	Plan    string   `json:"plan"`
+	N       int      `json:"n"`
+	Steps   int      `json:"steps"`
 	// Engine is the pool slot the job ran on (-1 while queued).
 	Engine int `json:"engine"`
 	// EngineCaps lists the engine's optional capabilities (sim.Caps).
@@ -134,6 +140,11 @@ type JobStatus struct {
 	SubmittedAtMS int64 `json:"submitted_at_ms"`
 	StartedAtMS   int64 `json:"started_at_ms,omitempty"`
 	FinishedAtMS  int64 `json:"finished_at_ms,omitempty"`
+	// Flight is the job's flight-recorder dump — the last K lifecycle
+	// events/spans — attached when the job fails so the failure arrives with
+	// its own history (it is also always retrievable, for any terminal or
+	// live state, at GET /v1/jobs/{id}/flight).
+	Flight []obs.FlightEvent `json:"flight,omitempty"`
 }
 
 // SnapshotJSON is one sim.Snapshot in wire form.
@@ -191,9 +202,12 @@ func (s *SnapshotJSON) Snapshot() sim.Snapshot {
 // State terminal, Error set when the job failed). A job that retried on a
 // fresh engine restarts its stream from step 0 with increasing Seq.
 type SnapshotRecord struct {
-	SchemaVersion int           `json:"schema_version"`
-	JobID         string        `json:"job_id"`
-	Seq           int           `json:"seq"`
+	SchemaVersion int    `json:"schema_version"`
+	JobID         string `json:"job_id"`
+	// TraceID is the job's trace id (JobStatus.TraceID), stamped on every
+	// record so a stream capture alone is joinable with logs and traces.
+	TraceID string        `json:"trace_id,omitempty"`
+	Seq     int           `json:"seq"`
 	Snapshot      *SnapshotJSON `json:"snapshot,omitempty"`
 	Final         bool          `json:"final,omitempty"`
 	State         JobState      `json:"state,omitempty"`

@@ -5,8 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // maxJobBody bounds a request body (uploaded body lists can be large but
@@ -21,9 +26,16 @@ const maxJobBody = 64 << 20
 //	DELETE /v1/jobs/{id}         cancel -> JobStatus
 //	GET    /v1/jobs/{id}/stream  NDJSON snapshot stream (SnapshotRecord per
 //	                             line, ?from=N resumes mid-stream)
+//	GET    /v1/jobs/{id}/flight  per-job flight recorder (last K events)
 //	GET    /healthz              liveness + drain state
-//	GET    /metrics              obs metrics registry snapshot (JSON)
+//	GET    /metrics              obs metrics registry snapshot — JSON by
+//	                             default; Prometheus text exposition under
+//	                             Accept: text/plain (or ?format=prometheus)
 //	GET    /debug/serve          pool + queue internals (JSON)
+//
+// A POST /v1/jobs may carry a W3C traceparent header; the job then joins the
+// caller's trace instead of minting one, and every response to a job-scoped
+// route echoes the job's trace id in X-Trace-Id.
 //
 // A full queue answers 429 with Retry-After; a draining service answers 503.
 type Server struct {
@@ -31,6 +43,9 @@ type Server struct {
 	mux *http.ServeMux
 	// RetryAfterSeconds is the hint sent with 429 responses.
 	RetryAfterSeconds int
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, path, status, duration, trace_id).
+	AccessLog *slog.Logger
 }
 
 // NewServer wires the routes.
@@ -41,13 +56,65 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/flight", s.flight)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /debug/serve", s.debug)
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// accessRecorder captures the response status (and passes Flush through —
+// the NDJSON stream needs it) so the access log can report it.
+type accessRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (a *accessRecorder) WriteHeader(code int) {
+	if a.status == 0 {
+		a.status = code
+	}
+	a.ResponseWriter.WriteHeader(code)
+}
+
+func (a *accessRecorder) Write(b []byte) (int, error) {
+	if a.status == 0 {
+		a.status = http.StatusOK
+	}
+	return a.ResponseWriter.Write(b)
+}
+
+func (a *accessRecorder) Flush() {
+	if f, ok := a.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.AccessLog == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	rec := &accessRecorder{ResponseWriter: w}
+	s.mux.ServeHTTP(rec, r)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	// The handler that knows the job stamps X-Trace-Id on the response; an
+	// inbound traceparent covers routes that answer before a job exists.
+	traceID := rec.Header().Get("X-Trace-Id")
+	if traceID == "" {
+		if tc, ok := obs.ParseTraceParent(r.Header.Get("traceparent")); ok {
+			traceID = tc.TraceID
+		}
+	}
+	s.AccessLog.Info("http request",
+		"method", r.Method, "path", r.URL.Path, "status", status,
+		"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+		"trace_id", traceID)
+}
 
 // writeJSON writes v with the right content type.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -94,13 +161,24 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	st, err := s.svc.Submit(spec)
+	// An inbound W3C traceparent joins the job to the caller's trace; the
+	// job's own root span records the caller's span as its parent.
+	parent, _ := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	st, err := s.svc.SubmitTraced(spec, parent)
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	setTraceHeader(w, st.TraceID)
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// setTraceHeader echoes a job's trace id on the response.
+func setTraceHeader(w http.ResponseWriter, traceID string) {
+	if traceID != "" {
+		w.Header().Set("X-Trace-Id", traceID)
+	}
 }
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
@@ -113,6 +191,7 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	setTraceHeader(w, st.TraceID)
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -122,7 +201,18 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	setTraceHeader(w, st.TraceID)
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
+	fv, err := s.svc.Flight(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	setTraceHeader(w, fv.TraceID)
+	writeJSON(w, http.StatusOK, fv)
 }
 
 // stream writes NDJSON: one SnapshotRecord per line, flushed per record,
@@ -184,7 +274,27 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, v)
 }
 
+// wantsPrometheus decides the /metrics representation. JSON stays the default
+// (existing consumers parse it byte-for-byte); Prometheus text is opted into
+// by an Accept header naming text/plain or openmetrics, or ?format=prometheus.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := strings.ToLower(r.Header.Get("Accept"))
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		s.svc.obs.Metrics.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	s.svc.obs.Metrics.WriteJSON(w)

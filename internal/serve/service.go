@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +49,12 @@ type ServiceConfig struct {
 	Limits Limits
 	// Obs receives the service's spans and metrics; obs.New() when nil.
 	Obs *obs.Obs
+	// Logger receives the service's structured log lines; every line about a
+	// job carries job_id and trace_id attrs. Nil discards.
+	Logger *slog.Logger
+	// FlightCapacity is the per-job flight-recorder ring size (last K
+	// events); obs.DefaultFlightCapacity when zero.
+	FlightCapacity int
 }
 
 // withDefaults fills the zero fields.
@@ -67,6 +76,12 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.FlightCapacity <= 0 {
+		c.FlightCapacity = obs.DefaultFlightCapacity
+	}
 	return c
 }
 
@@ -74,6 +89,17 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 type job struct {
 	id   string
 	spec JobSpec
+
+	// trace is the job's root trace position: TraceID correlates everything
+	// the job touches, SpanID is the job span every nested span hangs off.
+	// parentSpan is the inbound traceparent's span id, when a client sent
+	// one (the job span records it as its parent).
+	trace      obs.TraceContext
+	parentSpan string
+	// flight is the job's bounded black box; it outlives the run and is
+	// dumped into the failure status.
+	flight      *obs.FlightRecorder
+	submittedAt time.Time
 
 	ctx    context.Context // cancelled by Cancel or service shutdown
 	cancel context.CancelFunc
@@ -88,6 +114,7 @@ type job struct {
 // publish appends a stream record (already sequenced) and wakes streamers.
 // Callers hold j.mu.
 func (j *job) publishLocked(rec SnapshotRecord) {
+	rec.TraceID = j.trace.TraceID
 	rec.Seq = j.seq
 	j.seq++
 	j.records = append(j.records, rec)
@@ -97,6 +124,10 @@ func (j *job) publishLocked(rec SnapshotRecord) {
 
 // emit publishes a snapshot record.
 func (j *job) emit(sn sim.Snapshot) {
+	j.flight.Record(obs.FlightEvent{
+		Kind: "event", Name: "snapshot",
+		Attrs: map[string]string{"step": strconv.Itoa(sn.Step)},
+	})
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.status.Snapshots++
@@ -109,17 +140,29 @@ func (j *job) emit(sn sim.Snapshot) {
 
 // finish moves the job to a terminal state and publishes the final record.
 // It reports whether it made the transition (false when already terminal),
-// so exactly one caller counts the outcome.
+// so exactly one caller counts the outcome. A failed job gets its flight
+// recorder dumped into the status: the failure carries its own history.
 func (j *job) finish(state JobState, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status.State.Terminal() {
 		return false
 	}
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	// Lock order is always j.mu -> flight.mu; the recorder never calls back
+	// into the job, so recording under j.mu cannot deadlock.
+	j.flight.Record(obs.FlightEvent{Kind: "event", Name: "finished",
+		Detail: detail, Attrs: map[string]string{"state": string(state)}})
 	j.status.State = state
 	j.status.FinishedAtMS = time.Now().UnixMilli()
 	if err != nil {
 		j.status.Error = err.Error()
+	}
+	if state == StateFailed {
+		j.status.Flight = j.flight.Events()
 	}
 	j.publishLocked(SnapshotRecord{
 		SchemaVersion: SnapshotSchemaVersion,
@@ -143,6 +186,7 @@ type Service struct {
 	cfg  ServiceConfig
 	pool *Pool
 	obs  *obs.Obs
+	log  *slog.Logger
 
 	queue chan *job
 
@@ -163,6 +207,7 @@ type Service struct {
 	mQueueDepth  *obs.Gauge
 	mQuarantined *obs.Gauge
 	mJobMS       *obs.Histogram
+	mQueueWaitMS *obs.Histogram
 }
 
 // NewService builds the service and starts one worker per pool slot.
@@ -172,6 +217,7 @@ func NewService(cfg ServiceConfig, pool *Pool) *Service {
 		cfg:   cfg,
 		pool:  pool,
 		obs:   cfg.Obs,
+		log:   cfg.Logger,
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  make(map[string]*job),
 
@@ -184,6 +230,7 @@ func NewService(cfg ServiceConfig, pool *Pool) *Service {
 		mQueueDepth:  cfg.Obs.Metrics.Gauge("serve.queue.depth"),
 		mQuarantined: cfg.Obs.Metrics.Gauge("serve.engines.quarantined"),
 		mJobMS:       cfg.Obs.Metrics.Histogram("serve.job.ms", []float64{1, 10, 100, 1000, 10000, 60000}),
+		mQueueWaitMS: cfg.Obs.Metrics.Histogram("serve.queue.wait.ms", []float64{0.1, 1, 10, 100, 1000, 10000, 60000}),
 	}
 	for i := 0; i < pool.Size(); i++ {
 		s.workers.Add(1)
@@ -192,29 +239,45 @@ func NewService(cfg ServiceConfig, pool *Pool) *Service {
 	return s
 }
 
-// Submit validates and enqueues a job. It never blocks: a full queue returns
-// ErrQueueFull immediately (the admission-control contract).
+// Submit validates and enqueues a job under a freshly minted trace. It never
+// blocks: a full queue returns ErrQueueFull immediately (the admission-
+// control contract).
 func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitTraced(spec, obs.TraceContext{})
+}
+
+// SubmitTraced is Submit with an inbound trace position (parsed from a
+// traceparent header by the HTTP layer): the job joins the caller's trace
+// instead of minting its own, and the job span records parent.SpanID as its
+// parent. An invalid parent mints a fresh trace, so callers can pass the
+// zero value unconditionally.
+func (s *Service) SubmitTraced(spec JobSpec, parent obs.TraceContext) (JobStatus, error) {
 	if err := spec.Validate(s.cfg.Limits); err != nil {
 		return JobStatus{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	now := time.Now()
 	j := &job{
-		id:     fmt.Sprintf("job-%d", s.nextID.Add(1)),
-		spec:   spec,
-		ctx:    ctx,
-		cancel: cancel,
-		notify: make(chan struct{}),
+		id:          fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		spec:        spec,
+		trace:       parent.Child(), // same trace when valid, fresh otherwise
+		parentSpan:  parent.SpanID,
+		flight:      obs.NewFlightRecorder(s.cfg.FlightCapacity),
+		submittedAt: now,
+		ctx:         ctx,
+		cancel:      cancel,
+		notify:      make(chan struct{}),
 	}
 	j.status = JobStatus{
 		SchemaVersion: JobSchemaVersion,
 		ID:            j.id,
 		State:         StateQueued,
+		TraceID:       j.trace.TraceID,
 		Plan:          spec.Plan,
 		N:             spec.N(),
 		Steps:         spec.Steps,
 		Engine:        -1,
-		SubmittedAtMS: time.Now().UnixMilli(),
+		SubmittedAtMS: now.UnixMilli(),
 	}
 
 	s.mu.Lock()
@@ -222,6 +285,7 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 		s.mu.Unlock()
 		cancel()
 		s.mRejected.Inc()
+		s.log.Info("job rejected", "reason", "draining", "plan", spec.Plan, "n", spec.N())
 		return JobStatus{}, ErrDraining
 	}
 	select {
@@ -230,11 +294,19 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 		s.mu.Unlock()
 		s.mAccepted.Inc()
 		s.mQueueDepth.Set(float64(len(s.queue)))
+		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "submitted", Attrs: map[string]string{
+			"plan": spec.Plan, "n": strconv.Itoa(spec.N()), "steps": strconv.Itoa(spec.Steps),
+		}})
+		s.log.Info("job accepted",
+			"job_id", j.id, "trace_id", j.trace.TraceID,
+			"plan", spec.Plan, "n", spec.N(), "steps", spec.Steps,
+			"queue_depth", len(s.queue))
 		return j.Status(), nil
 	default:
 		s.mu.Unlock()
 		cancel()
 		s.mRejected.Inc()
+		s.log.Info("job rejected", "reason", "queue full", "plan", spec.Plan, "n", spec.N())
 		return JobStatus{}, ErrQueueFull
 	}
 }
@@ -277,6 +349,8 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 	j.mu.Lock()
 	queued := j.status.State == StateQueued
 	j.mu.Unlock()
+	j.flight.Record(obs.FlightEvent{Kind: "event", Name: "cancel-requested"})
+	s.log.Info("job cancel requested", "job_id", j.id, "trace_id", j.trace.TraceID, "queued", queued)
 	j.cancel()
 	if queued {
 		if j.finish(StateCancelled, errors.New("cancelled while queued")) {
@@ -340,7 +414,14 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 	s.draining = true
 	close(s.queue)
+	live := 0
+	for _, j := range s.jobs {
+		if !j.Status().State.Terminal() {
+			live++
+		}
+	}
 	s.mu.Unlock()
+	s.log.Info("drain started", "live_jobs", live, "queue_depth", len(s.queue))
 
 	done := make(chan struct{})
 	go func() {
@@ -349,17 +430,63 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain complete", "forced", false)
 		return nil
 	case <-ctx.Done():
-		// Force: cancel everything still live and wait for the unwind.
+		// Force: cancel everything still live and wait for the unwind. Each
+		// forced cancellation is logged per job — several jobs draining at
+		// once must stay distinguishable in the log.
 		s.mu.Lock()
+		victims := make([]*job, 0, len(s.jobs))
 		for _, j := range s.jobs {
-			j.cancel()
+			victims = append(victims, j)
 		}
 		s.mu.Unlock()
+		for _, j := range victims {
+			st := j.Status()
+			if st.State.Terminal() {
+				continue
+			}
+			j.flight.Record(obs.FlightEvent{Kind: "event", Name: "drain-forced-cancel"})
+			s.log.Warn("drain deadline passed, forcing cancel",
+				"job_id", j.id, "trace_id", j.trace.TraceID, "state", string(st.State))
+			j.cancel()
+		}
 		<-done
+		s.log.Info("drain complete", "forced", true)
 		return ctx.Err()
 	}
+}
+
+// FlightView is the GET /v1/jobs/{id}/flight body: the job's flight-recorder
+// contents, available for live and terminal jobs alike (a failed job's dump
+// is also embedded in its JobStatus).
+type FlightView struct {
+	SchemaVersion int               `json:"schema_version"`
+	JobID         string            `json:"job_id"`
+	TraceID       string            `json:"trace_id"`
+	State         JobState          `json:"state"`
+	Events        []obs.FlightEvent `json:"events"`
+	// Dropped counts events the bounded ring evicted (0 = complete history).
+	Dropped int64 `json:"dropped"`
+}
+
+// Flight returns the job's flight-recorder contents.
+func (s *Service) Flight(id string) (FlightView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return FlightView{}, ErrNotFound
+	}
+	return FlightView{
+		SchemaVersion: JobSchemaVersion,
+		JobID:         j.id,
+		TraceID:       j.trace.TraceID,
+		State:         j.Status().State,
+		Events:        j.flight.Events(),
+		Dropped:       j.flight.Dropped(),
+	}, nil
 }
 
 // worker drains the queue; it exits when Drain closes the queue.
@@ -375,11 +502,33 @@ func (s *Service) worker() {
 // with snapshots streaming, classify the outcome, retry on engine failure.
 func (s *Service) run(j *job) {
 	start := time.Now()
+	// The queue-wait span is backdated to the submit instant: it is the
+	// interval admission control added before any engine touched the job.
+	queueWait := start.Sub(j.submittedAt)
+	s.obs.Tracer().StartAt("queue-wait", "serve", j.submittedAt).
+		ChildOf(j.trace).Arg("job_id", j.id).End()
+	s.mQueueWaitMS.Observe(float64(queueWait) / float64(time.Millisecond))
+	j.flight.Record(obs.FlightEvent{Kind: "span", Name: "queue-wait",
+		AtUnixMS: j.submittedAt.UnixMilli(),
+		DurMS:    float64(queueWait) / float64(time.Millisecond)})
+
+	// The job span IS the job's root trace position (j.trace), so every
+	// nested span — attempts, integrator steps, engine evaluations — chains
+	// up to it, and an inbound traceparent chains above it.
 	span := s.obs.Tracer().Start("job "+j.id, "serve").
+		Trace(j.trace).Parent(j.parentSpan).
+		Arg("job_id", j.id).
 		Arg("plan", j.spec.Plan).Arg("n", j.spec.N()).Arg("steps", j.spec.Steps)
 	defer func() {
-		span.Arg("state", string(j.Status().State)).End()
-		s.mJobMS.Observe(float64(time.Since(start).Milliseconds()))
+		st := j.Status()
+		span.Arg("state", string(st.State)).End()
+		wall := time.Since(start)
+		s.mJobMS.Observe(float64(wall.Milliseconds()))
+		s.log.Info("job finished",
+			"job_id", j.id, "trace_id", j.trace.TraceID,
+			"state", string(st.State), "error", st.Error,
+			"retries", st.Retries, "snapshots", st.Snapshots,
+			"wall_ms", wall.Milliseconds())
 	}()
 
 	if err := j.ctx.Err(); err != nil {
@@ -397,10 +546,13 @@ func (s *Service) run(j *job) {
 	j.status.State = StateRunning
 	j.status.StartedAtMS = time.Now().UnixMilli()
 	j.mu.Unlock()
+	s.log.Info("job started",
+		"job_id", j.id, "trace_id", j.trace.TraceID,
+		"queue_wait_ms", queueWait.Milliseconds())
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		retry, err := s.attempt(j)
+		retry, err := s.attempt(j, attempt)
 		if err == nil {
 			if j.finish(StateDone, nil) {
 				s.mDone.Inc()
@@ -418,6 +570,11 @@ func (s *Service) run(j *job) {
 			break
 		}
 		s.mRetries.Inc()
+		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "retry",
+			Detail: err.Error(), Attrs: map[string]string{"attempt": strconv.Itoa(attempt + 1)}})
+		s.log.Warn("job retrying on a fresh engine",
+			"job_id", j.id, "trace_id", j.trace.TraceID,
+			"attempt", attempt+1, "error", err.Error())
 		j.mu.Lock()
 		j.status.Retries++
 		j.mu.Unlock()
@@ -431,12 +588,31 @@ func (s *Service) run(j *job) {
 // whether the failure is worth retrying on another engine: engine faults
 // are, while cancellation, deadlines, physics violations and spec errors are
 // not (they would fail identically anywhere).
-func (s *Service) attempt(j *job) (retry bool, err error) {
+func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
+	attemptStart := time.Now()
+	aspan := s.obs.Tracer().Start("attempt", "serve").ChildOf(j.trace).
+		Arg("job_id", j.id).Arg("attempt", attempt)
+	defer func() {
+		detail := ""
+		if err != nil {
+			detail = err.Error()
+			aspan.Arg("error", detail)
+		}
+		aspan.End()
+		j.flight.Record(obs.FlightEvent{Kind: "span", Name: "attempt",
+			AtUnixMS: attemptStart.UnixMilli(),
+			DurMS:    float64(time.Since(attemptStart)) / float64(time.Millisecond),
+			Detail:   detail,
+			Attrs:    map[string]string{"attempt": strconv.Itoa(attempt)}})
+	}()
+
 	sl, err := s.pool.acquire(j.ctx.Done())
 	if err != nil {
 		return false, err
 	}
 	s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
+	j.flight.Record(obs.FlightEvent{Kind: "event", Name: "engine-acquired",
+		Attrs: map[string]string{"engine": strconv.Itoa(sl.id)}})
 
 	spec := &j.spec
 	theta := spec.Theta
@@ -452,6 +628,8 @@ func (s *Service) attempt(j *job) (retry bool, err error) {
 		// The plan would not build on this device: quarantine and retry.
 		s.pool.Quarantine(sl, err.Error())
 		s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
+		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "quarantine",
+			Detail: err.Error(), Attrs: map[string]string{"engine": strconv.Itoa(sl.id)}})
 		return true, fmt.Errorf("engine %d: %w", sl.id, err)
 	}
 
@@ -495,6 +673,9 @@ func (s *Service) attempt(j *job) (retry bool, err error) {
 
 	ctx, cancel := context.WithTimeout(j.ctx, spec.timeout(s.cfg.DefaultTimeout))
 	defer cancel()
+	// Thread the attempt's trace position down: integrator steps and engine
+	// evaluations become children of this attempt in the merged trace.
+	ctx = obs.WithTraceContext(ctx, aspan.TraceContext())
 
 	_, runErr := sim.RunContext(ctx, sys, eng, integ, sim.Config{
 		DT:             float32(spec.DT),
@@ -526,6 +707,7 @@ func (s *Service) attempt(j *job) (retry bool, err error) {
 	case errors.As(runErr, &viol):
 		// Deterministic physics failure: another engine computes the same
 		// trajectory, retrying only burns a device.
+		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "watchdog-halt", Detail: runErr.Error()})
 		s.pool.release(sl)
 		return false, runErr
 	default:
@@ -534,6 +716,8 @@ func (s *Service) attempt(j *job) (retry bool, err error) {
 		// healthy one.
 		s.pool.Quarantine(sl, runErr.Error())
 		s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
+		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "quarantine",
+			Detail: runErr.Error(), Attrs: map[string]string{"engine": strconv.Itoa(sl.id)}})
 		return true, fmt.Errorf("engine %d: %w", sl.id, runErr)
 	}
 }

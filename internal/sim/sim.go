@@ -166,8 +166,11 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 	}
 	caps := Caps(eng)
 	var engineErr error
+	// forceCtx is swapped per step so a traced run's engine evaluations chain
+	// under that step's span; an untraced run keeps ctx as-is.
+	forceCtx := ctx
 	force := func(sys *body.System) int64 {
-		n, err := caps.Accel(ctx, eng, sys)
+		n, err := caps.Accel(forceCtx, eng, sys)
 		if err != nil && engineErr == nil {
 			engineErr = err
 		}
@@ -257,7 +260,11 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 			windowOpen = true
 			windowSteps = 0
 		}
-		sp := cfg.Obs.Start("step", "sim").Track(eng.Name()).Arg("step", step)
+		// StartCtx chains the step under whatever trace position the caller
+		// put in ctx (the serve layer's attempt span); a bare Run records the
+		// same unstamped span as before.
+		sp := cfg.Obs.StartCtx(ctx, "step", "sim").Track(eng.Name()).Arg("step", step)
+		forceCtx = obs.WithTraceContext(ctx, sp.TraceContext())
 		begin := time.Now()
 		cumInteractions += integ.Step(s, cfg.DT, force)
 		stepSeconds := time.Since(begin).Seconds()
