@@ -35,6 +35,7 @@ import (
 	"repro/internal/pp"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
+	"repro/internal/version"
 )
 
 func main() {
@@ -62,8 +63,15 @@ func main() {
 		tolEnergy = flag.Float64("tol-energy", 0, "watchdog: halt when |E-E0|/|E0| exceeds this (0 disables)")
 		tolMom    = flag.Float64("tol-momentum", 0, "watchdog: halt when ||P-P0|| exceeds this (0 disables)")
 		pipeWin   = flag.Int("pipeline-window", 8, "steps per pipeline window under -pipeline=overlap (snapshots always join the pipeline)")
+		perfSum   = flag.Bool("perf-summary", false, "print the executed-schedule perf attribution after the run (GPU engines only)")
+		showVer   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Printf("nbody %s (%s)\n", version.String(), version.GoVersion())
+		return
+	}
 
 	mode := pipe.Mode()
 
@@ -73,6 +81,9 @@ func main() {
 	}
 	if err := core.PreflightKernelCheck(kcheck.Mode(), o, os.Stderr); err != nil {
 		fail(err)
+	}
+	if o != nil {
+		version.Register(o.Metrics)
 	}
 	if *debugAddr != "" {
 		o.Metrics.Publish("nbody.metrics")
@@ -116,6 +127,12 @@ func main() {
 			fail(fmt.Errorf("-pipeline=overlap requires a GPU engine (got %s)", eng.Name()))
 		}
 		pe.Mode = mode
+	}
+	if *perfSum {
+		if pe == nil {
+			fail(fmt.Errorf("-perf-summary requires a GPU engine (got %s)", eng.Name()))
+		}
+		pe.RetainSchedules(1_000_000)
 	}
 
 	ig, err := integrate.New(*integr)
@@ -189,6 +206,19 @@ func main() {
 			fmt.Printf("executed (overlapped) time: %.4gs — %.2fx vs serial (%.1f GFLOPS pipelined)\n",
 				pe.ExecutedSeconds(), speedup, pe.SustainedPipelinedGFLOPS())
 		}
+	}
+	if *perfSum {
+		sched, truncated := pe.RetainedSchedule()
+		if sched == nil {
+			fail(fmt.Errorf("-perf-summary: no executed schedule retained"))
+		}
+		attr := perf.AttributeExecuted(sched)
+		fmt.Printf("perf: %s\n", attr.String())
+		fmt.Printf("perf: makespan %.4gs over %d spans", attr.MakespanSeconds, attr.Spans)
+		if truncated {
+			fmt.Printf(" (truncated)")
+		}
+		fmt.Println()
 	}
 	if *metricsTo != "" {
 		if err := writeMetrics(*metricsTo, o); err != nil {

@@ -13,8 +13,18 @@
 //	GET    /v1/jobs/{id}         status
 //	GET    /v1/jobs/{id}/stream  NDJSON snapshot stream
 //	GET    /v1/jobs/{id}/flight  per-job flight recorder
+//	GET    /v1/jobs/{id}/perf    per-job perf attribution
 //	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/stats             service rollup (jobs, pool, SLOs, bundles)
+//	GET    /v1/debug/bundles     debug-bundle index; /{id} downloads the tar.gz
 //	GET    /healthz /metrics /debug/serve
+//
+// -slo-config declares latency/queue-wait/saturation objectives; the burn-rate
+// sentinel evaluates them over rolling windows and, with -bundle-dir set,
+// captures a debug bundle (pprof, trace, flight ring, perf attribution) on a
+// burn rising edge, watchdog halt, or engine quarantine. -metrics-addr moves
+// /metrics and /debug/pprof onto a side listener so scrapers and profilers
+// never compete with job traffic.
 //
 // Every log line is structured (JSON by default, -log-format=text for
 // humans); lines about a job carry job_id and trace_id, so one job can be
@@ -31,6 +41,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // served on -metrics-addr under /debug/pprof/
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/version"
 )
 
 func main() {
@@ -55,8 +67,17 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight jobs finish on SIGTERM")
 		retries      = flag.Int("retries", 1, "engine-failure retries per job")
 		logFormat    = flag.String("log-format", "json", "structured log encoding: json or text")
+		sloConfig    = flag.String("slo-config", "", "JSON file declaring SLO objectives (enables the burn-rate sentinel)")
+		bundleDir    = flag.String("bundle-dir", "", "directory for anomaly-triggered debug bundles (enables capture)")
+		metricsAddr  = flag.String("metrics-addr", "", "separate listener for /metrics and /debug/pprof, e.g. localhost:9090 (keeps scrapers off the job port)")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("nbodyd %s (%s)\n", version.String(), version.GoVersion())
+		return
+	}
 
 	logger, err := newLogger(*logFormat)
 	if err != nil {
@@ -68,6 +89,24 @@ func main() {
 		fail(err)
 	}
 	o.Metrics.Publish("nbodyd.metrics")
+	version.Register(o.Metrics)
+
+	var slos serve.SLOSpec
+	if *sloConfig != "" {
+		data, err := os.ReadFile(*sloConfig)
+		if err != nil {
+			fail(err)
+		}
+		if slos, err = serve.DecodeSLOSpec(data); err != nil {
+			fail(err)
+		}
+	}
+	var bundles *obs.BundleStore
+	if *bundleDir != "" {
+		if bundles, err = obs.NewBundleStore(*bundleDir, obs.BundleOptions{Obs: o}); err != nil {
+			fail(err)
+		}
+	}
 
 	pool, err := serve.NewPool(*engines, device.Config(), o)
 	if err != nil {
@@ -81,6 +120,8 @@ func main() {
 		Limits:         serve.Limits{MaxBodies: *maxBodies, MaxSteps: *maxSteps},
 		Obs:            o,
 		Logger:         logger,
+		SLOs:           slos,
+		Bundles:        bundles,
 	}, pool)
 
 	handler := serve.NewServer(svc)
@@ -88,9 +129,29 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	// The metrics/profiling side listener: scrapers and pprof clients talk to
+	// this port, so a scrape storm or a long profile download never competes
+	// with job submissions for the main listener. net/http/pprof registers on
+	// http.DefaultServeMux, which this listener serves under /debug/pprof/.
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", serve.MetricsHandler(o))
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics listener", "error", err.Error())
+			}
+		}()
+	}
+
 	logger.Info("serving",
 		"addr", *addr, "engines", *engines, "queue", *queueDepth,
-		"device", device.Config().Name)
+		"device", device.Config().Name, "version", version.String(),
+		"slo_objectives", len(slos.Objectives), "bundle_dir", *bundleDir,
+		"metrics_addr", *metricsAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -115,6 +176,11 @@ func main() {
 	defer shutCancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		logger.Error("shutdown", "error", err.Error())
+	}
+	if metricsSrv != nil {
+		if err := metricsSrv.Shutdown(shutCtx); err != nil {
+			logger.Error("metrics shutdown", "error", err.Error())
+		}
 	}
 	logger.Info("drained, exiting")
 }

@@ -50,6 +50,14 @@ type Engine struct {
 
 	runner pipeline.Runner
 	obs    *obs.Obs
+
+	// Schedule retention (RetainSchedules): the executed stage schedules of
+	// every evaluation merged onto one continuous timeline, for post-run perf
+	// attribution over what actually executed rather than just the last step.
+	retainMax   int
+	retained    pipeline.Schedule
+	retainEnd   float64 // running offset: each evaluation's queue restarts at 0
+	retainTrunc bool
 }
 
 // NewEngine wraps a plan.
@@ -114,6 +122,7 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 		dev = prof.Schedule.DeviceSeconds()
 	}
 	e.runner.Account(host, dev)
+	e.retainSchedule(prof.Schedule)
 
 	if e.obs != nil {
 		e.obs.Counter("engine.evaluations").Inc()
@@ -122,6 +131,59 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 		e.obs.Gauge("engine.sustained.gflops").Set(e.SustainedGFLOPS())
 	}
 	return prof.Interactions, nil
+}
+
+// RetainSchedules enables executed-schedule retention: every subsequent
+// evaluation's stage schedule is appended (time-shifted onto one continuous
+// timeline) to the schedule RetainedSchedule returns, keeping at most
+// maxSpans stage spans. maxSpans <= 0 disables retention. Calling it resets
+// any previously retained schedule.
+func (e *Engine) RetainSchedules(maxSpans int) {
+	e.retainMax = maxSpans
+	e.retained = pipeline.Schedule{}
+	e.retainEnd = 0
+	e.retainTrunc = false
+}
+
+// RetainedSchedule returns a copy of the merged executed schedule accumulated
+// since RetainSchedules, and whether spans were dropped to honour the cap.
+// It returns nil when retention is disabled or nothing has executed.
+func (e *Engine) RetainedSchedule() (*pipeline.Schedule, bool) {
+	if e.retainMax <= 0 || len(e.retained.Spans) == 0 {
+		return nil, false
+	}
+	out := pipeline.Schedule{
+		Graph: e.retained.Graph,
+		Spans: append([]pipeline.StageSpan(nil), e.retained.Spans...),
+	}
+	return &out, e.retainTrunc
+}
+
+// retainSchedule merges one evaluation's schedule onto the retained timeline.
+// Each evaluation's queue timeline restarts at zero (planBase resets the
+// queue per Accel), so spans are shifted by the running end offset before
+// appending; the offset then advances by the evaluation's latest stage end.
+func (e *Engine) retainSchedule(sched *pipeline.Schedule) {
+	if e.retainMax <= 0 || sched == nil || len(sched.Spans) == 0 {
+		return
+	}
+	if e.retained.Graph == "" {
+		e.retained.Graph = sched.Graph
+	}
+	var evalEnd float64
+	for _, sp := range sched.Spans {
+		if sp.End > evalEnd {
+			evalEnd = sp.End
+		}
+		if len(e.retained.Spans) >= e.retainMax {
+			e.retainTrunc = true
+			continue
+		}
+		sp.Start += e.retainEnd
+		sp.End += e.retainEnd
+		e.retained.Spans = append(e.retained.Spans, sp)
+	}
+	e.retainEnd += evalEnd
 }
 
 // StartBatch implements sim.BatchEngine: it opens a window of steps whose

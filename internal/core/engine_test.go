@@ -270,6 +270,75 @@ func TestEngineDualAccounting(t *testing.T) {
 	}
 }
 
+// TestEngineScheduleRetention: with retention enabled, every evaluation's
+// executed stage schedule lands on one continuous merged timeline (each
+// evaluation's queue restarts at zero, so spans must be offset, not
+// overlapped), bounded by the span cap.
+func TestEngineScheduleRetention(t *testing.T) {
+	sys := ic.Plummer(1024, 2)
+	eng := NewEngine(NewIParallel(newHD5850Context(t), pp.DefaultParams()))
+
+	// Retention off by default: nothing retained.
+	if _, err := eng.Accel(sys); err != nil {
+		t.Fatal(err)
+	}
+	if sched, _ := eng.RetainedSchedule(); sched != nil {
+		t.Fatal("retention must be opt-in")
+	}
+
+	eng.RetainSchedules(10_000)
+	const evals = 3
+	var perEval float64
+	for i := 0; i < evals; i++ {
+		if _, err := eng.Accel(sys); err != nil {
+			t.Fatal(err)
+		}
+		perEval = eng.LastProfile.Schedule.MakespanSeconds()
+	}
+	sched, truncated := eng.RetainedSchedule()
+	if sched == nil || truncated {
+		t.Fatalf("retained schedule missing or truncated (%v)", truncated)
+	}
+	if want := evals * len(eng.LastProfile.Schedule.Spans); len(sched.Spans) != want {
+		t.Fatalf("retained %d spans, want %d", len(sched.Spans), want)
+	}
+	// Identical evaluations: the merged makespan is evals x one makespan, and
+	// each evaluation's spans sit strictly after the previous evaluation's.
+	if got, want := sched.MakespanSeconds(), float64(evals)*perEval; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("merged makespan %g, want ~%g", got, want)
+	}
+	per := len(sched.Spans) / evals
+	for ev := 1; ev < evals; ev++ {
+		var prevEnd float64
+		for _, sp := range sched.Spans[:ev*per] {
+			if sp.End > prevEnd {
+				prevEnd = sp.End
+			}
+		}
+		for _, sp := range sched.Spans[ev*per : (ev+1)*per] {
+			if sp.Start < prevEnd-1e-12 {
+				t.Fatalf("evaluation %d span starts at %g before previous end %g", ev, sp.Start, prevEnd)
+			}
+		}
+	}
+	// The mutated copy must not alias the engine's retained state.
+	sched.Spans[0].Start = -1
+	again, _ := eng.RetainedSchedule()
+	if again.Spans[0].Start == -1 {
+		t.Fatal("RetainedSchedule returned aliased spans")
+	}
+
+	// A tight cap truncates; re-arming resets.
+	eng.RetainSchedules(2)
+	if _, err := eng.Accel(sys); err != nil {
+		t.Fatal(err)
+	}
+	sched, truncated = eng.RetainedSchedule()
+	if len(sched.Spans) != 2 || !truncated {
+		t.Fatalf("cap not honoured: %d spans, truncated=%v", len(sched.Spans), truncated)
+	}
+}
+
 // TestEngineBatchWindows: FlushBatch joins the pipeline, so the next window
 // re-pays the fill; windows compose to the full executed timeline.
 func TestEngineBatchWindows(t *testing.T) {

@@ -16,6 +16,9 @@ type overheadThresholds struct {
 	SpanChildOfStampNS float64 `json:"span_child_of_stamp_ns"`
 	FlightRecordNS     float64 `json:"flight_record_ns"`
 	TraceContextFromNS float64 `json:"trace_context_from_ns"`
+	NilSLOObserveNS    float64 `json:"nil_slo_observe_ns"`
+	SLOObserveNS       float64 `json:"slo_observe_ns"`
+	HistObserveExempNS float64 `json:"hist_observe_exemplar_ns"`
 }
 
 // TestOverheadGate measures the trace-stamping and flight-recorder paths and
@@ -89,6 +92,34 @@ func TestOverheadGate(t *testing.T) {
 			if tc := TraceContextFrom(ctx); !tc.Valid() {
 				b.Fatal("lost the trace context")
 			}
+		}
+	})
+	check("nil SLO Observe", th.NilSLOObserveNS, func(b *testing.B) {
+		var tr *SLOTracker
+		for i := 0; i < b.N; i++ {
+			tr.Observe("job_latency", true)
+		}
+	})
+	check("SLO Observe", th.SLOObserveNS, func(b *testing.B) {
+		tr, err := NewSLOTracker([]SLOObjective{{
+			Name: "job_latency", Target: 0.99,
+			Windows: []time.Duration{5 * time.Minute, time.Hour},
+		}}, NewRegistry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Observe("job_latency", i%10 != 0)
+		}
+	})
+	check("histogram ObserveExemplar", th.HistObserveExempNS, func(b *testing.B) {
+		reg := NewRegistry()
+		h := reg.Histogram("x.ms", []float64{1, 10, 100, 1000})
+		tc := NewTraceContext()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ObserveExemplar(float64(i%500), tc.TraceID)
 		}
 	})
 }

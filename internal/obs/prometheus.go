@@ -13,6 +13,11 @@ import (
 // this file writes (the format Prometheus' text parser speaks).
 const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// OpenMetricsContentType is the Content-Type of the OpenMetrics exposition
+// (WriteOpenMetrics): the superset format that carries exemplars and ends
+// with an explicit # EOF terminator.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // PrometheusName sanitizes a registry metric name into a valid Prometheus
 // metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted names map
 // dots (and any other invalid rune) to underscores, so "serve.jobs.accepted"
@@ -61,6 +66,47 @@ func promFloat(v float64) string {
 // one exists so a stock Prometheus/OpenMetrics scraper can consume /metrics
 // without a sidecar.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics writes the registry snapshot in the OpenMetrics text
+// format: the same families as WritePrometheus, plus per-bucket exemplars
+// (`# {trace_id="..."} value ts`) on histograms that recorded traced
+// observations, and the mandatory trailing `# EOF` line.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+// promLabelValue escapes a label value for the text expositions.
+func promLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promLabels renders a sorted {k="v",...} label block.
+func promLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, PrometheusName(k), promLabelValue(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// writeExposition is the shared body of the two text formats; openmetrics
+// additionally emits exemplars and the # EOF terminator.
+func (r *Registry) writeExposition(w io.Writer, openmetrics bool) error {
 	s := r.Snapshot()
 	seen := make(map[string]bool)
 
@@ -100,6 +146,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	// Info metrics: constant labels as a gauge with value 1 (the
+	// build_info idiom), so `nbody_build_info{version="...",...} 1`.
+	names = names[:0]
+	byName = make(map[string]string, len(s.Infos))
+	for name := range s.Infos {
+		n := PrometheusName(name)
+		if seen[n] || byName[n] != "" {
+			continue
+		}
+		byName[n] = name
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		seen[n] = true
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s 1\n", n, n, promLabels(s.Infos[byName[n]])); err != nil {
+			return err
+		}
+	}
+
 	names = names[:0]
 	byName = make(map[string]string, len(s.Histograms))
 	for name := range s.Histograms {
@@ -118,6 +184,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
 			return err
 		}
+		exemplar := func(i int) string {
+			if !openmetrics || i >= len(h.Exemplars) || h.Exemplars[i].TraceID == "" {
+				return ""
+			}
+			ex := h.Exemplars[i]
+			return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+				promLabelValue(ex.TraceID), promFloat(ex.Value),
+				promFloat(float64(ex.AtUnixMS)/1e3))
+		}
 		// The registry stores per-bucket counts; Prometheus buckets are
 		// cumulative ("observations <= le").
 		var cum int64
@@ -125,14 +200,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i < len(h.Counts) {
 				cum += h.Counts[i]
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", n, promFloat(bound), cum, exemplar(i)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", n, h.Count, exemplar(len(h.Bounds))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	if openmetrics {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
 			return err
 		}
 	}

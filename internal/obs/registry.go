@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing int64. A nil *Counter is a no-op,
@@ -57,16 +58,27 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Exemplar ties one concrete observation to its distributed-trace id — the
+// OpenMetrics mechanism that lets a dashboard jump from a latency histogram
+// bucket to the exact trace that landed there. The registry keeps the most
+// recent exemplar per bucket.
+type Exemplar struct {
+	TraceID  string  `json:"trace_id"`
+	Value    float64 `json:"value"`
+	AtUnixMS int64   `json:"at_unix_ms"`
+}
+
 // Histogram counts observations into fixed buckets: counts[i] holds
 // observations <= Bounds[i], with one overflow bucket past the last bound.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64
-	sum    float64
-	min    float64
-	max    float64
-	n      int64
+	mu        sync.Mutex
+	bounds    []float64
+	counts    []int64
+	exemplars []Exemplar // lazily allocated; len(counts) when present
+	sum       float64
+	min       float64
+	max       float64
+	n         int64
 }
 
 // Observe records one sample.
@@ -75,6 +87,11 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.mu.Lock()
+	h.observeLocked(v)
+	h.mu.Unlock()
+}
+
+func (h *Histogram) observeLocked(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
@@ -85,6 +102,26 @@ func (h *Histogram) Observe(v float64) {
 		h.max = v
 	}
 	h.n++
+	return i
+}
+
+// ObserveExemplar records one sample and attaches the trace id that produced
+// it as the bucket's exemplar (most recent observation wins). An empty trace
+// id degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	h.mu.Lock()
+	i := h.observeLocked(v)
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = Exemplar{TraceID: traceID, Value: v, AtUnixMS: time.Now().UnixMilli()}
 	h.mu.Unlock()
 }
 
@@ -102,6 +139,9 @@ type HistogramSnapshot struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
 	P99 float64 `json:"p99"`
+	// Exemplars holds the most recent traced observation per bucket
+	// (aligned with Counts); nil when no ObserveExemplar call landed.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) from the bucket counts by
@@ -164,6 +204,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Min:    h.min,
 		Max:    h.max,
 	}
+	if h.exemplars != nil {
+		s.Exemplars = append([]Exemplar(nil), h.exemplars...)
+	}
 	if h.n > 0 {
 		s.Mean = h.sum / float64(h.n)
 		s.P50 = s.Quantile(0.50)
@@ -180,6 +223,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	infos      map[string]map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -188,7 +232,24 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		infos:      make(map[string]map[string]string),
 	}
+}
+
+// Info registers an info metric: constant labels exposed as a gauge with
+// value 1 (the Prometheus build_info idiom). Re-registering a name replaces
+// its labels. No-op when r is nil.
+func (r *Registry) Info(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	copied := make(map[string]string, len(labels))
+	for k, v := range labels {
+		copied[k] = v
+	}
+	r.mu.Lock()
+	r.infos[name] = copied
+	r.mu.Unlock()
 }
 
 // Counter returns (creating if needed) the named counter; nil when r is nil.
@@ -275,6 +336,10 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Infos holds the registered info metrics (constant label sets); omitted
+	// from the JSON when none are registered so pre-existing consumers see
+	// byte-identical output.
+	Infos map[string]map[string]string `json:"infos,omitempty"`
 }
 
 // Snapshot copies the registry's current state (empty snapshot for nil).
@@ -299,6 +364,16 @@ func (r *Registry) Snapshot() Snapshot {
 	hists := make(map[string]*Histogram, len(r.histograms))
 	for k, v := range r.histograms {
 		hists[k] = v
+	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for name, labels := range r.infos {
+			copied := make(map[string]string, len(labels))
+			for k, v := range labels {
+				copied[k] = v
+			}
+			s.Infos[name] = copied
+		}
 	}
 	r.mu.RUnlock()
 	for k, v := range counters {

@@ -123,10 +123,10 @@ type JobStatus struct {
 	// appears in the daemon's log lines, every streamed SnapshotRecord, the
 	// job's spans in the merged Chrome trace, and the flight recorder. It is
 	// minted at submit, or adopted from the client's traceparent header.
-	TraceID string   `json:"trace_id,omitempty"`
-	Plan    string   `json:"plan"`
-	N       int      `json:"n"`
-	Steps   int      `json:"steps"`
+	TraceID string `json:"trace_id,omitempty"`
+	Plan    string `json:"plan"`
+	N       int    `json:"n"`
+	Steps   int    `json:"steps"`
 	// Engine is the pool slot the job ran on (-1 while queued).
 	Engine int `json:"engine"`
 	// EngineCaps lists the engine's optional capabilities (sim.Caps).
@@ -145,6 +145,10 @@ type JobStatus struct {
 	// its own history (it is also always retrievable, for any terminal or
 	// live state, at GET /v1/jobs/{id}/flight).
 	Flight []obs.FlightEvent `json:"flight,omitempty"`
+	// Perf is the compact perf-attribution rollup, set once an attempt has
+	// finished on an engine that retains executed schedules (the full
+	// breakdown lives at GET /v1/jobs/{id}/perf).
+	Perf *JobPerfSummary `json:"perf,omitempty"`
 }
 
 // SnapshotJSON is one sim.Snapshot in wire form.
@@ -206,12 +210,12 @@ type SnapshotRecord struct {
 	JobID         string `json:"job_id"`
 	// TraceID is the job's trace id (JobStatus.TraceID), stamped on every
 	// record so a stream capture alone is joinable with logs and traces.
-	TraceID string        `json:"trace_id,omitempty"`
-	Seq     int           `json:"seq"`
-	Snapshot      *SnapshotJSON `json:"snapshot,omitempty"`
-	Final         bool          `json:"final,omitempty"`
-	State         JobState      `json:"state,omitempty"`
-	Error         string        `json:"error,omitempty"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	Seq      int           `json:"seq"`
+	Snapshot *SnapshotJSON `json:"snapshot,omitempty"`
+	Final    bool          `json:"final,omitempty"`
+	State    JobState      `json:"state,omitempty"`
+	Error    string        `json:"error,omitempty"`
 }
 
 // Limits bounds what a single job may ask for — the service-side half of

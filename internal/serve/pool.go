@@ -107,6 +107,10 @@ func NewPool(size int, dev gpusim.DeviceConfig, o *obs.Obs) (*Pool, error) {
 // Size returns the number of slots the pool was built with.
 func (p *Pool) Size() int { return len(p.all) }
 
+// Device returns the modelled device configuration the pool's slots share
+// (every slot is built on the same config).
+func (p *Pool) Device() gpusim.DeviceConfig { return p.all[0].dev }
+
 // Healthy returns the number of slots not quarantined.
 func (p *Pool) Healthy() int {
 	p.mu.Lock()

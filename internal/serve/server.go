@@ -27,10 +27,18 @@ const maxJobBody = 64 << 20
 //	GET    /v1/jobs/{id}/stream  NDJSON snapshot stream (SnapshotRecord per
 //	                             line, ?from=N resumes mid-stream)
 //	GET    /v1/jobs/{id}/flight  per-job flight recorder (last K events)
+//	GET    /v1/jobs/{id}/perf    per-job perf attribution (JobPerf): executed
+//	                             stage breakdown, critical path, GFLOPS, fill
+//	GET    /v1/stats             operational rollup: job counters, queue,
+//	                             pool, live SLO evaluation, debug bundles
+//	GET    /v1/debug/bundles     list captured debug bundles
+//	GET    /v1/debug/bundles/{id} download one bundle (tar.gz)
 //	GET    /healthz              liveness + drain state
 //	GET    /metrics              obs metrics registry snapshot — JSON by
 //	                             default; Prometheus text exposition under
-//	                             Accept: text/plain (or ?format=prometheus)
+//	                             Accept: text/plain (or ?format=prometheus);
+//	                             OpenMetrics with exemplars under
+//	                             Accept: application/openmetrics-text
 //	GET    /debug/serve          pool + queue internals (JSON)
 //
 // A POST /v1/jobs may carry a W3C traceparent header; the job then joins the
@@ -57,6 +65,10 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/flight", s.flight)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/perf", s.perf)
+	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	s.mux.HandleFunc("GET /v1/debug/bundles", s.bundles)
+	s.mux.HandleFunc("GET /v1/debug/bundles/{id}", s.bundle)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /debug/serve", s.debug)
@@ -130,8 +142,17 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// writeErr maps service errors to status codes.
-func (s *Server) writeErr(w http.ResponseWriter, err error) {
+// writeErr maps service errors to status codes. Error responses carry the
+// caller's trace id (from an inbound traceparent) in X-Trace-Id, so a client
+// that hit a 429 or a draining 503 can still join the rejection to its own
+// trace — the paths where correlation matters most are the ones with no job
+// to stamp it from.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	if w.Header().Get("X-Trace-Id") == "" {
+		if tc, ok := obs.ParseTraceParent(r.Header.Get("traceparent")); ok {
+			setTraceHeader(w, tc.TraceID)
+		}
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds))
@@ -150,7 +171,7 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxJobBody))
 	if err != nil {
-		s.writeErr(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		s.writeErr(w, r, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
 		return
 	}
 	spec, err := DecodeJobSpec(data, s.svc.cfg.Limits)
@@ -158,7 +179,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		if !errors.Is(err, ErrBadSpec) {
 			err = fmt.Errorf("%w: %v", ErrBadSpec, err)
 		}
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	// An inbound W3C traceparent joins the job to the caller's trace; the
@@ -166,7 +187,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	parent, _ := obs.ParseTraceParent(r.Header.Get("traceparent"))
 	st, err := s.svc.SubmitTraced(spec, parent)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
@@ -188,7 +209,7 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	st, err := s.svc.Job(r.PathValue("id"))
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	setTraceHeader(w, st.TraceID)
@@ -198,7 +219,7 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	st, err := s.svc.Cancel(r.PathValue("id"))
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	setTraceHeader(w, st.TraceID)
@@ -208,11 +229,62 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
 	fv, err := s.svc.Flight(r.PathValue("id"))
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	setTraceHeader(w, fv.TraceID)
 	writeJSON(w, http.StatusOK, fv)
+}
+
+func (s *Server) perf(w http.ResponseWriter, r *http.Request) {
+	p, err := s.svc.JobPerf(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	setTraceHeader(w, p.TraceID)
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *Server) bundles(w http.ResponseWriter, r *http.Request) {
+	store := s.svc.Bundles()
+	if store == nil {
+		s.writeErr(w, r, fmt.Errorf("%w: debug bundles not configured", ErrNotFound))
+		return
+	}
+	list := store.List()
+	if list == nil {
+		list = []obs.BundleInfo{}
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// bundle streams one captured bundle archive (tar.gz).
+func (s *Server) bundle(w http.ResponseWriter, r *http.Request) {
+	store := s.svc.Bundles()
+	if store == nil {
+		s.writeErr(w, r, fmt.Errorf("%w: debug bundles not configured", ErrNotFound))
+		return
+	}
+	rc, info, err := store.Open(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, obs.ErrBundleNotFound) {
+			err = fmt.Errorf("%w: %v", ErrNotFound, err)
+		}
+		s.writeErr(w, r, err)
+		return
+	}
+	defer rc.Close()
+	setTraceHeader(w, info.TraceID)
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", info.ID+".tar.gz"))
+	w.Header().Set("Content-Length", strconv.FormatInt(info.SizeBytes, 10))
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, rc)
 }
 
 // stream writes NDJSON: one SnapshotRecord per line, flushed per record,
@@ -222,14 +294,14 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("from"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
-			s.writeErr(w, fmt.Errorf("%w: bad from %q", ErrBadSpec, q))
+			s.writeErr(w, r, fmt.Errorf("%w: bad from %q", ErrBadSpec, q))
 			return
 		}
 		from = n
 	}
 	id := r.PathValue("id")
 	if _, err := s.svc.Job(id); err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -274,30 +346,59 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, v)
 }
 
-// wantsPrometheus decides the /metrics representation. JSON stays the default
+// metricsFormat decides the /metrics representation. JSON stays the default
 // (existing consumers parse it byte-for-byte); Prometheus text is opted into
-// by an Accept header naming text/plain or openmetrics, or ?format=prometheus.
-func wantsPrometheus(r *http.Request) bool {
+// by an Accept header naming text/plain, or ?format=prometheus; an Accept
+// naming openmetrics (what a Prometheus server sends when exemplars are
+// enabled) gets the OpenMetrics exposition, which carries the histograms'
+// trace-id exemplars.
+func metricsFormat(r *http.Request) string {
 	switch r.URL.Query().Get("format") {
 	case "prometheus":
-		return true
+		return "prometheus"
+	case "openmetrics":
+		return "openmetrics"
 	case "json":
-		return false
+		return "json"
 	}
 	accept := strings.ToLower(r.Header.Get("Accept"))
-	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+	switch {
+	case strings.Contains(accept, "openmetrics"):
+		return "openmetrics"
+	case strings.Contains(accept, "text/plain"):
+		return "prometheus"
+	}
+	return "json"
+}
+
+// MetricsHandler serves a registry the way the /metrics route does (JSON by
+// default, Prometheus/OpenMetrics by negotiation). nbodyd mounts it on the
+// separate -metrics-addr listener so scrapers never compete with job traffic.
+func MetricsHandler(o *obs.Obs) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveMetrics(w, r, o)
+	})
+}
+
+func serveMetrics(w http.ResponseWriter, r *http.Request, o *obs.Obs) {
+	switch metricsFormat(r) {
+	case "openmetrics":
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		w.WriteHeader(http.StatusOK)
+		o.Metrics.WriteOpenMetrics(w)
+	case "prometheus":
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		o.Metrics.WritePrometheus(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		o.Metrics.WriteJSON(w)
+	}
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	if wantsPrometheus(r) {
-		w.Header().Set("Content-Type", obs.PrometheusContentType)
-		w.WriteHeader(http.StatusOK)
-		s.svc.obs.Metrics.WritePrometheus(w)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	s.svc.obs.Metrics.WriteJSON(w)
+	serveMetrics(w, r, s.svc.obs)
 }
 
 // debugView is the /debug/serve body.

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cl"
 	"repro/internal/core"
 	"repro/internal/integrate"
 	"repro/internal/obs"
@@ -55,6 +58,14 @@ type ServiceConfig struct {
 	// FlightCapacity is the per-job flight-recorder ring size (last K
 	// events); obs.DefaultFlightCapacity when zero.
 	FlightCapacity int
+	// SLOs declares the service's objectives; zero objectives disables the
+	// burn-rate sentinel. The spec must Validate (NewService logs and runs
+	// without SLOs otherwise).
+	SLOs SLOSpec
+	// Bundles, when non-nil, receives anomaly-triggered debug bundles: one
+	// capture on each SLO burn rising edge, watchdog halt, and engine
+	// quarantine, rate-limited by the store.
+	Bundles *obs.BundleStore
 }
 
 // withDefaults fills the zero fields.
@@ -109,6 +120,9 @@ type job struct {
 	records []SnapshotRecord
 	notify  chan struct{} // closed and replaced whenever records/status change
 	seq     int
+	// perf is the job's executed-schedule attribution, built when an attempt
+	// finishes on an engine that retains schedules (GET /v1/jobs/{id}/perf).
+	perf *JobPerf
 }
 
 // publish appends a stream record (already sequenced) and wakes streamers.
@@ -197,6 +211,12 @@ type Service struct {
 
 	workers sync.WaitGroup
 
+	// SLO sentinel + debug-bundle capture (nil when not configured).
+	slo       *obs.SLOTracker
+	sloSpecs  map[string]SLOObjectiveSpec // signal -> declared thresholds
+	bundles   *obs.BundleStore
+	startedAt time.Time
+
 	// metrics
 	mAccepted    *obs.Counter
 	mRejected    *obs.Counter
@@ -231,6 +251,22 @@ func NewService(cfg ServiceConfig, pool *Pool) *Service {
 		mQuarantined: cfg.Obs.Metrics.Gauge("serve.engines.quarantined"),
 		mJobMS:       cfg.Obs.Metrics.Histogram("serve.job.ms", []float64{1, 10, 100, 1000, 10000, 60000}),
 		mQueueWaitMS: cfg.Obs.Metrics.Histogram("serve.queue.wait.ms", []float64{0.1, 1, 10, 100, 1000, 10000, 60000}),
+
+		bundles:   cfg.Bundles,
+		startedAt: time.Now(),
+	}
+	if len(cfg.SLOs.Objectives) > 0 {
+		if err := cfg.SLOs.Validate(); err != nil {
+			cfg.Logger.Error("invalid SLO config, sentinel disabled", "error", err.Error())
+		} else if tracker, err := obs.NewSLOTracker(cfg.SLOs.objectives(), cfg.Obs.Metrics); err != nil {
+			cfg.Logger.Error("SLO tracker rejected config, sentinel disabled", "error", err.Error())
+		} else {
+			s.slo = tracker
+			s.sloSpecs = make(map[string]SLOObjectiveSpec, len(cfg.SLOs.Objectives))
+			for _, o := range cfg.SLOs.Objectives {
+				s.sloSpecs[o.Signal] = o
+			}
+		}
 	}
 	for i := 0; i < pool.Size(); i++ {
 		s.workers.Add(1)
@@ -489,6 +525,168 @@ func (s *Service) Flight(id string) (FlightView, error) {
 	}, nil
 }
 
+// JobPerf returns the job's perf attribution. A job whose attribution has not
+// been computed yet (still queued/running, or its plan retains no executed
+// schedule) reports not-found, same as an unknown id.
+func (s *Service) JobPerf(id string) (*JobPerf, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.perf == nil {
+		return nil, fmt.Errorf("%w: no perf attribution for %s yet", ErrNotFound, id)
+	}
+	p := *j.perf
+	return &p, nil
+}
+
+// observeSLO feeds one measurement to the burn-rate sentinel. value is
+// milliseconds for the latency signals (job_latency, queue_wait) and the
+// quarantined pool fraction for pool_saturation; failed forces job_latency
+// bad regardless of latency. A burn rising edge captures a debug bundle tied
+// to the job whose observation tripped the alarm. No-op for undeclared
+// signals (including the whole method when no SLOs are configured).
+func (s *Service) observeSLO(j *job, signal string, value float64, failed bool) {
+	spec, ok := s.sloSpecs[signal]
+	if !ok {
+		return
+	}
+	var good bool
+	switch signal {
+	case SignalJobLatency:
+		good = !failed && value <= spec.ThresholdMS
+	case SignalQueueWait:
+		good = value <= spec.ThresholdMS
+	case SignalPoolSaturation:
+		good = value <= spec.MaxSaturation
+	}
+	status, rising := s.slo.Observe(signal, good)
+	if !rising {
+		return
+	}
+	attrs := []any{"slo", signal, "target", spec.Target, "burn_threshold", status.BurnThreshold,
+		"budget_remaining", status.BudgetRemaining}
+	if j != nil {
+		attrs = append(attrs, "job_id", j.id, "trace_id", j.trace.TraceID)
+		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "slo-burn",
+			Attrs: map[string]string{"slo": signal}})
+	}
+	s.log.Warn("SLO burning", attrs...)
+	s.captureBundle(j, "slo-burn:"+signal)
+}
+
+// captureBundle captures an anomaly debug bundle (no-op without a store):
+// the triggering job's flight ring, status, and perf attribution, plus the
+// service-wide merged Chrome trace, on top of the store's own process
+// profiles. Rate limiting lives in the store.
+func (s *Service) captureBundle(j *job, reason string) {
+	if s.bundles == nil {
+		return
+	}
+	files := map[string][]byte{}
+	jobID, traceID := "", ""
+	if j != nil {
+		jobID, traceID = j.id, j.trace.TraceID
+		if fv, err := s.Flight(j.id); err == nil {
+			if b, err := json.MarshalIndent(fv, "", "  "); err == nil {
+				files["flight.json"] = b
+			}
+		}
+		if b, err := json.MarshalIndent(j.Status(), "", "  "); err == nil {
+			files["status.json"] = b
+		}
+		j.mu.Lock()
+		p := j.perf
+		j.mu.Unlock()
+		if p != nil {
+			if b, err := json.MarshalIndent(p, "", "  "); err == nil {
+				files["perf.json"] = b
+			}
+		}
+	}
+	var trace bytes.Buffer
+	if err := cl.WriteMergedTrace(&trace, s.obs.Tracer(), s.pool.Device()); err == nil {
+		files["trace.json"] = trace.Bytes()
+	}
+	info, err := s.bundles.Capture(reason, jobID, traceID, files)
+	switch {
+	case errors.Is(err, obs.ErrBundleRateLimited):
+		s.log.Info("debug bundle rate-limited", "reason", reason, "job_id", jobID)
+	case err != nil:
+		s.log.Error("debug bundle capture failed", "reason", reason, "error", err.Error())
+	default:
+		s.log.Warn("debug bundle captured",
+			"bundle_id", info.ID, "reason", reason, "job_id", jobID, "trace_id", traceID,
+			"size_bytes", info.SizeBytes)
+	}
+}
+
+// JobCounters is the lifetime job accounting in StatsView.
+type JobCounters struct {
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Retries   int64 `json:"retries"`
+}
+
+// PoolStats is the engine-pool health in StatsView.
+type PoolStats struct {
+	Size        int `json:"size"`
+	Healthy     int `json:"healthy"`
+	Quarantined int `json:"quarantined"`
+}
+
+// StatsView is the GET /v1/stats body: one operational rollup joining job
+// counters, queue and pool state, the SLO sentinel's live evaluation, and the
+// captured debug bundles.
+type StatsView struct {
+	SchemaVersion int              `json:"schema_version"`
+	UptimeMS      int64            `json:"uptime_ms"`
+	Jobs          JobCounters      `json:"jobs"`
+	QueueDepth    int              `json:"queue_depth"`
+	QueueCap      int              `json:"queue_cap"`
+	Draining      bool             `json:"draining"`
+	Pool          PoolStats        `json:"pool"`
+	SLOs          []obs.SLOStatus  `json:"slos,omitempty"`
+	Bundles       []obs.BundleInfo `json:"bundles,omitempty"`
+}
+
+// Stats assembles the operational rollup.
+func (s *Service) Stats() StatsView {
+	healthy := s.pool.Healthy()
+	return StatsView{
+		SchemaVersion: JobSchemaVersion,
+		UptimeMS:      time.Since(s.startedAt).Milliseconds(),
+		Jobs: JobCounters{
+			Accepted:  s.mAccepted.Value(),
+			Rejected:  s.mRejected.Value(),
+			Done:      s.mDone.Value(),
+			Failed:    s.mFailed.Value(),
+			Cancelled: s.mCancelled.Value(),
+			Retries:   s.mRetries.Value(),
+		},
+		QueueDepth: s.QueueDepth(),
+		QueueCap:   cap(s.queue),
+		Draining:   s.Draining(),
+		Pool: PoolStats{
+			Size:        s.pool.Size(),
+			Healthy:     healthy,
+			Quarantined: s.pool.Size() - healthy,
+		},
+		SLOs:    s.slo.Snapshot(),
+		Bundles: s.bundles.List(),
+	}
+}
+
+// Bundles returns the service's bundle store (nil when not configured).
+func (s *Service) Bundles() *obs.BundleStore { return s.bundles }
+
 // worker drains the queue; it exits when Drain closes the queue.
 func (s *Service) worker() {
 	defer s.workers.Done()
@@ -507,7 +705,8 @@ func (s *Service) run(j *job) {
 	queueWait := start.Sub(j.submittedAt)
 	s.obs.Tracer().StartAt("queue-wait", "serve", j.submittedAt).
 		ChildOf(j.trace).Arg("job_id", j.id).End()
-	s.mQueueWaitMS.Observe(float64(queueWait) / float64(time.Millisecond))
+	s.mQueueWaitMS.ObserveExemplar(float64(queueWait)/float64(time.Millisecond), j.trace.TraceID)
+	s.observeSLO(j, SignalQueueWait, float64(queueWait)/float64(time.Millisecond), false)
 	j.flight.Record(obs.FlightEvent{Kind: "span", Name: "queue-wait",
 		AtUnixMS: j.submittedAt.UnixMilli(),
 		DurMS:    float64(queueWait) / float64(time.Millisecond)})
@@ -523,7 +722,16 @@ func (s *Service) run(j *job) {
 		st := j.Status()
 		span.Arg("state", string(st.State)).End()
 		wall := time.Since(start)
-		s.mJobMS.Observe(float64(wall.Milliseconds()))
+		wallMS := float64(wall) / float64(time.Millisecond)
+		// The latency histogram carries the job's trace id as an OpenMetrics
+		// exemplar: a scrape that shows the slow bucket filling names a job
+		// whose trace/flight/bundle explain it.
+		s.mJobMS.ObserveExemplar(wallMS, j.trace.TraceID)
+		// Cancelled jobs are neither good nor bad for the latency objective —
+		// a client hanging up must not burn (or pad) the error budget.
+		if st.State == StateDone || st.State == StateFailed {
+			s.observeSLO(j, SignalJobLatency, wallMS, st.State == StateFailed)
+		}
 		s.log.Info("job finished",
 			"job_id", j.id, "trace_id", j.trace.TraceID,
 			"state", string(st.State), "error", st.Error,
@@ -611,6 +819,8 @@ func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
 		return false, err
 	}
 	s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
+	s.observeSLO(j, SignalPoolSaturation,
+		float64(s.pool.Size()-s.pool.Healthy())/float64(s.pool.Size()), false)
 	j.flight.Record(obs.FlightEvent{Kind: "event", Name: "engine-acquired",
 		Attrs: map[string]string{"engine": strconv.Itoa(sl.id)}})
 
@@ -630,6 +840,7 @@ func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
 		s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
 		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "quarantine",
 			Detail: err.Error(), Attrs: map[string]string{"engine": strconv.Itoa(sl.id)}})
+		s.captureBundle(j, "quarantine")
 		return true, fmt.Errorf("engine %d: %w", sl.id, err)
 	}
 
@@ -664,8 +875,17 @@ func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
 		}
 		mode = pipeline.Overlap
 	}
-	if pe, ok := eng.(*core.Engine); ok {
+	// Arm executed-schedule retention (and snapshot the engine's counters) so
+	// the attempt ends with a perf attribution over what actually executed.
+	// The slot is held exclusively for the attempt, so the counter deltas are
+	// this job's alone.
+	var pe *core.Engine
+	var before engineCounters
+	if ce, ok := eng.(*core.Engine); ok {
+		pe = ce
 		pe.Mode = mode
+		pe.RetainSchedules(maxRetainedSpans)
+		before = readEngineCounters(pe)
 	} else if mode == pipeline.Overlap {
 		s.pool.release(sl)
 		return false, fmt.Errorf("plan %s does not support pipeline overlap", spec.Plan)
@@ -691,6 +911,24 @@ func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
 			return nil
 		},
 	})
+
+	// Attribute the attempt's executed schedule before the slot moves on —
+	// failed attempts keep their attribution too (it is debug-bundle input).
+	if pe != nil {
+		if p := buildJobPerf(j, sl.id, sl.dev, pe, before, time.Since(attemptStart)); p != nil {
+			j.mu.Lock()
+			j.perf = p
+			j.status.Perf = p.Summary()
+			j.mu.Unlock()
+			j.flight.Record(obs.FlightEvent{Kind: "event", Name: "perf-attributed",
+				Attrs: map[string]string{
+					"makespan_ms": strconv.FormatFloat(p.Attribution.MakespanSeconds*1e3, 'g', 6, 64),
+					"spans":       strconv.Itoa(p.ScheduleSpans),
+				}})
+		}
+		pe.RetainSchedules(0) // drop the retained spans with the job
+	}
+
 	if runErr == nil {
 		s.pool.release(sl)
 		return false, nil
@@ -709,6 +947,7 @@ func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
 		// trajectory, retrying only burns a device.
 		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "watchdog-halt", Detail: runErr.Error()})
 		s.pool.release(sl)
+		s.captureBundle(j, "watchdog-halt")
 		return false, runErr
 	default:
 		// The engine itself failed. Quarantine the slot (consuming it — it
@@ -718,6 +957,7 @@ func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
 		s.mQuarantined.Set(float64(s.pool.Size() - s.pool.Healthy()))
 		j.flight.Record(obs.FlightEvent{Kind: "event", Name: "quarantine",
 			Detail: runErr.Error(), Attrs: map[string]string{"engine": strconv.Itoa(sl.id)}})
+		s.captureBundle(j, "quarantine")
 		return true, fmt.Errorf("engine %d: %w", sl.id, runErr)
 	}
 }

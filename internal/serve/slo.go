@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SLO signals the service can evaluate. Each maps one job-lifecycle
+// measurement to a good/bad event for the obs.SLOTracker:
+//
+//   - job_latency: a finished job is good when it completed (not failed)
+//     within ThresholdMS of wall time;
+//   - queue_wait: a job is good when admission control held it for at most
+//     ThresholdMS before a worker picked it up;
+//   - pool_saturation: an engine acquisition is good when the quarantined
+//     fraction of the pool is at most MaxSaturation.
+const (
+	SignalJobLatency     = "job_latency"
+	SignalQueueWait      = "queue_wait"
+	SignalPoolSaturation = "pool_saturation"
+)
+
+// SLOObjectiveSpec declares one objective in ServiceConfig.SLOs (and in the
+// nbodyd -slo-config JSON file).
+type SLOObjectiveSpec struct {
+	// Signal is one of job_latency, queue_wait, pool_saturation.
+	Signal string `json:"signal"`
+	// Target is the required good fraction in (0,1), e.g. 0.99.
+	Target float64 `json:"target"`
+	// ThresholdMS is the good/bad boundary for the latency signals
+	// (job_latency, queue_wait). Required for those signals.
+	ThresholdMS float64 `json:"threshold_ms,omitempty"`
+	// MaxSaturation is the good/bad boundary for pool_saturation: the highest
+	// acceptable quarantined fraction of the pool, in [0,1).
+	MaxSaturation float64 `json:"max_saturation,omitempty"`
+	// BurnThreshold overrides the burn-rate alarm level
+	// (obs.DefaultBurnThreshold when zero).
+	BurnThreshold float64 `json:"burn_threshold,omitempty"`
+	// WindowsMS overrides the rolling evaluation windows
+	// (obs.DefaultSLOWindows when empty).
+	WindowsMS []int64 `json:"windows_ms,omitempty"`
+}
+
+// SLOSpec is the service's SLO declaration: zero objectives disables the
+// sentinel entirely.
+type SLOSpec struct {
+	Objectives []SLOObjectiveSpec `json:"objectives"`
+}
+
+// Validate checks every objective (signal names, targets, thresholds).
+func (s SLOSpec) Validate() error {
+	seen := map[string]bool{}
+	for _, o := range s.Objectives {
+		switch o.Signal {
+		case SignalJobLatency, SignalQueueWait:
+			if o.ThresholdMS <= 0 {
+				return fmt.Errorf("serve: SLO %s needs threshold_ms > 0", o.Signal)
+			}
+		case SignalPoolSaturation:
+			if o.MaxSaturation < 0 || o.MaxSaturation >= 1 {
+				return fmt.Errorf("serve: SLO %s max_saturation %g must be in [0,1)", o.Signal, o.MaxSaturation)
+			}
+		default:
+			return fmt.Errorf("serve: unknown SLO signal %q (known: %s, %s, %s)",
+				o.Signal, SignalJobLatency, SignalQueueWait, SignalPoolSaturation)
+		}
+		if seen[o.Signal] {
+			return fmt.Errorf("serve: duplicate SLO signal %q", o.Signal)
+		}
+		seen[o.Signal] = true
+		if err := (obs.SLOObjective{Name: o.Signal, Target: o.Target, BurnThreshold: o.BurnThreshold}).Validate(); err != nil {
+			return err
+		}
+		for _, w := range o.WindowsMS {
+			if w <= 0 {
+				return fmt.Errorf("serve: SLO %s window %dms must be positive", o.Signal, w)
+			}
+		}
+	}
+	return nil
+}
+
+// objectives converts the spec to tracker objectives.
+func (s SLOSpec) objectives() []obs.SLOObjective {
+	out := make([]obs.SLOObjective, 0, len(s.Objectives))
+	for _, o := range s.Objectives {
+		obj := obs.SLOObjective{
+			Name:          o.Signal,
+			Target:        o.Target,
+			BurnThreshold: o.BurnThreshold,
+		}
+		for _, w := range o.WindowsMS {
+			obj.Windows = append(obj.Windows, time.Duration(w)*time.Millisecond)
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// DecodeSLOSpec parses and validates an SLO declaration document (the nbodyd
+// -slo-config file format).
+func DecodeSLOSpec(data []byte) (SLOSpec, error) {
+	var spec SLOSpec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("serve: bad SLO config: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}

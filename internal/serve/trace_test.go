@@ -368,9 +368,6 @@ func TestHTTPMetricsContentNegotiation(t *testing.T) {
 	}
 	for name, mutate := range map[string]func(*http.Request){
 		"accept text/plain": func(r *http.Request) { r.Header.Set("Accept", "text/plain;version=0.0.4") },
-		"accept openmetrics": func(r *http.Request) {
-			r.Header.Set("Accept", "application/openmetrics-text;version=1.0.0")
-		},
 		"format=prometheus": func(r *http.Request) { r.URL.RawQuery = "format=prometheus" },
 	} {
 		ct, body := fetch(mutate)
@@ -383,6 +380,27 @@ func TestHTTPMetricsContentNegotiation(t *testing.T) {
 		if !strings.Contains(body, `serve_job_ms_bucket{le="+Inf"}`) {
 			t.Fatalf("%s: body lacks the +Inf histogram bucket:\n%s", name, body)
 		}
+		if strings.Contains(body, "# EOF") {
+			t.Fatalf("%s: Prometheus 0.0.4 exposition must not carry the OpenMetrics terminator", name)
+		}
+	}
+
+	// Accept: openmetrics upgrades to the OpenMetrics exposition: same
+	// families, exemplars on traced histograms, mandatory # EOF terminator.
+	ct, body := fetch(func(r *http.Request) {
+		r.Header.Set("Accept", "application/openmetrics-text;version=1.0.0")
+	})
+	if ct != obs.OpenMetricsContentType {
+		t.Fatalf("accept openmetrics: content type %q, want %q", ct, obs.OpenMetricsContentType)
+	}
+	if !strings.Contains(body, "# TYPE serve_jobs_accepted counter") {
+		t.Fatalf("openmetrics body lacks the counter TYPE line:\n%s", body)
+	}
+	if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+		t.Fatalf("openmetrics body must end with # EOF:\n%s", body)
+	}
+	if !strings.Contains(body, `# {trace_id="`+st.TraceID+`"}`) {
+		t.Fatalf("openmetrics body lacks the job's latency exemplar (trace %s):\n%s", st.TraceID, body)
 	}
 }
 

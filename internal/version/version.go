@@ -1,0 +1,59 @@
+// Package version carries the build identity stamped into the binaries and
+// exported as the nbody_build_info metric.
+package version
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/obs"
+)
+
+// Version identifies the build. It defaults to the module's VCS revision
+// when the binary was built from a checkout (Go embeds it), and release
+// builds override it via
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3"
+var Version = ""
+
+// String returns the effective version: the ldflags override, the embedded
+// VCS revision (12-hex prefix, with a -dirty suffix for a modified tree), or
+// "devel" when neither is available.
+func String() string {
+	if Version != "" {
+		return Version
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	return "devel"
+}
+
+// GoVersion returns the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// Register exports the build identity on reg as the info-style gauge
+// nbody.build.info (Prometheus: nbody_build_info{version=...,go_version=...} 1),
+// the build_info idiom scrapers join onto every other series. Nil-safe.
+func Register(reg *obs.Registry) {
+	reg.Info("nbody.build.info", map[string]string{
+		"version":    String(),
+		"go_version": GoVersion(),
+	})
+}
