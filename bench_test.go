@@ -220,6 +220,44 @@ func BenchmarkCPUBaselines(b *testing.B) {
 	})
 }
 
+// BenchmarkHostPipeline measures the full step with the pooled host-side
+// build path in steady state: the per-plan builder re-stepping the same
+// system after a warm-up iteration has sized every arena. ReportAllocs here
+// covers the whole step — device simulator included, which allocates by
+// design — so it tracks the total allocation budget; the strict 0 allocs/op
+// contract on the host build alone is pinned by internal/bh's
+// BenchmarkBuilderStep and BenchmarkWalkSetValidate. The host-build-ms
+// metric is the measured wall time of the host stage (tree + walks +
+// flatten), the quantity BENCH schema v3 tracks per point as hostBuildMs.
+func BenchmarkHostPipeline(b *testing.B) {
+	for _, name := range []string{"w-parallel", "jw-parallel"} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", name, n), func(b *testing.B) {
+				plan := newPlan(b, name)
+				sys := ic.Plummer(n, 1)
+				// Warm the pooled arenas: the first step sizes every buffer.
+				if _, err := plan.Accel(sys); err != nil {
+					b.Fatal(err)
+				}
+				var last *core.RunProfile
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					prof, err := plan.Accel(sys)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = prof
+				}
+				b.StopTimer()
+				if last != nil {
+					b.ReportMetric(last.HostBuildSeconds*1e3, "host-build-ms")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkEmulatorOverhead isolates the simulator's own cost: an empty
 // kernel across many groups, and a barrier-heavy kernel.
 func BenchmarkEmulatorOverhead(b *testing.B) {

@@ -45,6 +45,7 @@ func main() {
 		writeBase  = flag.String("write-baseline", "", "also write the report to this path (baseline refresh)")
 		maxRegress = flag.Float64("max-regress", 0.05, "allowed relative worsening per metric vs the baseline")
 		trace      = flag.String("trace", "", "write the merged host+device Chrome trace of the final point here")
+		hostReport = flag.Bool("host-report", false, "print the measured host-build breakdown (wall ms + allocs/step) per point")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -117,6 +118,14 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(info, "wrote merged trace to %s\n", *trace)
+	}
+	if *hostReport {
+		fmt.Fprintf(info, "host-build breakdown (measured on this machine; modelled host ms for comparison):\n")
+		for i := range rep.Points {
+			pt := &rep.Points[i]
+			fmt.Fprintf(info, "  %-12s N=%-7d host-build=%8.3fms (model %8.3fms)  allocs/step=%.0f\n",
+				pt.Plan, pt.N, pt.HostBuildMS.Mean, pt.HostMS.Mean, pt.AllocsPerStep.Mean)
+		}
 	}
 
 	outPath := *out

@@ -45,6 +45,7 @@ func main() {
 		device    = cliflags.DeviceFlag(flag.CommandLine, "hd5850")
 		kcheck    = cliflags.KernelCheckFlag(flag.CommandLine, "warn")
 		pipe      = cliflags.PipelineFlag(flag.CommandLine, "serial")
+		hostWork  = cliflags.HostWorkers(flag.CommandLine)
 		workload  = flag.String("workload", "plummer", "initial conditions: plummer, hernquist, cube, disk, collision")
 		steps     = flag.Int("steps", 100, "number of time steps")
 		dt        = flag.Float64("dt", 0.01, "time step")
@@ -118,7 +119,7 @@ func main() {
 	opt.Theta = float32(*theta)
 	opt.Eps = float32(*eps)
 
-	eng, pe, err := makeEngine(*plan, params, opt, o, device.Config())
+	eng, pe, err := makeEngine(*plan, params, opt, o, device.Config(), *hostWork)
 	if err != nil {
 		fail(err)
 	}
@@ -177,6 +178,7 @@ func main() {
 		Obs:            o,
 		Watchdog:       dog,
 		PipelineWindow: windowFor(mode, *pipeWin),
+		HostWorkers:    *hostWork,
 	})
 	rootSpan.End()
 	if err != nil {
@@ -198,6 +200,9 @@ func main() {
 	if pe != nil {
 		fmt.Printf("modelled device time: kernel %.4gs, total %.4gs (%.1f GFLOPS sustained)\n",
 			pe.KernelSeconds, pe.TotalSeconds(), pe.SustainedGFLOPS())
+		if hb := pe.HostBuildTotalSeconds(); hb > 0 {
+			fmt.Printf("measured host build: %.4gs wall across %d evaluations\n", hb, pe.Evaluations)
+		}
 		if pe.Mode == pipeline.Overlap {
 			speedup := 1.0
 			if ex := pe.ExecutedSeconds(); ex > 0 {
@@ -306,7 +311,7 @@ func makeWorkload(kind string, n int, seed uint64) (*body.System, error) {
 	return nil, fmt.Errorf("unknown workload %q", kind)
 }
 
-func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs, dev gpusim.DeviceConfig) (sim.Engine, *core.Engine, error) {
+func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs, dev gpusim.DeviceConfig, hostWorkers int) (sim.Engine, *core.Engine, error) {
 	opt.Trace = o.Tracer() // spans the CPU treecode engines too
 	switch name {
 	case "cpu-pp":
@@ -322,6 +327,7 @@ func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs, dev g
 		core.WithDevice(dev),
 		core.WithPPParams(params),
 		core.WithBHOptions(opt),
+		core.WithHostWorkers(hostWorkers),
 		core.WithObs(o))
 	if err != nil {
 		return nil, nil, err

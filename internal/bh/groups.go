@@ -41,6 +41,10 @@ type WalkSet struct {
 	Walks []Walk
 	// GroupCap is the chunk size used to form groups.
 	GroupCap int
+
+	// covered is pooled scratch for Validate: it is reused across calls so
+	// repeated validation of a pooled walk set allocates nothing.
+	covered []bool
 }
 
 // BuildWalks decomposes the body set into walks of groupCap consecutive
@@ -117,8 +121,16 @@ func (t *Tree) BuildWalks(groupCap int) (*WalkSet, error) {
 // group's bounding box. The walk's own bodies enter the direct list through
 // their (always-opened) leaves, so no special casing is needed.
 func (t *Tree) buildList(w *Walk) error {
+	_, err := t.buildListInto(w, make([]int32, 0, 64))
+	return err
+}
+
+// buildListInto is buildList with a caller-owned traversal stack; it returns
+// the (possibly grown) stack so pooled callers — the Builder's parallel walk
+// construction — can reuse it without allocating per walk.
+func (t *Tree) buildListInto(w *Walk, stack []int32) ([]int32, error) {
 	theta2 := t.Opt.Theta * t.Opt.Theta
-	stack := make([]int32, 0, 64)
+	stack = stack[:0]
 	stack = append(stack, 0)
 	for len(stack) > 0 {
 		ni := stack[len(stack)-1]
@@ -141,9 +153,9 @@ func (t *Tree) buildList(w *Walk) error {
 		}
 	}
 	if len(w.NodeList)+len(w.DirectList) == 0 {
-		return fmt.Errorf("bh: walk [%d,%d) has empty interaction list", w.First, w.First+w.Count)
+		return stack, fmt.Errorf("bh: walk [%d,%d) has empty interaction list", w.First, w.First+w.Count)
 	}
-	return nil
+	return stack, nil
 }
 
 // Eval evaluates every walk on the CPU, filling sys.Acc. This computes
@@ -229,7 +241,13 @@ func (ws *WalkSet) ListStats() (minLen, maxLen int, mean, stddev float64) {
 // Validate checks that the walks exactly tile the body set.
 func (ws *WalkSet) Validate() error {
 	t := ws.Tree
-	covered := make([]bool, t.sys.N())
+	if cap(ws.covered) < t.sys.N() {
+		ws.covered = make([]bool, t.sys.N())
+	}
+	covered := ws.covered[:t.sys.N()]
+	for i := range covered {
+		covered[i] = false
+	}
 	for i := range ws.Walks {
 		w := &ws.Walks[i]
 		if w.Count <= 0 {

@@ -106,6 +106,21 @@ func Build(s *body.System, opt Options) (*Tree, error) {
 	for i := range t.Index {
 		t.Index[i] = int32(i)
 	}
+	center, half := rootCell(s)
+	scratch := make([]int32, n)
+	t.build(center, half, 0, int32(n), 0, scratch)
+	t.summarize(0)
+	sp.Arg("nodes", len(t.Nodes))
+	return t, nil
+}
+
+// System returns the body system the tree was built over.
+func (t *Tree) System() *body.System { return t.sys }
+
+// rootCell returns the root cell (centre, half extent) for a build over s.
+// The Morton-ordered Builder and the recursive Build share it, so both paths
+// classify bodies against bitwise-identical cell boundaries.
+func rootCell(s *body.System) (vec.V3, float32) {
 	b := s.Bounds()
 	center := b.Center()
 	half := b.MaxExtent() / 2
@@ -114,15 +129,16 @@ func Build(s *body.System, opt Options) (*Tree, error) {
 	}
 	// Grow slightly so boundary bodies classify strictly inside.
 	half *= 1.0001
-	t.build(center, half, 0, int32(n), 0)
-	t.summarize(0)
-	sp.Arg("nodes", len(t.Nodes))
-	return t, nil
+	return center, half
 }
 
 // build recursively constructs the node covering Index[first:first+count]
-// and returns its index in t.Nodes.
-func (t *Tree) build(center vec.V3, half float32, first, count int32, depth int) int32 {
+// and returns its index in t.Nodes. scratch is a caller-owned slice of at
+// least n int32s: the counting-sort partition of a node writes through
+// scratch[first:first+count], which is free by the time the children (whose
+// ranges are disjoint sub-ranges) partition theirs, so one allocation serves
+// the whole build.
+func (t *Tree) build(center vec.V3, half float32, first, count int32, depth int, scratch []int32) int32 {
 	idx := int32(len(t.Nodes))
 	t.Nodes = append(t.Nodes, Node{
 		Center: center,
@@ -150,7 +166,7 @@ func (t *Tree) build(center vec.V3, half float32, first, count int32, depth int)
 		start[o] = sum
 		sum += octCount[o]
 	}
-	tmp := make([]int32, count)
+	tmp := scratch[first : first+count]
 	cursor := start
 	for _, bi := range slice {
 		o := t.octant(center, bi)
@@ -170,7 +186,7 @@ func (t *Tree) build(center vec.V3, half float32, first, count int32, depth int)
 			Y: center.Y + qh*octSign(o, 1),
 			Z: center.Z + qh*octSign(o, 2),
 		}
-		child := t.build(cc, qh, first+start[o], octCount[o], depth+1)
+		child := t.build(cc, qh, first+start[o], octCount[o], depth+1, scratch)
 		t.Nodes[idx].Children[o] = child
 	}
 	return idx
@@ -203,32 +219,53 @@ func octSign(o, axis int) float32 {
 func (t *Tree) summarize(ni int32) {
 	n := &t.Nodes[ni]
 	if n.Leaf {
-		var mx, my, mz, m float64
-		bounds := vec.Empty()
-		for _, bi := range t.Index[n.First : n.First+n.Count] {
-			p := t.sys.Pos[bi]
-			w := float64(t.sys.Mass[bi])
-			mx += w * float64(p.X)
-			my += w * float64(p.Y)
-			mz += w * float64(p.Z)
-			m += w
-			bounds = bounds.Extend(p)
-		}
-		n.Mass = float32(m)
-		if m > 0 {
-			n.COM = vec.V3{X: float32(mx / m), Y: float32(my / m), Z: float32(mz / m)}
-		}
-		n.Bounds = bounds
+		t.leafSummary(n)
 		return
 	}
+	for _, ci := range n.Children {
+		if ci != NoChild {
+			t.summarize(ci)
+		}
+	}
+	summarizeFromChildren(t.Nodes, ni)
+}
+
+// leafSummary fills Mass, COM and Bounds of a leaf by accumulating its
+// bodies in Index order (float64 accumulation, float32 result). Both build
+// paths — the recursive summarize and the Builder's bottom-up pass — go
+// through here, so the rounding is bitwise identical.
+func (t *Tree) leafSummary(n *Node) {
+	var mx, my, mz, m float64
+	bounds := vec.Empty()
+	for _, bi := range t.Index[n.First : n.First+n.Count] {
+		p := t.sys.Pos[bi]
+		w := float64(t.sys.Mass[bi])
+		mx += w * float64(p.X)
+		my += w * float64(p.Y)
+		mz += w * float64(p.Z)
+		m += w
+		bounds = bounds.Extend(p)
+	}
+	n.Mass = float32(m)
+	if m > 0 {
+		n.COM = vec.V3{X: float32(mx / m), Y: float32(my / m), Z: float32(mz / m)}
+	}
+	n.Bounds = bounds
+}
+
+// summarizeFromChildren fills Mass, COM and Bounds of internal node ni by
+// combining its already-summarized children in octant order. nodes is passed
+// explicitly because the Builder runs it over per-worker arenas whose child
+// indices are arena-local.
+func summarizeFromChildren(nodes []Node, ni int32) {
+	n := &nodes[ni]
 	var mx, my, mz, m float64
 	bounds := vec.Empty()
 	for _, ci := range n.Children {
 		if ci == NoChild {
 			continue
 		}
-		t.summarize(ci)
-		c := &t.Nodes[ci]
+		c := &nodes[ci]
 		w := float64(c.Mass)
 		mx += w * float64(c.COM.X)
 		my += w * float64(c.COM.Y)
@@ -236,7 +273,6 @@ func (t *Tree) summarize(ni int32) {
 		m += w
 		bounds = bounds.Union(c.Bounds)
 	}
-	n = &t.Nodes[ni] // re-take: summarize may have grown nothing, but be explicit
 	n.Mass = float32(m)
 	if m > 0 {
 		n.COM = vec.V3{X: float32(mx / m), Y: float32(my / m), Z: float32(mz / m)}

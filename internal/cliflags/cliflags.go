@@ -43,6 +43,14 @@ func N(fs *flag.FlagSet, def int) *int {
 	return fs.Int("n", def, "number of bodies")
 }
 
+// HostWorkers registers the shared -host-workers flag: the goroutine cap of
+// the host-side build pipeline (tree + walk construction). 0 uses GOMAXPROCS;
+// 1 forces the serial (allocation-free steady-state) path.
+func HostWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("host-workers", 0,
+		"host-side build goroutines (0 = GOMAXPROCS, 1 = serial)")
+}
+
 // Device is the -device flag: a modelled-device name validated at parse
 // time. The zero value is invalid; register through DeviceFlag.
 type Device struct {

@@ -3,11 +3,26 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/bh"
 	"repro/internal/body"
 	"repro/internal/gpusim"
 )
+
+// HostPolicy is the refit-vs-rebuild hook of the host-side pipeline. The
+// default (zero value) rebuilds the octree from scratch on every evaluation
+// — the historical behaviour, under which the modelled pipeline and all
+// plan-equivalence goldens are bitwise unchanged. A RebuildEvery of k > 1
+// rebuilds only every k-th evaluation and refits in between: the topology
+// and Index permutation are kept, summaries (COM/mass/bounds) are refreshed
+// bottom-up, and the walk lists are reconstructed against the refitted
+// summaries — trading a small force-accuracy drift for a host stage that is
+// one bottom-up pass instead of a full sort+build.
+type HostPolicy struct {
+	// RebuildEvery is the full-rebuild cadence; <= 1 rebuilds every step.
+	RebuildEvery int
+}
 
 // bhDescStride is the int32 stride of one walk descriptor:
 // [bodyFirst, bodyCount, listBase, listLen].
@@ -15,10 +30,25 @@ const bhDescStride = 4
 
 // bhHostData is the host-side product of the CPU half of the treecode
 // pipeline (tree build + walk/interaction-list construction), flattened into
-// the buffers the w- and jw-parallel kernels consume.
+// the buffers the w- and jw-parallel kernels consume. Every plan holds one
+// as a value: the builder and the flattened buffers are pooled, so steps
+// 2..K of a run rewrite the same memory (grow-only, like planBase's device
+// buffers) and the steady state allocates nothing on the host side.
 type bhHostData struct {
+	// builder owns the tree/walk arenas; tree and walks point into it and
+	// are valid until the next build call.
+	builder bh.Builder
+
 	tree  *bh.Tree
 	walks *bh.WalkSet
+
+	// sinceRebuild counts evaluations since the last full rebuild, for the
+	// HostPolicy refit cadence.
+	sinceRebuild int
+
+	// wallSeconds is the measured wall-clock cost of the most recent build
+	// call (tree + walks + flatten), exported as RunProfile.HostBuildSeconds.
+	wallSeconds float64
 
 	numNodes int
 	numWalks int
@@ -47,38 +77,71 @@ type bhHostData struct {
 	listSeconds float64
 }
 
-// buildBHHostData runs the CPU half of the pipeline: build the octree,
-// derive group walks with at most groupCap bodies (sub-split so no walk
-// exceeds maxBodies, the kernel's lane count), and flatten everything.
+// buildBHHostData runs the CPU half of the pipeline into a fresh host-data
+// value. It is the unpooled compatibility path; plans hold a bhHostData and
+// call build on it directly so steps reuse memory.
 func buildBHHostData(s *body.System, opt bh.Options, groupCap, maxBodies int, host gpusim.HostModel) (*bhHostData, error) {
+	d := &bhHostData{}
+	if err := d.build(s, opt, groupCap, maxBodies, host, HostPolicy{}, 0); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// build runs the CPU half of the pipeline: build (or, per policy, refit)
+// the octree, derive group walks with at most groupCap bodies (sub-split so
+// no walk exceeds maxBodies, the kernel's lane count), and flatten
+// everything into the pooled buffers. workers caps the build parallelism
+// (0 = GOMAXPROCS). The measured wall-clock of the whole call lands in
+// d.wallSeconds.
+func (d *bhHostData) build(s *body.System, opt bh.Options, groupCap, maxBodies int, host gpusim.HostModel, policy HostPolicy, workers int) error {
 	if groupCap > maxBodies {
 		groupCap = maxBodies
 	}
 	if opt.LeafCap > groupCap {
 		opt.LeafCap = groupCap
 	}
-	sp := opt.Trace.Start("host data build", "host").Track("bh").Arg("n", s.N())
-	defer sp.End()
-	tree, err := bh.Build(s, opt)
-	if err != nil {
-		return nil, err
+	start := time.Now()
+	if opt.Trace != nil {
+		sp := opt.Trace.Start("host data build", "host").Track("bh").Arg("n", s.N())
+		defer sp.End()
 	}
-	walks, err := tree.BuildWalks(groupCap)
-	if err != nil {
-		return nil, err
-	}
+	n := s.N()
+	d.builder.Workers = workers
 
-	d := &bhHostData{
-		tree:     tree,
-		walks:    walks,
-		numNodes: len(tree.Nodes),
+	// Refit-vs-rebuild policy: a refit is only sound against the same
+	// system the current topology was built over; anything else (first
+	// call, a new job on a pooled engine, a resize) forces a rebuild.
+	every := policy.RebuildEvery
+	canRefit := every > 1 && d.tree != nil && d.tree.System() == s &&
+		len(d.tree.Index) == n && d.sinceRebuild+1 < every
+	if canRefit {
+		d.tree.Refit()
+		d.sinceRebuild++
+		d.treeSeconds = host.TreeRefitSeconds(n)
+	} else {
+		tree, err := d.builder.BuildInto(s, opt)
+		if err != nil {
+			return err
+		}
+		d.tree = tree
+		d.sinceRebuild = 0
+		d.treeSeconds = host.TreeBuildSeconds(n)
 	}
+	walks, err := d.builder.BuildWalksInto(d.tree, groupCap)
+	if err != nil {
+		return err
+	}
+	d.walks = walks
+	d.numNodes = len(d.tree.Nodes)
 
 	// Sources: cells then bodies.
-	n := s.N()
-	d.srcF4 = make([]float32, 4*(d.numNodes+n))
-	for i := range tree.Nodes {
-		nd := &tree.Nodes[i]
+	if cap(d.srcF4) < 4*(d.numNodes+n) {
+		d.srcF4 = make([]float32, 4*(d.numNodes+n))
+	}
+	d.srcF4 = d.srcF4[:4*(d.numNodes+n)]
+	for i := range d.tree.Nodes {
+		nd := &d.tree.Nodes[i]
 		d.srcF4[4*i+0] = nd.COM.X
 		d.srcF4[4*i+1] = nd.COM.Y
 		d.srcF4[4*i+2] = nd.COM.Z
@@ -93,8 +156,11 @@ func buildBHHostData(s *body.System, opt bh.Options, groupCap, maxBodies int, ho
 	}
 
 	// Bodies in tree order.
-	d.posmSorted = make([]float32, 4*n)
-	for slot, bi := range tree.Index {
+	if cap(d.posmSorted) < 4*n {
+		d.posmSorted = make([]float32, 4*n)
+	}
+	d.posmSorted = d.posmSorted[:4*n]
+	for slot, bi := range d.tree.Index {
 		d.posmSorted[4*slot+0] = s.Pos[bi].X
 		d.posmSorted[4*slot+1] = s.Pos[bi].Y
 		d.posmSorted[4*slot+2] = s.Pos[bi].Z
@@ -104,12 +170,13 @@ func buildBHHostData(s *body.System, opt bh.Options, groupCap, maxBodies int, ho
 	// Lists and descriptors; walks wider than maxBodies are split into
 	// sub-walks sharing one list (possible only for depth-capped leaves of
 	// pathological inputs).
-	for wi := range walks.Walks {
-		w := &walks.Walks[wi]
+	d.lists = d.lists[:0]
+	d.desc = d.desc[:0]
+	d.interactions = 0
+	for wi := range d.walks.Walks {
+		w := &d.walks.Walks[wi]
 		base := int32(len(d.lists))
-		for _, ni := range w.NodeList {
-			d.lists = append(d.lists, ni)
-		}
+		d.lists = append(d.lists, w.NodeList...)
 		for _, bj := range w.DirectList {
 			d.lists = append(d.lists, int32(d.numNodes)+bj)
 		}
@@ -125,12 +192,12 @@ func buildBHHostData(s *body.System, opt bh.Options, groupCap, maxBodies int, ho
 	}
 	d.numWalks = len(d.desc) / bhDescStride
 	if d.numWalks == 0 {
-		return nil, fmt.Errorf("core: no walks produced for %d bodies", n)
+		return fmt.Errorf("core: no walks produced for %d bodies", n)
 	}
 
-	d.treeSeconds = host.TreeBuildSeconds(n)
 	d.listSeconds = host.ListBuildSeconds(int64(len(d.lists)))
-	return d, nil
+	d.wallSeconds = time.Since(start).Seconds()
+	return nil
 }
 
 // unpermuteAcc scatters accelerations from tree order back to body order.

@@ -95,6 +95,11 @@ type RunProfile struct {
 	// perf layer attributes this directly; nil for plans that predate the
 	// stage-graph path (e.g. multi-device).
 	Schedule *pipeline.Schedule
+	// HostBuildSeconds is the measured wall-clock cost of the host-side
+	// build for this evaluation (tree + walks + flattening on the machine
+	// actually running the simulation) — the real counterpart of
+	// Profile.HostSeconds, which is modelled on the paper-era CPU.
+	HostBuildSeconds float64
 }
 
 // KernelGFLOPS is useful flops over kernel-only time: the paper's "running

@@ -36,6 +36,10 @@ type Engine struct {
 	Flops           int64
 	Interactions    int64
 	Evaluations     int
+	// HostBuildSeconds accumulates the *measured* wall-clock cost of the
+	// host-side build across evaluations (tree + walks + flatten on the real
+	// machine), next to the modelled HostSeconds.
+	HostBuildSeconds float64
 	// PipelinedTotalSeconds accumulates each evaluation's steady-state
 	// double-buffered cost, max(host, kernel+transfer) — the analytic bound
 	// the executed overlapped timeline approaches as windows grow.
@@ -104,6 +108,7 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 	e.KernelSeconds += prof.Profile.KernelSeconds
 	e.TransferSeconds += prof.Profile.TransferSeconds
 	e.HostSeconds += prof.Profile.HostSeconds
+	e.HostBuildSeconds += prof.HostBuildSeconds
 	e.Flops += prof.Flops
 	e.Interactions += prof.Interactions
 	e.Evaluations++
@@ -129,8 +134,27 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 		e.obs.Gauge("engine.model.total.seconds").Set(e.TotalSeconds())
 		e.obs.Gauge("engine.model.executed.seconds").Set(e.ExecutedSeconds())
 		e.obs.Gauge("engine.sustained.gflops").Set(e.SustainedGFLOPS())
+		e.obs.Gauge("engine.host_build.seconds").Set(e.HostBuildSeconds)
 	}
 	return prof.Interactions, nil
+}
+
+// HostBuildTotalSeconds implements the sim.HostBuildTimedEngine capability:
+// the measured wall-clock host-build time accumulated over the run.
+func (e *Engine) HostBuildTotalSeconds() float64 { return e.HostBuildSeconds }
+
+// hostWorkersPlan is implemented by plans whose host-side build parallelism
+// can be capped (the BH plans).
+type hostWorkersPlan interface {
+	SetHostWorkers(n int)
+}
+
+// SetHostWorkers implements the sim.HostWorkersEngine capability, forwarding
+// the cap to the plan when it has a host-side build stage.
+func (e *Engine) SetHostWorkers(n int) {
+	if p, ok := e.Plan.(hostWorkersPlan); ok {
+		p.SetHostWorkers(n)
+	}
 }
 
 // RetainSchedules enables executed-schedule retention: every subsequent
@@ -153,8 +177,9 @@ func (e *Engine) RetainedSchedule() (*pipeline.Schedule, bool) {
 		return nil, false
 	}
 	out := pipeline.Schedule{
-		Graph: e.retained.Graph,
-		Spans: append([]pipeline.StageSpan(nil), e.retained.Spans...),
+		Graph:           e.retained.Graph,
+		Spans:           append([]pipeline.StageSpan(nil), e.retained.Spans...),
+		HostWallSeconds: e.retained.HostWallSeconds,
 	}
 	return &out, e.retainTrunc
 }
@@ -170,6 +195,7 @@ func (e *Engine) retainSchedule(sched *pipeline.Schedule) {
 	if e.retained.Graph == "" {
 		e.retained.Graph = sched.Graph
 	}
+	e.retained.HostWallSeconds += sched.HostWallSeconds
 	var evalEnd float64
 	for _, sp := range sched.Spans {
 		if sp.End > evalEnd {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/body"
 	"repro/internal/cl"
@@ -140,12 +141,18 @@ func (p *IParallel) Accel(s *body.System) (*RunProfile, error) {
 	}
 	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
 	defer sp.End()
+	hostStart := time.Now()
 	p.ensureBuffers(n)
 	p.hostIn = flattenPadded(s, p.nPad, p.hostIn)
+	hostWall := time.Since(hostStart).Seconds()
 
 	rp, err := p.run(p.graph(), p.Name(), n, int64(p.nPad)*int64(p.nPad))
 	if err != nil {
 		return nil, err
+	}
+	rp.HostBuildSeconds = hostWall
+	if rp.Schedule != nil {
+		rp.Schedule.HostWallSeconds = hostWall
 	}
 	s.UnflattenAcc(p.hostOut)
 	return rp, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/body"
 	"repro/internal/cl"
@@ -150,12 +151,18 @@ func (p *JParallel) Accel(s *body.System) (*RunProfile, error) {
 	}
 	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
 	defer sp.End()
+	hostStart := time.Now()
 	p.ensureBuffers(n)
 	p.hostIn = flattenPadded(s, p.nPadJ, p.hostIn)
+	hostWall := time.Since(hostStart).Seconds()
 
 	rp, err := p.run(p.graph(), p.Name(), n, int64(n)*int64(p.nPadJ))
 	if err != nil {
 		return nil, err
+	}
+	rp.HostBuildSeconds = hostWall
+	if rp.Schedule != nil {
+		rp.Schedule.HostWallSeconds = hostWall
 	}
 	s.UnflattenAcc(p.hostOut)
 	return rp, nil

@@ -44,6 +44,12 @@ type JWParallel struct {
 	QueueTarget int
 	// Host models the CPU half of the pipeline.
 	Host gpusim.HostModel
+	// HostWorkers caps the parallelism of the host-side build (0 =
+	// GOMAXPROCS, 1 = serial).
+	HostWorkers int
+	// Policy is the refit-vs-rebuild hook; the zero value rebuilds every
+	// step.
+	Policy HostPolicy
 	// DisableLDSStaging reverts the list handling to w-parallel's per-lane
 	// streaming while keeping the queueing — the ablation showing where the
 	// speedup comes from.
@@ -58,6 +64,10 @@ type JWParallel struct {
 
 	planBase
 	fallback *JParallel
+
+	// data is the pooled host-side product of the build; steps 2..K reuse
+	// its arenas.
+	data bhHostData
 
 	bufSrc, bufPos, bufLists, bufDesc *gpusim.Buffer
 	bufQueueWalks, bufQueueDesc       *gpusim.Buffer
@@ -95,6 +105,9 @@ func (p *JWParallel) SetObs(o *obs.Obs) {
 
 // Kind implements Plan.
 func (p *JWParallel) Kind() Kind { return KindBH }
+
+// SetHostWorkers caps the host-side build parallelism.
+func (p *JWParallel) SetHostWorkers(n int) { p.HostWorkers = n }
 
 func (p *JWParallel) numQueues(numWalks int) int {
 	target := p.QueueTarget
@@ -164,10 +177,10 @@ func (p *JWParallel) Accel(s *body.System) (*RunProfile, error) {
 		prof.Plan = p.Name() + " (j-parallel fallback)"
 		return prof, nil
 	}
-	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
-	if err != nil {
+	if err := p.data.build(s, p.Opt, p.GroupCap, p.LocalSize, p.Host, p.Policy, p.HostWorkers); err != nil {
 		return nil, err
 	}
+	d := &p.data
 	observeBHData(p.obs, d)
 	numQueues := p.numQueues(d.numWalks)
 	queueWalks, queueDesc := d.balanceQueues(numQueues)
@@ -187,6 +200,10 @@ func (p *JWParallel) Accel(s *body.System) (*RunProfile, error) {
 	rp, err := p.run(p.graph(d, queueWalks, queueDesc, numQueues), p.Name(), n, d.interactions)
 	if err != nil {
 		return nil, err
+	}
+	rp.HostBuildSeconds = d.wallSeconds
+	if rp.Schedule != nil {
+		rp.Schedule.HostWallSeconds = d.wallSeconds
 	}
 	d.unpermuteAcc(s, p.hostAcc)
 	return rp, nil

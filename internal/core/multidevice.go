@@ -38,6 +38,16 @@ type MultiJW struct {
 	QueueTarget int
 	// Host models the CPU half of the pipeline.
 	Host gpusim.HostModel
+	// HostWorkers caps the parallelism of the host-side build (0 =
+	// GOMAXPROCS, 1 = serial).
+	HostWorkers int
+	// Policy is the refit-vs-rebuild hook; the zero value rebuilds every
+	// step.
+	Policy HostPolicy
+
+	// data is the pooled host-side product of the build; steps 2..K reuse
+	// its arenas.
+	data bhHostData
 
 	ctxs []*cl.Context
 	devs []*deviceState
@@ -71,6 +81,9 @@ func (p *MultiJW) Name() string { return fmt.Sprintf("jw-parallel x%d", p.Device
 
 // Kind implements Plan.
 func (p *MultiJW) Kind() Kind { return KindBH }
+
+// SetHostWorkers caps the host-side build parallelism.
+func (p *MultiJW) SetHostWorkers(n int) { p.HostWorkers = n }
 
 // SetObs implements obs.Observable. Every device queue reports into the
 // same bundle; per-device spans are distinguished by command names.
@@ -213,10 +226,10 @@ func (p *MultiJW) Accel(s *body.System) (*RunProfile, error) {
 	}
 	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n).Arg("devices", p.Devices)
 	defer sp.End()
-	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
-	if err != nil {
+	if err := p.data.build(s, p.Opt, p.GroupCap, p.LocalSize, p.Host, p.Policy, p.HostWorkers); err != nil {
 		return nil, err
 	}
+	d := &p.data
 	observeBHData(p.obs, d)
 	shards := p.shardWalks(d)
 
@@ -296,12 +309,13 @@ func (p *MultiJW) Accel(s *body.System) (*RunProfile, error) {
 	prof.TransferSeconds = maxTransfer
 
 	rp := &RunProfile{
-		Plan:         p.Name(),
-		N:            n,
-		Interactions: d.interactions,
-		Flops:        interactionFlops(d.interactions),
-		Profile:      prof,
-		Launches:     launches,
+		Plan:             p.Name(),
+		N:                n,
+		Interactions:     d.interactions,
+		Flops:            interactionFlops(d.interactions),
+		Profile:          prof,
+		Launches:         launches,
+		HostBuildSeconds: d.wallSeconds,
 	}
 	observeRun(p.obs, rp)
 	return rp, nil

@@ -23,6 +23,7 @@ func observeBHData(o *obs.Obs, d *bhHostData) {
 	}
 	o.Histogram("bh.tree_build.model_ms", nil).Observe(d.treeSeconds * 1e3)
 	o.Histogram("bh.list_build.model_ms", nil).Observe(d.listSeconds * 1e3)
+	o.Histogram("bh.host_build.wall_ms", nil).Observe(d.wallSeconds * 1e3)
 }
 
 // observeRun reports one completed force evaluation to the registry: the

@@ -30,6 +30,9 @@ type planOptions struct {
 	groupCap    int
 	localSize   int
 	queueTarget int
+
+	hostWorkers int
+	hostPolicy  HostPolicy
 }
 
 // PlanOption configures NewPlanByName.
@@ -84,6 +87,19 @@ func WithTuning(groupCap, localSize, queueTarget int) PlanOption {
 		o.localSize = localSize
 		o.queueTarget = queueTarget
 	}
+}
+
+// WithHostWorkers caps the parallelism of the host-side build of the BH
+// plans (0 = GOMAXPROCS, 1 = serial). PP plans have no tree build and ignore
+// it.
+func WithHostWorkers(n int) PlanOption {
+	return func(o *planOptions) { o.hostWorkers = n }
+}
+
+// WithHostPolicy sets the refit-vs-rebuild policy of the BH plans' host
+// pipeline; the zero value rebuilds the octree every step.
+func WithHostPolicy(p HostPolicy) PlanOption {
+	return func(o *planOptions) { o.hostPolicy = p }
 }
 
 // PlanNames lists every name NewPlanByName accepts, in the paper's
@@ -162,6 +178,8 @@ func NewPlanByName(name string, opts ...PlanOption) (Plan, error) {
 		if o.localSize > 0 {
 			p.LocalSize = o.localSize
 		}
+		p.HostWorkers = o.hostWorkers
+		p.Policy = o.hostPolicy
 		plan = p
 	case name == "jw-parallel":
 		c, err := ctx()
@@ -178,6 +196,8 @@ func NewPlanByName(name string, opts ...PlanOption) (Plan, error) {
 		if o.queueTarget > 0 {
 			p.QueueTarget = o.queueTarget
 		}
+		p.HostWorkers = o.hostWorkers
+		p.Policy = o.hostPolicy
 		plan = p
 	case name == "i-parallel-src" || name == "j-parallel-src":
 		c, err := ctx()
@@ -211,6 +231,8 @@ func NewPlanByName(name string, opts ...PlanOption) (Plan, error) {
 		if o.queueTarget > 0 {
 			p.QueueTarget = o.queueTarget
 		}
+		p.HostWorkers = o.hostWorkers
+		p.Policy = o.hostPolicy
 		plan = p
 	default:
 		return nil, fmt.Errorf("core: unknown plan %q (known: %s)", name, strings.Join(PlanNames(), ", "))

@@ -35,8 +35,18 @@ type WParallel struct {
 	LocalSize int
 	// Host models the CPU half of the pipeline.
 	Host gpusim.HostModel
+	// HostWorkers caps the parallelism of the host-side build (0 =
+	// GOMAXPROCS, 1 = serial).
+	HostWorkers int
+	// Policy is the refit-vs-rebuild hook; the zero value rebuilds every
+	// step.
+	Policy HostPolicy
 
 	planBase
+
+	// data is the pooled host-side product of the build; steps 2..K reuse
+	// its arenas.
+	data bhHostData
 
 	bufSrc, bufPos, bufLists, bufDesc, bufAcc *gpusim.Buffer
 	hostAcc                                   []float32
@@ -67,6 +77,9 @@ func (p *WParallel) SetObs(o *obs.Obs) {
 	p.setObs(o)
 	p.Opt.Trace = o.Tracer()
 }
+
+// SetHostWorkers caps the host-side build parallelism.
+func (p *WParallel) SetHostWorkers(n int) { p.HostWorkers = n }
 
 // kernel returns the w-parallel force kernel bound to the current buffers.
 func (p *WParallel) kernel() gpusim.KernelFunc {
@@ -148,10 +161,10 @@ func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
 	}
 	sp := p.obs.Start("accel", "plan").Track(p.Name()).Arg("n", n)
 	defer sp.End()
-	d, err := buildBHHostData(s, p.Opt, p.GroupCap, p.LocalSize, p.Host)
-	if err != nil {
+	if err := p.data.build(s, p.Opt, p.GroupCap, p.LocalSize, p.Host, p.Policy, p.HostWorkers); err != nil {
 		return nil, err
 	}
+	d := &p.data
 	observeBHData(p.obs, d)
 
 	p.ensure("wparallel.src", &p.bufSrc, len(d.srcF4), true)
@@ -167,6 +180,10 @@ func (p *WParallel) Accel(s *body.System) (*RunProfile, error) {
 	rp, err := p.run(p.graph(d), p.Name(), n, d.interactions)
 	if err != nil {
 		return nil, err
+	}
+	rp.HostBuildSeconds = d.wallSeconds
+	if rp.Schedule != nil {
+		rp.Schedule.HostWallSeconds = d.wallSeconds
 	}
 	d.unpermuteAcc(s, p.hostAcc)
 	return rp, nil

@@ -126,19 +126,43 @@ func applyPermutation(s *body.System, perm []int) {
 
 // RadixSortKeys sorts keys (and the parallel idx slice) in place using an
 // 8-bit LSD radix sort — O(N) rather than O(N log N), the variant a
-// production tree build would use. idx may be nil.
+// production tree build would use. idx may be nil. It allocates scratch per
+// call; hot paths that sort every step should hold a Sorter instead.
 func RadixSortKeys(keys []uint64, idx []int32) {
+	var s Sorter
+	s.Sort(keys, idx)
+}
+
+// Sorter is a reusable radix sorter: it owns the scratch buffers the LSD
+// passes ping-pong through, so steady-state sorts allocate nothing. The zero
+// value is ready to use; buffers grow to the largest input seen and are
+// retained between calls.
+type Sorter struct {
+	tmpK []uint64
+	tmpI []int32
+}
+
+// Sort sorts keys (and the parallel idx slice, which may be nil) in place —
+// the same stable 8-bit LSD radix sort as RadixSortKeys, reusing the
+// sorter's scratch.
+func (s *Sorter) Sort(keys []uint64, idx []int32) {
 	n := len(keys)
 	if n < 2 {
 		return
 	}
-	tmpK := make([]uint64, n)
+	if cap(s.tmpK) < n {
+		s.tmpK = make([]uint64, n)
+	}
+	tmpK := s.tmpK[:n]
 	var tmpI []int32
 	if idx != nil {
 		if len(idx) != n {
 			panic("morton: idx length mismatch")
 		}
-		tmpI = make([]int32, n)
+		if cap(s.tmpI) < n {
+			s.tmpI = make([]int32, n)
+		}
+		tmpI = s.tmpI[:n]
 	}
 	var count [256]int
 	for shift := uint(0); shift < 64; shift += 8 {

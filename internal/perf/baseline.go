@@ -151,6 +151,11 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 			r.Points[i].SpeedupVsSerial = 1
 		}
 	}
+	if r.SchemaVersion == 2 {
+		// v3 added the measured host-build and allocs-per-step columns; a v2
+		// file simply has them zero, which Compare treats as "no baseline".
+		r.SchemaVersion = 3
+	}
 	if r.SchemaVersion > BenchSchemaVersion {
 		return nil, fmt.Errorf("perf: %s: schema v%d is newer than this binary's v%d",
 			path, r.SchemaVersion, BenchSchemaVersion)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/bh"
@@ -20,9 +21,11 @@ import (
 // changes so baseline comparisons refuse to diff incompatible files.
 //
 // v2 added the pipeline mode and the per-point pipelined time / speedup
-// columns; ReadBenchReport upgrades v1 files in memory (serial mode,
-// pipelined == total).
-const BenchSchemaVersion = 2
+// columns; v3 added the measured host-build time and allocations-per-step
+// columns. ReadBenchReport upgrades older files in memory (v1: serial mode,
+// pipelined == total; v2: the new measured columns stay zero, which Compare
+// skips because zero baselines compare equal).
+const BenchSchemaVersion = 3
 
 // PlanNames lists the four plans in the paper's presentation order.
 var PlanNames = []string{"i-parallel", "j-parallel", "w-parallel", "jw-parallel"}
@@ -132,6 +135,15 @@ type BenchPoint struct {
 	// serial speedup column (1.0 under serial mode or when host work is
 	// negligible).
 	SpeedupVsSerial float64 `json:"speedupVsSerial"`
+
+	// HostBuildMS is the *measured* wall-clock host-build time per evaluation
+	// (tree + walks + flatten on this machine) — the real counterpart of the
+	// modelled HostMS. Machine-dependent, so Compare does not gate on it.
+	HostBuildMS Stat `json:"hostBuildMs"`
+	// AllocsPerStep is the heap allocations per evaluation (runtime mallocs
+	// delta), the steady-state figure the pooled host pipeline drives to ~0
+	// for the BH plans.
+	AllocsPerStep Stat `json:"allocsPerStep"`
 
 	Report PlanReport `json:"report"`
 }
@@ -254,7 +266,9 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			account(warmProf)
 
 			var kernel, transfer, host, total, wall, gflops, pipelined []float64
+			var hostBuild, allocs []float64
 			var prof *core.RunProfile
+			var ms runtime.MemStats
 			for r := 0; r < repeats; r++ {
 				// The final repeat's span bundle feeds the attribution, so
 				// it must cover exactly one evaluation.
@@ -262,9 +276,12 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 					o.Trace.Reset()
 				}
 				in := sys.Clone()
+				runtime.ReadMemStats(&ms)
+				mallocsBefore := ms.Mallocs
 				begin := time.Now()
 				prof, err = plan.Accel(in)
 				wallSec := time.Since(begin).Seconds()
+				runtime.ReadMemStats(&ms)
 				if err != nil {
 					return nil, fmt.Errorf("perf: %s at N=%d: %w", name, n, err)
 				}
@@ -275,6 +292,8 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 				wall = append(wall, wallSec*1e3)
 				gflops = append(gflops, prof.KernelGFLOPS())
 				pipelined = append(pipelined, account(prof)*1e3)
+				hostBuild = append(hostBuild, prof.HostBuildSeconds*1e3)
+				allocs = append(allocs, float64(ms.Mallocs-mallocsBefore))
 			}
 
 			pt := BenchPoint{
@@ -285,9 +304,11 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 				HostMS:       newStat(host),
 				TotalMS:      newStat(total),
 				WallMS:       newStat(wall),
-				KernelGFLOPS: newStat(gflops),
-				PipelinedMS:  newStat(pipelined),
-				Report:       BuildPlanReport(cfg.Device, prof, o.Trace.Spans()),
+				KernelGFLOPS:  newStat(gflops),
+				PipelinedMS:   newStat(pipelined),
+				HostBuildMS:   newStat(hostBuild),
+				AllocsPerStep: newStat(allocs),
+				Report:        BuildPlanReport(cfg.Device, prof, o.Trace.Spans()),
 			}
 			if pt.PipelinedMS.Mean > 0 {
 				pt.SpeedupVsSerial = pt.TotalMS.Mean / pt.PipelinedMS.Mean

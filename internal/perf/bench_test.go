@@ -106,7 +106,7 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
-	if !strings.Contains(buf.String(), "\"schema_version\": 2") {
+	if !strings.Contains(buf.String(), "\"schema_version\": 3") {
 		t.Error("schema_version missing from JSON")
 	}
 	if !strings.Contains(buf.String(), "\"pipeline\": \"serial\"") {

@@ -51,6 +51,13 @@ type Attribution struct {
 	// attributions (Attribute) have no placement information and report the
 	// serial sum here.
 	MakespanSeconds float64 `json:"makespanSeconds"`
+
+	// HostBuildWallSeconds is the *measured* wall-clock time of the host-side
+	// build behind this schedule (tree + walks + flatten on the machine that
+	// ran it), carried next to the modelled host stages so reports can show
+	// the real host cost beside the paper-era model. Zero when the schedule
+	// carries no measurement.
+	HostBuildWallSeconds float64 `json:"hostBuildWallSeconds,omitempty"`
 }
 
 // Attribute walks a span bundle and attributes every modelled span to a
@@ -134,6 +141,7 @@ func AttributeExecuted(sched *pipeline.Schedule) Attribution {
 	}
 	a.finalize()
 	a.MakespanSeconds = sched.MakespanSeconds()
+	a.HostBuildWallSeconds = sched.HostWallSeconds
 	return a
 }
 

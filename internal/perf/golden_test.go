@@ -35,6 +35,10 @@ func TestPlanReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := BuildPlanReport(gpusim.TestDevice(), prof, o.Trace.Spans())
+	// The measured host-build wall time is the one machine-dependent field
+	// of the report; zero it so the modelled remainder stays byte-stable.
+	rep.HostBuildSeconds = 0
+	rep.Attribution.HostBuildWallSeconds = 0
 
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {

@@ -33,8 +33,11 @@ type PlanReport struct {
 	KernelSeconds   float64 `json:"kernelSeconds"`
 	TransferSeconds float64 `json:"transferSeconds"`
 	HostSeconds     float64 `json:"hostSeconds"`
-	KernelGFLOPS    float64 `json:"kernelGflops"`
-	TotalGFLOPS     float64 `json:"totalGflops"`
+	// HostBuildSeconds is the measured wall-clock host-build time of the
+	// evaluation (real machine), next to the modelled HostSeconds.
+	HostBuildSeconds float64 `json:"hostBuildSeconds,omitempty"`
+	KernelGFLOPS     float64 `json:"kernelGflops"`
+	TotalGFLOPS      float64 `json:"totalGflops"`
 
 	Attribution Attribution    `json:"attribution"`
 	Kernels     []KernelReport `json:"kernels"`
@@ -53,11 +56,12 @@ func BuildPlanReport(cfg gpusim.DeviceConfig, prof *core.RunProfile, spans []obs
 		N:               prof.N,
 		Interactions:    prof.Interactions,
 		Flops:           prof.Flops,
-		KernelSeconds:   prof.Profile.KernelSeconds,
-		TransferSeconds: prof.Profile.TransferSeconds,
-		HostSeconds:     prof.Profile.HostSeconds,
-		KernelGFLOPS:    prof.KernelGFLOPS(),
-		TotalGFLOPS:     prof.TotalGFLOPS(),
+		KernelSeconds:    prof.Profile.KernelSeconds,
+		TransferSeconds:  prof.Profile.TransferSeconds,
+		HostSeconds:      prof.Profile.HostSeconds,
+		HostBuildSeconds: prof.HostBuildSeconds,
+		KernelGFLOPS:     prof.KernelGFLOPS(),
+		TotalGFLOPS:      prof.TotalGFLOPS(),
 	}
 	if prof.Schedule != nil {
 		r.Attribution = AttributeExecuted(prof.Schedule)

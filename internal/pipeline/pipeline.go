@@ -235,6 +235,14 @@ func (s StageSpan) Seconds() float64 { return s.End - s.Start }
 type Schedule struct {
 	Graph string
 	Spans []StageSpan
+
+	// HostWallSeconds is the *measured* wall-clock time of the host-side
+	// build that produced this evaluation's inputs (tree + walk/list
+	// construction + flattening on the real machine), as opposed to the
+	// modelled Tree/List stage spans above. Plans stamp it after Execute;
+	// engine retention accumulates it, so perf attribution can report the
+	// real host stage next to the modelled one.
+	HostWallSeconds float64
 }
 
 // HostSeconds sums the stages on the CPU side of the pipeline.

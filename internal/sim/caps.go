@@ -24,6 +24,21 @@ type ExecutedEngine interface {
 	ExecutedSeconds() float64
 }
 
+// HostBuildTimedEngine is optionally implemented by engines that measure the
+// wall-clock cost of their host-side build stage (tree + walks + flatten on
+// the real machine, as opposed to the modelled pipeline time TimedEngine
+// reports). Snapshots surface it as HostBuildSeconds.
+type HostBuildTimedEngine interface {
+	HostBuildTotalSeconds() float64
+}
+
+// HostWorkersEngine is optionally implemented by engines whose host-side
+// build parallelism can be capped (0 = GOMAXPROCS, 1 = serial). RunContext
+// applies Config.HostWorkers through it.
+type HostWorkersEngine interface {
+	SetHostWorkers(n int)
+}
+
 // EngineCaps is the single probe for every optional capability an Engine may
 // implement on top of the required Accel/Name pair. Run, RunContext and the
 // job service (internal/serve) all discover capabilities through Caps rather
@@ -45,6 +60,10 @@ type EngineCaps struct {
 	Executed ExecutedEngine
 	// Observable accepts a telemetry bundle after construction.
 	Observable obs.Observable
+	// HostBuildTimed reports measured host-build time (Snapshot.HostBuildSeconds).
+	HostBuildTimed HostBuildTimedEngine
+	// HostWorkers accepts a host-build parallelism cap (Config.HostWorkers).
+	HostWorkers HostWorkersEngine
 }
 
 // Caps probes eng for every optional capability.
@@ -55,6 +74,8 @@ func Caps(eng Engine) EngineCaps {
 	c.Context, _ = eng.(ContextEngine)
 	c.Executed, _ = eng.(ExecutedEngine)
 	c.Observable, _ = eng.(obs.Observable)
+	c.HostBuildTimed, _ = eng.(HostBuildTimedEngine)
+	c.HostWorkers, _ = eng.(HostWorkersEngine)
 	return c
 }
 
@@ -75,8 +96,8 @@ func (c EngineCaps) Observe(o *obs.Obs) {
 }
 
 // String lists the implemented capabilities ("timed,batch,context,executed,
-// observable" for core.Engine; "" for a bare Engine) — used by reports and
-// the job service's status output.
+// observable,hostbuild,hostworkers" for core.Engine; "" for a bare Engine) —
+// used by reports and the job service's status output.
 func (c EngineCaps) String() string {
 	var parts []string
 	if c.Timed != nil {
@@ -93,6 +114,12 @@ func (c EngineCaps) String() string {
 	}
 	if c.Observable != nil {
 		parts = append(parts, "observable")
+	}
+	if c.HostBuildTimed != nil {
+		parts = append(parts, "hostbuild")
+	}
+	if c.HostWorkers != nil {
+		parts = append(parts, "hostworkers")
 	}
 	return strings.Join(parts, ",")
 }

@@ -89,7 +89,7 @@ func TestCapsGPUEngineImplementsEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := Caps(core.NewEngine(core.NewJWParallel(clCtx, bh.DefaultOptions())))
-	if want := "timed,batch,context,executed,observable"; c.String() != want {
+	if want := "timed,batch,context,executed,observable,hostbuild,hostworkers"; c.String() != want {
 		t.Errorf("core.Engine caps = %q, want %q", c, want)
 	}
 }

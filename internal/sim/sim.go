@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/bh"
@@ -47,10 +48,18 @@ func (e *DirectEngine) Accel(s *body.System) (int64, error) {
 	return pp.Parallel(s, e.Params, e.Workers), nil
 }
 
-// TreeEngine is the CPU Barnes-Hut engine; the tree is rebuilt every call.
+// TreeEngine is the CPU Barnes-Hut engine. The tree is rebuilt every call
+// through a pooled bh.Builder, so steady-state steps reuse the arenas of the
+// previous step instead of reallocating them.
 type TreeEngine struct {
 	Opt     bh.Options
-	Workers int
+	Workers int // force-evaluation goroutines; <= 0 means GOMAXPROCS
+
+	// builder owns the pooled tree arenas; its Workers field (set via
+	// SetHostWorkers) caps the build parallelism independently of the
+	// evaluation Workers above.
+	builder     bh.Builder
+	hostSeconds float64
 }
 
 // Name implements Engine.
@@ -58,13 +67,23 @@ func (e *TreeEngine) Name() string { return "cpu-bh" }
 
 // Accel implements Engine.
 func (e *TreeEngine) Accel(s *body.System) (int64, error) {
-	t, err := bh.Build(s, e.Opt)
+	start := time.Now()
+	t, err := e.builder.BuildInto(s, e.Opt)
 	if err != nil {
 		return 0, err
 	}
+	e.hostSeconds += time.Since(start).Seconds()
 	st := t.Accel(e.Workers)
 	return st.Interactions, nil
 }
+
+// HostBuildTotalSeconds implements HostBuildTimedEngine: accumulated
+// wall-clock tree-build time.
+func (e *TreeEngine) HostBuildTotalSeconds() float64 { return e.hostSeconds }
+
+// SetHostWorkers implements HostWorkersEngine, capping the tree-build
+// parallelism.
+func (e *TreeEngine) SetHostWorkers(n int) { e.builder.Workers = n }
 
 // Snapshot records diagnostics at one instant of a run.
 type Snapshot struct {
@@ -87,6 +106,14 @@ type Snapshot struct {
 	// timeline; equals EngineSeconds when the engine runs serially and zero
 	// when the engine does not track an executed timeline.
 	EngineExecutedSeconds float64
+	// HostBuildSeconds is the engine's accumulated *measured* host-build
+	// wall-clock time (tree + walks + flatten on this machine). Zero when the
+	// engine does not measure it.
+	HostBuildSeconds float64
+	// AllocsPerStep is the mean heap allocations per integrator step since
+	// the previous snapshot — the steady-state figure the pooled host
+	// pipeline drives towards zero. Zero at step 0.
+	AllocsPerStep float64
 }
 
 // TimedEngine is optionally implemented by engines that account their own
@@ -131,6 +158,10 @@ type Config struct {
 	// check cadence: set SnapshotEvery to bound how far a broken run can
 	// proceed.
 	Watchdog *perf.Watchdog
+	// HostWorkers, when non-zero and the engine implements
+	// HostWorkersEngine, caps the engine's host-side build parallelism
+	// (1 = serial; engines default to GOMAXPROCS).
+	HostWorkers int
 	// PipelineWindow, when > 1 and the engine implements BatchEngine, groups
 	// that many consecutive steps into one pipeline window: the engine may
 	// overlap evaluations within the window, and Run joins the pipeline at
@@ -165,6 +196,9 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 		return nil, fmt.Errorf("sim: negative step count %d", cfg.Steps)
 	}
 	caps := Caps(eng)
+	if cfg.HostWorkers != 0 && caps.HostWorkers != nil {
+		caps.HostWorkers.SetHostWorkers(cfg.HostWorkers)
+	}
 	var engineErr error
 	// forceCtx is swapped per step so a traced run's engine evaluations chain
 	// under that step's span; an untraced run keeps ctx as-is.
@@ -186,7 +220,20 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 	var wallSeconds float64
 	var e0 float64
 	var p0 vec.D3
+	// Allocation accounting: snapshots report the mean mallocs per step of
+	// the preceding inter-snapshot interval. Read before the snapshot's own
+	// O(N^2) diagnostics so those don't pollute the per-step figure.
+	var memStats runtime.MemStats
+	runtime.ReadMemStats(&memStats)
+	lastMallocs := memStats.Mallocs
+	lastSnapStep := 0
 	record := func(step int) error {
+		runtime.ReadMemStats(&memStats)
+		var allocsPerStep float64
+		if steps := step - lastSnapStep; steps > 0 {
+			allocsPerStep = float64(memStats.Mallocs-lastMallocs) / float64(steps)
+		}
+		lastSnapStep = step
 		k := s.KineticEnergy()
 		p := s.PotentialEnergy(cfg.G, cfg.Eps)
 		sn := Snapshot{
@@ -200,11 +247,15 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 			Interactions: cumInteractions,
 			WallSeconds:  wallSeconds,
 		}
+		sn.AllocsPerStep = allocsPerStep
 		if timed != nil {
 			sn.EngineSeconds = timed.TotalSeconds()
 		}
 		if caps.Executed != nil {
 			sn.EngineExecutedSeconds = caps.Executed.ExecutedSeconds()
+		}
+		if caps.HostBuildTimed != nil {
+			sn.HostBuildSeconds = caps.HostBuildTimed.HostBuildTotalSeconds()
 		}
 		if len(snaps) == 0 {
 			e0 = sn.Total
@@ -224,6 +275,8 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 		cfg.Obs.Gauge("sim.energy_drift").Set(drift / den)
 		cfg.Obs.Gauge("sim.momentum_norm").Set(sn.Momentum.Sub(p0).Norm())
 		cfg.Obs.Gauge("sim.virial_ratio").Set(sn.VirialRatio)
+		cfg.Obs.Gauge("sim.host_build.seconds").Set(sn.HostBuildSeconds)
+		cfg.Obs.Gauge("sim.allocs_per_step").Set(sn.AllocsPerStep)
 		snaps = append(snaps, sn)
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "step %6d  t=%8.4f  E=%+.6f  K=%.6f  U=%+.6f  interactions=%d  wall=%.3fs  engine=%.4fs\n",
@@ -237,6 +290,10 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 				return fmt.Errorf("sim: snapshot sink at step %d: %w", step, err)
 			}
 		}
+		// Re-read after the snapshot's own diagnostics so their allocations
+		// don't count against the next interval's per-step figure.
+		runtime.ReadMemStats(&memStats)
+		lastMallocs = memStats.Mallocs
 		return nil
 	}
 
