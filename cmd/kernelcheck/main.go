@@ -7,6 +7,8 @@
 //	kernelcheck file.cl ...     lint source files
 //	kernelcheck                 lint OpenCL C read from stdin
 //	kernelcheck -builtin        lint every kernel source shipped in internal/core
+//	kernelcheck -json ...       emit findings as the shared Diagnostic JSON
+//	                            document (byte-compatible with repocheck -json)
 //	kernelcheck -corpus         self-test: every known-bad corpus kernel must
 //	                            produce its expected finding, and the checked
 //	                            interpreter must trap the same defect
@@ -27,20 +29,55 @@ import (
 	"repro/internal/clc/analysis"
 	"repro/internal/core"
 	"repro/internal/gpusim"
+	"repro/internal/lint"
 )
 
 func main() {
 	var (
 		builtin = flag.Bool("builtin", false, "lint every kernel source shipped in internal/core")
 		corpus  = flag.Bool("corpus", false, "self-test the analyzers against the known-bad corpus")
+		jsonOut = flag.Bool("json", false, "emit findings as the shared Diagnostic JSON document")
 		verbose = flag.Bool("v", false, "also print suppressed findings")
 	)
 	flag.Parse()
+
+	// In JSON mode findings from every input accumulate into one document.
+	var jsonDiags []lint.Diagnostic
+	emit := func(name string, res *analysis.Result) bool {
+		if *jsonOut {
+			diags := res.Diags
+			if !*verbose {
+				diags = res.Active()
+			}
+			jsonDiags = append(jsonDiags, toLintDiags(name, diags)...)
+			return len(res.Active()) > 0
+		}
+		for _, d := range res.Active() {
+			fmt.Printf("%s: %s\n", name, d)
+		}
+		if *verbose {
+			for _, d := range res.Suppressed() {
+				fmt.Printf("%s: %s\n", name, d)
+			}
+		}
+		return len(res.Active()) > 0
+	}
 
 	failed := false
 	switch {
 	case *corpus:
 		failed = runCorpus()
+	case *builtin && *jsonOut:
+		for _, r := range core.CheckBuiltinKernels() {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "kernelcheck: %s: %v\n", r.Name, r.Err)
+				failed = true
+				continue
+			}
+			if emit(r.Name, r.Result) {
+				failed = true
+			}
+		}
 	case *builtin:
 		report, active := core.BuiltinLintReport(core.CheckBuiltinKernels(), *verbose)
 		fmt.Print(report)
@@ -51,7 +88,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kernelcheck: stdin: %v\n", err)
 			os.Exit(2)
 		}
-		failed = lintSource("<stdin>", string(src), *verbose)
+		failed = lintSource("<stdin>", string(src), emit)
 	default:
 		for _, path := range flag.Args() {
 			src, err := os.ReadFile(path)
@@ -59,9 +96,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
 				os.Exit(2)
 			}
-			if lintSource(path, string(src), *verbose) {
+			if lintSource(path, string(src), emit) {
 				failed = true
 			}
+		}
+	}
+	if *jsonOut && !*corpus {
+		if err := lint.WriteJSON(os.Stdout, "kernelcheck", jsonDiags); err != nil {
+			fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
+			os.Exit(2)
 		}
 	}
 	if failed {
@@ -69,23 +112,39 @@ func main() {
 	}
 }
 
-// lintSource analyzes one source and prints its findings prefixed with name.
-// It reports whether any active finding (or analysis failure) occurred.
-func lintSource(name, src string, verbose bool) bool {
+// toLintDiags converts kernel-analysis findings to the shared wire schema
+// repocheck emits, so both tools' -json outputs are record-compatible.
+func toLintDiags(file string, diags []analysis.Diagnostic) []lint.Diagnostic {
+	out := make([]lint.Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		sev := lint.SevWarning
+		if d.Sev == analysis.SevError {
+			sev = lint.SevError
+		}
+		out = append(out, lint.Diagnostic{
+			Rule:           d.Rule,
+			Sev:            sev,
+			File:           file,
+			Line:           d.Tok.Line,
+			Col:            d.Tok.Col,
+			Unit:           d.Kernel,
+			Message:        d.Message,
+			Suppressed:     d.Suppressed,
+			SuppressReason: d.SuppressReason,
+		})
+	}
+	return out
+}
+
+// lintSource analyzes one source and hands the result to emit, which renders
+// it (text or JSON) and reports whether any active finding occurred.
+func lintSource(name, src string, emit func(string, *analysis.Result) bool) bool {
 	res, err := analysis.Analyze(src)
 	if err != nil {
 		fmt.Printf("%s: %v\n", name, err)
 		return true
 	}
-	for _, d := range res.Active() {
-		fmt.Printf("%s: %s\n", name, d)
-	}
-	if verbose {
-		for _, d := range res.Suppressed() {
-			fmt.Printf("%s: %s\n", name, d)
-		}
-	}
-	return len(res.Active()) > 0
+	return emit(name, res)
 }
 
 // runCorpus checks every known-bad corpus entry: the expected rule must fire

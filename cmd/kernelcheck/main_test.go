@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/clc"
+	"repro/internal/clc/analysis"
+	"repro/internal/lint"
+)
+
+// TestToLintDiags pins the field mapping from kernel-analysis findings to
+// the shared wire schema: rule, severity ordinal, token position, kernel
+// name as the unit, and the suppression pass-through.
+func TestToLintDiags(t *testing.T) {
+	in := []analysis.Diagnostic{
+		{Rule: "localrace", Sev: analysis.SevError, Tok: clc.Token{Line: 3, Col: 7},
+			Kernel: "force", Message: "m"},
+		{Rule: "boundsguard", Sev: analysis.SevWarning, Tok: clc.Token{Line: 9, Col: 1},
+			Kernel: "reduce", Message: "n", Suppressed: true, SuppressReason: "why"},
+	}
+	got := toLintDiags("k.cl", in)
+	want := []lint.Diagnostic{
+		{Rule: "localrace", Sev: lint.SevError, File: "k.cl", Line: 3, Col: 7,
+			Unit: "force", Message: "m"},
+		{Rule: "boundsguard", Sev: lint.SevWarning, File: "k.cl", Line: 9, Col: 1,
+			Unit: "reduce", Message: "n", Suppressed: true, SuppressReason: "why"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diags, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command repocheck runs the internal/lint static-analysis suite over the
+// repository's own Go source — the host-side counterpart of kernelcheck.
+// It builds on nothing but go/parser and go/types, so it runs anywhere the
+// toolchain does.
+//
+// Usage:
+//
+//	repocheck ./...             analyze every package in the module
+//	repocheck internal/serve    analyze one package directory
+//	repocheck -rule ctxpropagate,spanhygiene ./...
+//	                            run a subset of the rules
+//	repocheck -json ./...       emit the shared Diagnostic JSON document
+//	                            (byte-compatible with kernelcheck -json)
+//	repocheck -list             list the registered rules
+//	repocheck -corpus           self-test: every known-bad corpus fixture
+//	                            must produce exactly its pinned findings
+//	repocheck -update-schemas ./...
+//	                            re-pin internal/lint/schemas.json after a
+//	                            deliberate schema_version bump
+//
+// The exit status is 1 when any unsuppressed finding is reported (warnings
+// included — the tree-clean gate holds both severities at zero), 2 on
+// usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		ruleFlag = flag.String("rule", "", "comma-separated rule subset to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as the shared Diagnostic JSON document")
+		verbose  = flag.Bool("v", false, "also print suppressed findings")
+		list     = flag.Bool("list", false, "list registered rules and exit")
+		corpus   = flag.Bool("corpus", false, "self-test the rules against the known-bad corpus")
+		update   = flag.Bool("update-schemas", false, "re-pin internal/lint/schemas.json from the analyzed packages")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-14s %-8s %s\n", r.Name, r.Sev, r.Doc)
+		}
+		fmt.Printf("%-14s %-8s %s\n", "suppression", lint.SevWarning,
+			"audit of repocheck:allow pragmas (always on, never suppressible)")
+		return
+	}
+
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+
+	if *corpus {
+		problems := lint.RunCorpus(l)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("repocheck: corpus ok (%d fixtures)\n", len(lint.CorpusCases()))
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := l.ExpandPatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir, "")
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	if *update {
+		if _, err := lint.UpdateSchemas(l, pkgs); err != nil {
+			fatal(err)
+		}
+		fmt.Println("repocheck: schemas.json re-pinned")
+		return
+	}
+
+	rules, err := selectRules(*ruleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := lint.Check(l, pkgs, rules)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		diags := res.Diags
+		if !*verbose {
+			diags = res.Active()
+		}
+		if err := lint.WriteJSON(os.Stdout, "repocheck", diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range res.Active() {
+			fmt.Println(d)
+		}
+		if *verbose {
+			for _, d := range res.Suppressed() {
+				fmt.Println(d)
+			}
+		}
+	}
+	if active := res.Active(); len(active) > 0 {
+		if !*jsonOut {
+			fmt.Printf("repocheck: %d finding(s) in %d package(s)\n", len(active), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectRules resolves the -rule flag against the registry (nil = all).
+func selectRules(spec string) ([]*lint.Rule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	byName := make(map[string]*lint.Rule)
+	for _, r := range lint.Rules() {
+		byName[r.Name] = r
+	}
+	var out []*lint.Rule
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (see repocheck -list)", name)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "repocheck: %v\n", err)
+	os.Exit(2)
+}

@@ -91,7 +91,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan := core.NewJWParallel(ctx2, bh.DefaultOptions())
+	p, err := core.NewPlanByName("jw-parallel",
+		core.WithCLContext(ctx2), core.WithBHOptions(bh.DefaultOptions()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := p.(*core.JWParallel)
 	best.Apply(plan)
 	prof, err := plan.Accel(sample.Clone())
 	if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	// CPU treecode run.
 	cpuSys := initial.Clone()
 	cpuEng := &sim.TreeEngine{Opt: bh.DefaultOptions()}
-	cpuSnaps, err := sim.Run(cpuSys, cpuEng, &integrate.Leapfrog{}, sim.Config{
+	cpuSnaps, err := sim.RunContext(context.Background(), cpuSys, cpuEng, &integrate.Leapfrog{}, sim.Config{
 		DT: dt, Steps: steps, G: 1, Eps: 0.05,
 	})
 	if err != nil {
@@ -44,8 +45,12 @@ func main() {
 		log.Fatal(err)
 	}
 	gpuSys := initial.Clone()
-	gpuEng := core.NewEngine(core.NewJWParallel(ctx, bh.DefaultOptions()))
-	gpuSnaps, err := sim.Run(gpuSys, gpuEng, &integrate.Leapfrog{}, sim.Config{
+	gpuEng, err := core.NewEngineByName("jw-parallel",
+		core.WithCLContext(ctx), core.WithBHOptions(bh.DefaultOptions()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuSnaps, err := sim.RunContext(context.Background(), gpuSys, gpuEng, &integrate.Leapfrog{}, sim.Config{
 		DT: dt, Steps: steps, G: 1, Eps: 0.05,
 	})
 	if err != nil {

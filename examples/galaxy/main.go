@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,10 +34,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := core.NewEngine(core.NewJWParallel(ctx, bh.DefaultOptions()))
+	eng, err := core.NewEngineByName("jw-parallel",
+		core.WithCLContext(ctx), core.WithBHOptions(bh.DefaultOptions()))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("galaxy: %d-body exponential disk, %d leapfrog steps of dt=%g\n", n, steps, dt)
-	snaps, err := sim.Run(sys, eng, &integrate.Leapfrog{}, sim.Config{
+	snaps, err := sim.RunContext(context.Background(), sys, eng, &integrate.Leapfrog{}, sim.Config{
 		DT:            dt,
 		Steps:         steps,
 		SnapshotEvery: 50,

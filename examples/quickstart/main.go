@@ -28,7 +28,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan := core.NewJWParallel(ctx, bh.DefaultOptions())
+	p, err := core.NewPlanByName("jw-parallel",
+		core.WithCLContext(ctx), core.WithBHOptions(bh.DefaultOptions()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := p.(*core.JWParallel)
 
 	// 3. One force evaluation: the CPU builds the octree and the walk
 	//    interaction lists, the (simulated) GPU evaluates the forces.

@@ -19,6 +19,7 @@ var surfacePackages = []string{
 	"internal/sim",
 	"internal/core",
 	"internal/serve",
+	"internal/lint",
 }
 
 // TestAPISurfaceGolden locks the exported API of the public-facing packages.

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the suppression-audit edge cases to the same behavior
+// internal/lint enforces for repocheck:allow pragmas (see
+// internal/lint/lint_test.go): a mis-anchored pragma silences nothing and
+// is itself reported, a pragma over a clean region is reported, and
+// stacked duplicate pragmas resolve to the first in source order with the
+// leftover reported. Keeping the two audits symmetric is what lets
+// repocheck -json and kernelcheck -json share one findings pipeline.
+
+func countAnalysisRule(diags []Diagnostic, rule string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+func findAnalysisAt(diags []Diagnostic, rule string, line int) *Diagnostic {
+	for i := range diags {
+		if diags[i].Rule == rule && diags[i].Tok.Line == line {
+			return &diags[i]
+		}
+	}
+	return nil
+}
+
+// TestSuppressionWrongLine mirrors lint's TestSuppressionWrongLine: a
+// trailing pragma covers only its own line, so anchoring it below the
+// defect leaves the finding active and reports the pragma as unused.
+func TestSuppressionWrongLine(t *testing.T) {
+	const src = `__kernel void k(__global float* a, int unused) {
+    int i = get_global_id(0); // kernelcheck:allow unusedparam -- anchored here, but the parameter is above
+    if (i < 4) {
+        a[i] = 1.0f;
+    }
+}
+`
+	res, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := res.Active()
+	if d := findAnalysisAt(active, "unusedparam", 1); d == nil {
+		t.Errorf("unusedparam finding at line 1 not active; got %v", active)
+	}
+	if d := findAnalysisAt(active, "suppression", 2); d == nil || !strings.Contains(d.Message, "matches no finding") {
+		t.Errorf("no unused-pragma finding at line 2; got %v", active)
+	}
+	if n := len(res.Suppressed()); n != 0 {
+		t.Errorf("suppressed %d findings; the wrong-line pragma must cover nothing", n)
+	}
+}
+
+// TestSuppressionZeroBlock mirrors lint's TestSuppressionZeroBlock: a
+// standalone pragma over a clean kernel matches nothing and is the sole
+// finding.
+func TestSuppressionZeroBlock(t *testing.T) {
+	const src = `// kernelcheck:allow unusedparam -- this kernel is actually clean
+__kernel void k(__global float* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        a[i] = 1.0f;
+    }
+}
+`
+	res, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := res.Active()
+	if len(active) != 1 {
+		t.Fatalf("want exactly 1 active finding, got %d: %v", len(active), active)
+	}
+	if active[0].Rule != "suppression" || active[0].Tok.Line != 1 ||
+		!strings.Contains(active[0].Message, "matches no finding") {
+		t.Errorf("want unused-pragma finding at line 1, got %s", active[0])
+	}
+}
+
+// TestSuppressionDuplicate mirrors lint's TestSuppressionDuplicate: with a
+// block pragma and a trailing pragma stacked on one finding, the first in
+// source order claims it and the duplicate is reported as unused.
+func TestSuppressionDuplicate(t *testing.T) {
+	const src = `// kernelcheck:allow unusedparam -- block-level justification wins
+__kernel void k(__global float* a, int n, int unused) { // kernelcheck:allow unusedparam -- duplicate trailing justification
+    int i = get_global_id(0);
+    if (i < n) {
+        a[i] = 1.0f;
+    }
+}
+`
+	res, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := res.Suppressed()
+	if len(sup) != 1 || sup[0].Rule != "unusedparam" {
+		t.Fatalf("want exactly 1 suppressed unusedparam finding, got %v", sup)
+	}
+	if want := "block-level justification wins"; sup[0].SuppressReason != want {
+		t.Errorf("suppressed by %q, want the first pragma in source order (%q)", sup[0].SuppressReason, want)
+	}
+	active := res.Active()
+	if len(active) != 1 || active[0].Rule != "suppression" || active[0].Tok.Line != 2 {
+		t.Fatalf("want exactly the duplicate-pragma finding at line 2, got %v", active)
+	}
+	if countAnalysisRule(res.Diags, "suppression") != 1 {
+		t.Errorf("duplicate pragma produced extra suppression findings: %v", res.Diags)
+	}
+}

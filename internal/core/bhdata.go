@@ -101,7 +101,7 @@ func (d *bhHostData) build(s *body.System, opt bh.Options, groupCap, maxBodies i
 	if opt.LeafCap > groupCap {
 		opt.LeafCap = groupCap
 	}
-	start := time.Now()
+	start := time.Now() // repocheck:allow nodeterminism -- measured host wall time, reported in JobPerf only; never feeds the cost model
 	if opt.Trace != nil {
 		sp := opt.Trace.Start("host data build", "host").Track("bh").Arg("n", s.N())
 		defer sp.End()
@@ -196,7 +196,7 @@ func (d *bhHostData) build(s *body.System, opt bh.Options, groupCap, maxBodies i
 	}
 
 	d.listSeconds = host.ListBuildSeconds(int64(len(d.lists)))
-	d.wallSeconds = time.Since(start).Seconds()
+	d.wallSeconds = time.Since(start).Seconds() // repocheck:allow nodeterminism -- measured host wall time, reported in JobPerf only; never feeds the cost model
 	return nil
 }
 

@@ -29,7 +29,11 @@ func ThetaSweep(cfg Config, n int, thetas []float32) (string, error) {
 		}
 		opt := cfg.bhOptions()
 		opt.Theta = theta
-		plan := core.NewJWParallel(ctx, opt)
+		plan, err := core.NewPlanByName("jw-parallel",
+			core.WithCLContext(ctx), core.WithBHOptions(opt))
+		if err != nil {
+			return "", err
+		}
 		got := sys.Clone()
 		prof, err := plan.Accel(got)
 		if err != nil {
@@ -59,8 +63,13 @@ func GroupCapSweep(cfg Config, n int, caps []int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		plan := core.NewJWParallel(ctx, cfg.bhOptions())
-		plan.GroupCap = gc
+		plan, err := core.NewPlanByName("jw-parallel",
+			core.WithCLContext(ctx),
+			core.WithBHOptions(cfg.bhOptions()),
+			core.WithTuning(gc, 0, 0))
+		if err != nil {
+			return "", err
+		}
 		prof, err := plan.Accel(sys.Clone())
 		if err != nil {
 			return "", fmt.Errorf("exp: groupCap %d: %w", gc, err)
@@ -107,7 +116,12 @@ func StagingAblation(cfg Config, sizes []int) (string, error) {
 			if err != nil {
 				return "", err
 			}
-			plan := core.NewJWParallel(ctx, cfg.bhOptions())
+			p, err := core.NewPlanByName("jw-parallel",
+				core.WithCLContext(ctx), core.WithBHOptions(cfg.bhOptions()))
+			if err != nil {
+				return "", err
+			}
+			plan := p.(*core.JWParallel)
 			plan.DisableLDSStaging = disable
 			prof, err := plan.Accel(sys.Clone())
 			if err != nil {
@@ -151,11 +165,12 @@ func OccupancyAblation(cfg Config, sizes []int) (string, error) {
 				if err != nil {
 					return "", err
 				}
-				var plan core.Plan
-				if planName == "i-parallel" {
-					plan = core.NewIParallel(ctx, cfg.ppParams())
-				} else {
-					plan = core.NewWParallel(ctx, cfg.bhOptions())
+				plan, err := core.NewPlanByName(planName,
+					core.WithCLContext(ctx),
+					core.WithPPParams(cfg.ppParams()),
+					core.WithBHOptions(cfg.bhOptions()))
+				if err != nil {
+					return "", err
 				}
 				prof, err := plan.Accel(sys.Clone())
 				if err != nil {
@@ -185,11 +200,10 @@ func DivergenceAblation(cfg Config, n int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		var plan core.Plan
-		if name == "w-parallel" {
-			plan = core.NewWParallel(ctx, cfg.bhOptions())
-		} else {
-			plan = core.NewJWParallel(ctx, cfg.bhOptions())
+		plan, err := core.NewPlanByName(name,
+			core.WithCLContext(ctx), core.WithBHOptions(cfg.bhOptions()))
+		if err != nil {
+			return "", err
 		}
 		prof, err := plan.Accel(sys.Clone())
 		if err != nil {

@@ -28,7 +28,12 @@ func CrossDevice(cfg Config, n int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		plan := core.NewJWParallel(ctx, cfg.bhOptions())
+		p, err := core.NewPlanByName("jw-parallel",
+			core.WithCLContext(ctx), core.WithBHOptions(cfg.bhOptions()))
+		if err != nil {
+			return "", err
+		}
+		plan := p.(*core.JWParallel)
 		if dc.WavefrontSize < plan.LocalSize {
 			// Keep one wavefront per group on narrow-warp devices too; the
 			// plan works with any LocalSize >= GroupCap.
@@ -37,7 +42,11 @@ func CrossDevice(cfg Config, n int) (string, error) {
 		entries = append(entries, entry{dc.Name, plan, dc.PeakGFLOPS()})
 	}
 	for _, devices := range []int{2, 4} {
-		multi := core.NewMultiJW(cfg.bhOptions(), devices, gpusim.HD5850())
+		multi, err := core.NewPlanByName(fmt.Sprintf("jw-parallel-x%d", devices),
+			core.WithDevice(gpusim.HD5850()), core.WithBHOptions(cfg.bhOptions()))
+		if err != nil {
+			return "", err
+		}
 		entries = append(entries, entry{
 			fmt.Sprintf("%d x HD 5850 (multi-GPU extension)", devices),
 			multi,

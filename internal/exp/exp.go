@@ -134,21 +134,15 @@ func (c Config) newPlans() (map[string]core.Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		switch name {
-		case "i-parallel":
-			plans[name] = core.NewIParallel(ctx, c.ppParams())
-		case "j-parallel":
-			plans[name] = core.NewJParallel(ctx, c.ppParams())
-		case "w-parallel":
-			plans[name] = core.NewWParallel(ctx, c.bhOptions())
-		case "jw-parallel":
-			plans[name] = core.NewJWParallel(ctx, c.bhOptions())
+		plan, err := core.NewPlanByName(name,
+			core.WithCLContext(ctx),
+			core.WithPPParams(c.ppParams()),
+			core.WithBHOptions(c.bhOptions()),
+			core.WithObs(c.Obs))
+		if err != nil {
+			return nil, err
 		}
-		if c.Obs != nil {
-			if p, ok := plans[name].(obs.Observable); ok {
-				p.SetObs(c.Obs)
-			}
-		}
+		plans[name] = plan
 	}
 	return plans, nil
 }

@@ -38,7 +38,11 @@ func WorkloadSensitivity(cfg Config, n int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		plan := core.NewJWParallel(ctx, cfg.bhOptions())
+		plan, err := core.NewPlanByName("jw-parallel",
+			core.WithCLContext(ctx), core.WithBHOptions(cfg.bhOptions()))
+		if err != nil {
+			return "", err
+		}
 		prof, err := plan.Accel(sys)
 		if err != nil {
 			return "", fmt.Errorf("exp: workload %s: %w", wl.name, err)

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runArenaEscape guards the pooled host-path arenas PR 8 introduced. The
+// trees and walk sets a bh.Builder hands out point into arenas the next
+// Reset (or pool Put) reclaims: a function that both obtains such a value
+// and recycles the arena must not let the value outlive the function — not
+// through a return, and not by parking it in a struct field. The analysis
+// is flow-insensitive and assignment-graph based (the same shape as clc's
+// affine-index facts): any identifier transitively assigned from a
+// Builder build call is tainted, and a taint reaching a return statement
+// or a field store in a function that also calls Reset/Put is a finding.
+//
+// Package bh itself is exempt — it owns the arenas and is allowed to wire
+// their internals together.
+func runArenaEscape(c *Context) []Diagnostic {
+	bhPkg := c.L.ModulePath + "/internal/bh"
+	if c.Pkg.Path == bhPkg {
+		return nil
+	}
+	var out []Diagnostic
+	c.eachFuncBody(func(fd *ast.FuncDecl) {
+		out = append(out, c.arenaEscapeFunc(fd, bhPkg)...)
+	})
+	return out
+}
+
+func (c *Context) arenaEscapeFunc(fd *ast.FuncDecl, bhPkg string) []Diagnostic {
+	// Pass 1: does this function recycle an arena at all?
+	recycles := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := c.calleeFunc(call)
+		if isMethod(fn, bhPkg, "Builder", "Reset") || isMethod(fn, "sync", "Pool", "Put") {
+			recycles = true
+		}
+		return true
+	})
+	if !recycles {
+		return nil
+	}
+
+	// Pass 2: taint identifiers assigned (directly or transitively) from
+	// arena-backed build calls, to a fixpoint.
+	tainted := make(map[types.Object]bool)
+	isArenaCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := c.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != bhPkg {
+			return false
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return false
+		}
+		_, name := namedOf(recv.Type())
+		return name == "Builder"
+	}
+	taintLHS := func(lhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := c.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = c.Pkg.Info.Uses[id]
+		}
+		if obj == nil || tainted[obj] || !arenaShaped(obj.Type(), bhPkg) {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	identTainted := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := c.Pkg.Info.Uses[id]
+		if obj == nil {
+			obj = c.Pkg.Info.Defs[id]
+		}
+		return obj != nil && tainted[obj]
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				// t, err := b.BuildInto(...): taint every result slot the
+				// type filter accepts.
+				if isArenaCall(as.Rhs[0]) {
+					for _, lhs := range as.Lhs {
+						if taintLHS(lhs) {
+							changed = true
+						}
+					}
+				}
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				if isArenaCall(rhs) || identTainted(rhs) {
+					if taintLHS(as.Lhs[i]) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tainted) == 0 {
+		return nil
+	}
+
+	// Pass 3: report taints escaping the function.
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if identTainted(res) {
+					out = append(out, c.diag(res.Pos(),
+						"arena-backed %s escapes: returned from a function that calls Builder.Reset/Pool.Put (the arena is reclaimed under it)", exprText(res)))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); !ok || i >= len(s.Rhs) {
+					continue
+				}
+				if identTainted(s.Rhs[i]) {
+					out = append(out, c.diag(s.Rhs[i].Pos(),
+						"arena-backed %s escapes: stored in a field in a function that calls Builder.Reset/Pool.Put (the arena is reclaimed under it)", exprText(s.Rhs[i])))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// arenaShaped reports whether a type can carry an arena reference worth
+// tracking: pointers and slices of bh types, plus bare slices.
+func arenaShaped(t types.Type, bhPkg string) bool {
+	switch tt := t.(type) {
+	case *types.Pointer:
+		p, _ := namedOf(tt.Elem())
+		return p == bhPkg
+	case *types.Slice:
+		return true
+	case *types.Named:
+		p, _ := namedOf(tt)
+		return p == bhPkg
+	}
+	return false
+}
+
+// exprText renders a short expression for messages (identifier chains
+// only; anything else renders as "value").
+func exprText(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "value"
+}

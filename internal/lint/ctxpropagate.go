@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runCtxPropagate enforces the serve-era context contract: once a call
+// path carries a context (anything outside package main and tests does, by
+// API coherence pass convention), the context-less compatibility shims must
+// not be used and fresh root contexts must not be minted.
+//
+//   - sim.Run is the byte-identical wrapper around sim.RunContext; calling
+//     it from library code silently drops cancellation, deadlines and trace
+//     propagation. Only package sim itself (the wrapper) is exempt.
+//   - (*core.Engine).Accel likewise shadows AccelContext.
+//   - context.Background()/context.TODO() outside package main mint a root
+//     context mid-path, orphaning the caller's cancellation and trace.
+//     Deliberate detachment points (a job outliving its submit request)
+//     carry a justified repocheck:allow pragma.
+//   - inside internal/serve the rule is stricter: any method named Accel is
+//     flagged, interface or not — the serve layer must only reach engines
+//     through sim.RunContext.
+func runCtxPropagate(c *Context) []Diagnostic {
+	mp := c.L.ModulePath
+	simPkg := mp + "/internal/sim"
+	corePkg := mp + "/internal/core"
+	isMain := c.Pkg.Types.Name() == "main"
+	inServe := c.Pkg.Path == mp+"/internal/serve" || strings.HasPrefix(c.Pkg.Path, mp+"/internal/serve/")
+
+	var out []Diagnostic
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := c.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isFunc(fn, simPkg, "Run") && c.Pkg.Path != simPkg:
+				out = append(out, c.diag(call.Pos(),
+					"sim.Run drops the caller's context; call sim.RunContext so cancellation, deadlines and trace propagation reach the engine"))
+			case isMethod(fn, corePkg, "Engine", "Accel") && c.Pkg.Path != corePkg:
+				out = append(out, c.diag(call.Pos(),
+					"(*core.Engine).Accel drops the caller's context; call AccelContext so traced runs stamp engine spans"))
+			case inServe && fn.Name() == "Accel" && fn.Type() != nil &&
+				!isMethod(fn, mp+"/internal/bh", "Tree", "Accel"):
+				if recv := recvOf(fn); recv != "" {
+					out = append(out, c.diag(call.Pos(),
+						"internal/serve must not call %s.Accel directly; run engines through sim.RunContext", recv))
+				}
+			case (isFunc(fn, "context", "Background") || isFunc(fn, "context", "TODO")) && !isMain:
+				out = append(out, c.diag(call.Pos(),
+					"context.%s() mints a root context on a ctx-carrying path; accept and propagate the caller's context (package main and tests are exempt)", fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// recvOf names a method's receiver type ("" for plain functions).
+func recvOf(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	_, name := namedOf(recv.Type())
+	return name
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// runDeprecatedAPI flags calls to module functions whose doc comment
+// carries a "Deprecated:" paragraph, from anywhere except the declaring
+// package itself (the package keeps calling its own shims so the
+// compatibility tests still cover them). The replacement named in the doc
+// line is echoed into the finding.
+func runDeprecatedAPI(c *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := c.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == c.Pkg.Types.Path() {
+				return true
+			}
+			note := c.L.Deprecation(fn)
+			if note == "" {
+				return true
+			}
+			note = strings.TrimSpace(note)
+			if !strings.HasSuffix(note, ".") {
+				note += "."
+			}
+			out = append(out, c.diag(call.Pos(),
+				"%s.%s is deprecated: %s", fn.Pkg().Name(), fn.Name(), note))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+)
+
+// metricNameRE is the repo's metric naming convention: lowercase dotted
+// segments, at least two deep ("nbody.jobs.completed"), snake_case inside a
+// segment. PR 6 established it for the Prometheus exposition mapping
+// (dots become underscores there, so a name that is already underscored
+// top-level would collide).
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// metricTable is the check-wide registration table: metric name → the kind
+// and site of its first registration. Shared across packages so a Counter
+// in internal/serve and a Gauge with the same name in internal/perf still
+// collide.
+type metricTable struct {
+	kinds map[string]metricSite
+}
+
+type metricSite struct {
+	kind string
+	file string
+	line int
+}
+
+func newMetricTable() *metricTable {
+	return &metricTable{kinds: make(map[string]metricSite)}
+}
+
+// runMetricName checks every Registry/Obs Counter/Gauge/Histogram
+// registration whose name is a string literal: convention match, and one
+// kind per name across the whole check. Dynamically built names
+// (fmt.Sprintf etc.) are skipped — the convention is enforced where it can
+// be read.
+func runMetricName(c *Context) []Diagnostic {
+	obsPkg := c.L.ModulePath + "/internal/obs"
+	var out []Diagnostic
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := c.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			kind := fn.Name()
+			switch kind {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			if !isMethod(fn, obsPkg, "Registry", kind) && !isMethod(fn, obsPkg, "Obs", kind) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				out = append(out, c.diag(lit.Pos(),
+					"metric name %q violates the dotted lowercase convention (want e.g. \"nbody.jobs.completed\")", name))
+			}
+			file, line, _ := c.L.posOf(lit.Pos())
+			if prev, seen := c.metrics.kinds[name]; seen {
+				if prev.kind != kind {
+					out = append(out, c.diag(lit.Pos(),
+						"metric %q registered as %s here but as %s at %s:%d; one kind per name", name, kind, prev.kind, prev.file, prev.line))
+				}
+			} else {
+				c.metrics.kinds[name] = metricSite{kind: kind, file: file, line: line}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runSpanHygiene checks the obs span lifecycle: every span a
+// Tracer.Start/StartAt/StartCtx (or the Obs wrappers) opens must reach End,
+// End must cover every return path (in practice: be deferred, or precede
+// every later return in the same function), and a span must not be driven
+// from a spawned goroutine — goroutines derive their own child span via
+// ChildOf/TraceContext instead of mutating the parent's.
+//
+// The analysis is per-function and source-ordered rather than a full CFG:
+// a span variable that escapes the function (returned, stored, passed to a
+// call) transfers ownership and is skipped. Package obs itself — the
+// wrappers and the tracer — is exempt.
+func runSpanHygiene(c *Context) []Diagnostic {
+	obsPkg := c.L.ModulePath + "/internal/obs"
+	if c.Pkg.Path == obsPkg {
+		return nil
+	}
+	var out []Diagnostic
+	c.eachFuncBody(func(fd *ast.FuncDecl) {
+		out = append(out, c.spanHygieneFunc(fd, obsPkg)...)
+	})
+	return out
+}
+
+// spanState tracks one span variable through its owning function.
+type spanState struct {
+	obj      types.Object
+	startPos token.Pos
+	owner    ast.Node // enclosing FuncDecl or FuncLit the span was opened in
+	endPos   token.Pos
+	deferred bool
+	escaped  bool
+	goAbuse  []token.Pos
+}
+
+func (c *Context) spanHygieneFunc(fd *ast.FuncDecl, obsPkg string) []Diagnostic {
+	// isStartChain reports whether the expression chain contains a span
+	// Start* call (e.g. tr.Start(...).Track(...).Arg(...)).
+	var isStartChain func(e ast.Expr) bool
+	isStartChain = func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := c.calleeFunc(call)
+		if isMethod(fn, obsPkg, "Tracer", "Start") || isMethod(fn, obsPkg, "Tracer", "StartAt") ||
+			isMethod(fn, obsPkg, "Tracer", "StartCtx") ||
+			isMethod(fn, obsPkg, "Obs", "Start") || isMethod(fn, obsPkg, "Obs", "StartCtx") {
+			return true
+		}
+		// Chained span methods pass the span through: recurse into the
+		// receiver expression.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fn != nil && isMethod(fn, obsPkg, "Span", fn.Name()) {
+			return isStartChain(sel.X)
+		}
+		return false
+	}
+	// endsChain reports whether the outermost call of the chain is
+	// Span.End.
+	endsChain := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return isMethod(c.calleeFunc(call), obsPkg, "Span", "End")
+	}
+
+	states := make(map[types.Object]*spanState)
+	stateOf := func(id *ast.Ident) *spanState {
+		obj := c.Pkg.Info.Uses[id]
+		if obj == nil {
+			obj = c.Pkg.Info.Defs[id]
+		}
+		if obj == nil {
+			return nil
+		}
+		return states[obj]
+	}
+
+	type ret struct {
+		pos   token.Pos
+		owner ast.Node
+	}
+	var returns []ret
+
+	// walk tracks the innermost enclosing function node so span starts and
+	// returns are only matched within one function body.
+	var walk func(n ast.Node, owner ast.Node, inDefer, inGo bool)
+	walk = func(n ast.Node, owner ast.Node, inDefer, inGo bool) {
+		if n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			walk(s.Body, s, inDefer, inGo)
+			return
+		case *ast.DeferStmt:
+			walk(s.Call, owner, true, inGo)
+			return
+		case *ast.GoStmt:
+			walk(s.Call, owner, inDefer, true)
+			return
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				walk(rhs, owner, inDefer, inGo)
+				if i >= len(s.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" || !isStartChain(rhs) {
+					continue
+				}
+				obj := c.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = c.Pkg.Info.Uses[id]
+				}
+				if obj != nil && states[obj] == nil {
+					states[obj] = &spanState{obj: obj, startPos: rhs.Pos(), owner: owner}
+				}
+			}
+			// Field stores of a span transfer ownership.
+			for _, lhs := range s.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					for _, rhs := range s.Rhs {
+						if id := rootIdent(rhs); id != nil {
+							if st := stateOf(id); st != nil {
+								st.escaped = true
+							}
+						}
+					}
+				}
+			}
+			return
+		case *ast.ReturnStmt:
+			returns = append(returns, ret{pos: s.Pos(), owner: owner})
+			for _, res := range s.Results {
+				walk(res, owner, inDefer, inGo)
+				if id := rootIdent(res); id != nil {
+					if st := stateOf(id); st != nil {
+						st.escaped = true
+					}
+				}
+			}
+			return
+		case *ast.CallExpr:
+			// A chain rooted at a span variable: an End closes it; any
+			// span-method call from a spawned goroutine is abuse (reading
+			// TraceContext to derive a child is the sanctioned crossing).
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+				fn := c.calleeFunc(s)
+				if fn != nil && isMethod(fn, obsPkg, "Span", fn.Name()) {
+					if id := rootIdent(sel.X); id != nil {
+						if st := stateOf(id); st != nil {
+							if fn.Name() == "End" {
+								if inDefer {
+									st.deferred = true
+								} else if st.endPos == token.NoPos || s.Pos() < st.endPos {
+									st.endPos = s.Pos()
+								}
+							}
+							if inGo && fn.Name() != "TraceContext" {
+								st.goAbuse = append(st.goAbuse, s.Pos())
+							}
+						}
+					}
+				}
+				// Arguments may still start/escape spans; fall through.
+			}
+			// A span handed to another function transfers ownership.
+			for _, arg := range s.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if st := stateOf(id); st != nil {
+						st.escaped = true
+					}
+				}
+				walk(arg, owner, inDefer, inGo)
+			}
+			walk(s.Fun, owner, inDefer, inGo)
+			return
+		case *ast.ExprStmt:
+			// A freestanding start chain must close itself with .End().
+			if isStartChain(s.X) && !endsChain(s.X) {
+				states[&discardKey{pos: s.X.Pos()}] = &spanState{startPos: s.X.Pos(), owner: owner, escaped: false}
+			}
+			walk(s.X, owner, inDefer, inGo)
+			return
+		}
+		// Generic traversal for everything else.
+		for _, child := range childNodes(n) {
+			walk(child, owner, inDefer, inGo)
+		}
+	}
+	walk(fd.Body, fd, false, false)
+
+	var out []Diagnostic
+	for _, st := range states {
+		for _, pos := range st.goAbuse {
+			out = append(out, c.diag(pos,
+				"span is driven from a spawned goroutine; derive a child span via ChildOf(parent.TraceContext()) instead"))
+		}
+		if st.escaped || st.deferred {
+			continue
+		}
+		if st.obj == nil {
+			out = append(out, c.diag(st.startPos,
+				"span is started and discarded without End; it will never be recorded"))
+			continue
+		}
+		if st.endPos == token.NoPos {
+			out = append(out, c.diag(st.startPos,
+				"span %s is never ended on this path; defer %s.End() after Start", st.obj.Name(), st.obj.Name()))
+			continue
+		}
+		for _, r := range returns {
+			if r.owner == st.owner && r.pos > st.startPos && r.pos < st.endPos {
+				out = append(out, c.diag(r.pos,
+					"return path leaves span %s unended (End is further down); defer %s.End() instead", st.obj.Name(), st.obj.Name()))
+			}
+		}
+	}
+	sortDiags(out)
+	return out
+}
+
+// discardKey is a synthetic map key for discarded (never-assigned) span
+// chains; it satisfies types.Object minimally via embedding.
+type discardKey struct {
+	types.Object
+	pos token.Pos
+}
+
+// childNodes collects the direct children of an AST node via ast.Inspect's
+// first level.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// allowMarker is the in-source suppression pragma. The contract is the one
+// kernelcheck established for kernels: a justified
+//
+//	// repocheck:allow rule1,rule2 -- reason
+//
+// at the end of a code line covers that line; on its own line it covers
+// the next statement or declaration (and everything inside it, when that
+// statement opens a block). Pragmas are audited: a missing justification,
+// an unknown rule name, or a pragma matching no finding is itself a
+// "suppression" finding.
+const allowMarker = "repocheck:allow"
+
+// suppression is one parsed repocheck:allow pragma.
+type suppression struct {
+	rules    []string
+	reason   string
+	file     string // repo-relative, matching Diagnostic.File
+	line     int    // pragma line
+	from, to int    // covered line range, inclusive
+	used     bool
+}
+
+func (s *suppression) covers(rule, file string, line int) bool {
+	if file != s.file || line < s.from || line > s.to {
+		return false
+	}
+	for _, r := range s.rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSuppressions scans one package's raw sources for allow pragmas.
+// known is the registered rule-name set, for the unknown-rule audit.
+func parseSuppressions(l *Loader, pkg *Package, known map[string]bool) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		filename := l.Fset.Position(f.Pos()).Filename
+		src, ok := pkg.Src[filename]
+		if !ok {
+			continue
+		}
+		rel := l.relPath(filename)
+		extents := nodeExtents(l, f)
+		lines := strings.Split(string(src), "\n")
+		for i, line := range lines {
+			idx := strings.Index(line, "//")
+			if idx < 0 {
+				continue
+			}
+			// The marker must lead the comment: prose that merely mentions
+			// the pragma (docs, this file) is not a pragma.
+			rest := strings.TrimLeft(line[idx+2:], " \t")
+			if !strings.HasPrefix(rest, allowMarker) {
+				continue
+			}
+			lineNo := i + 1
+			body := strings.TrimSpace(strings.TrimPrefix(rest, allowMarker))
+			spec, reason := body, ""
+			if cut := strings.Index(body, "--"); cut >= 0 {
+				spec = strings.TrimSpace(body[:cut])
+				reason = strings.TrimSpace(body[cut+2:])
+			}
+			var rules []string
+			for _, r := range strings.Split(spec, ",") {
+				if r = strings.TrimSpace(r); r != "" {
+					rules = append(rules, r)
+				}
+			}
+			s := &suppression{rules: rules, reason: reason, file: rel, line: lineNo}
+			if reason == "" {
+				diags = append(diags, Diagnostic{
+					Rule: "suppression", Sev: SevWarning,
+					File: rel, Line: lineNo, Col: idx + 1, Unit: pkg.Path,
+					Message: "suppression without a justification (use: repocheck:allow rule -- reason)",
+				})
+			}
+			for _, r := range rules {
+				if !known[r] {
+					diags = append(diags, Diagnostic{
+						Rule: "suppression", Sev: SevWarning,
+						File: rel, Line: lineNo, Col: idx + 1, Unit: pkg.Path,
+						Message: fmt.Sprintf("suppression names unknown rule %q", r),
+					})
+				}
+			}
+			if strings.TrimSpace(line[:idx]) != "" {
+				// Trailing pragma: covers its own line.
+				s.from, s.to = lineNo, lineNo
+			} else {
+				// Standalone pragma: covers the next statement or
+				// declaration, block and all — computed from the AST, so Go
+				// string literals containing braces cannot confuse it.
+				s.from, s.to = standaloneExtent(extents, lineNo)
+			}
+			sups = append(sups, s)
+		}
+	}
+	return sups, diags
+}
+
+// nodeExtents collects the line span of every statement, declaration, spec
+// and struct field in the file, keyed by start line (widest span wins).
+func nodeExtents(l *Loader, f *ast.File) map[int]int {
+	ext := make(map[int]int)
+	record := func(n ast.Node) {
+		from := l.Fset.Position(n.Pos()).Line
+		to := l.Fset.Position(n.End()).Line
+		if to > ext[from] {
+			ext[from] = to
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Decl, ast.Stmt, ast.Spec, *ast.Field:
+			record(n)
+		}
+		return true
+	})
+	return ext
+}
+
+// standaloneExtent returns the [from, to] line coverage of a standalone
+// pragma at pragmaLine: the nearest statement starting below it. A pragma
+// with nothing below it covers only the next line (and so matches nothing
+// — the unused-suppression audit reports it).
+func standaloneExtent(extents map[int]int, pragmaLine int) (int, int) {
+	best := 0
+	for from := range extents {
+		if from > pragmaLine && (best == 0 || from < best) {
+			best = from
+		}
+	}
+	if best == 0 {
+		return pragmaLine + 1, pragmaLine + 1
+	}
+	return best, extents[best]
+}
+
+// applySuppressions marks findings covered by pragmas and reports the
+// pragmas left unused. Findings from the "suppression" rule itself are
+// never suppressible — an audit that could silence itself would not audit
+// anything.
+func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
+	for i := range diags {
+		if diags[i].Rule == "suppression" {
+			continue
+		}
+		for _, s := range sups {
+			if s.covers(diags[i].Rule, diags[i].File, diags[i].Line) {
+				diags[i].Suppressed = true
+				diags[i].SuppressReason = s.reason
+				s.used = true
+				break
+			}
+		}
+	}
+	for _, s := range sups {
+		if !s.used && s.reason != "" {
+			diags = append(diags, Diagnostic{
+				Rule: "suppression", Sev: SevWarning,
+				File: s.file, Line: s.line, Col: 1,
+				Message: fmt.Sprintf("suppression for %s matches no finding", strings.Join(s.rules, ",")),
+			})
+		}
+	}
+	return diags
+}

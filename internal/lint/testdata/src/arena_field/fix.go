@@ -1,0 +1,22 @@
+// Package fix parks arena-backed trees in long-lived fields.
+package fix
+
+import (
+	"repro/internal/bh"
+	"repro/internal/body"
+)
+
+type holder struct {
+	tree *bh.Tree
+}
+
+// refresh stores the tree, then reclaims the arena under it.
+func (h *holder) refresh(b *bh.Builder, s *body.System) error {
+	t, err := b.BuildInto(s, bh.Options{})
+	if err != nil {
+		return err
+	}
+	h.tree = t
+	b.Reset()
+	return nil
+}

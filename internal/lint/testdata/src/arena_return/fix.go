@@ -1,0 +1,21 @@
+// Package fix returns arena-backed trees past their Reset.
+package fix
+
+import (
+	"repro/internal/bh"
+	"repro/internal/body"
+)
+
+type cache struct {
+	b bh.Builder
+}
+
+// Tree recycles the arena, then leaks the tree that points into it.
+func (c *cache) Tree(s *body.System) (*bh.Tree, error) {
+	t, err := c.b.BuildInto(s, bh.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c.b.Reset()
+	return t, nil
+}

@@ -1,0 +1,22 @@
+// Package fix reaches engines directly from the serve layer.
+package fix
+
+import (
+	"repro/internal/body"
+	"repro/internal/core"
+)
+
+type devsim struct{}
+
+func (devsim) Accel(n int) int { return n }
+
+// Kick runs one force pass without a context.
+func Kick(eng *core.Engine, s *body.System) error {
+	_, err := eng.Accel(s)
+	if err != nil {
+		return err
+	}
+	var d devsim
+	_ = d.Accel(1)
+	return nil
+}

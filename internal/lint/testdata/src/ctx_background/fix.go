@@ -1,0 +1,11 @@
+// Package fix mints root contexts mid-path.
+package fix
+
+import "context"
+
+// Detach orphans the caller's cancellation and trace.
+func Detach() context.Context {
+	ctx := context.Background()
+	_ = context.TODO()
+	return ctx
+}

@@ -1,0 +1,13 @@
+// Package fix misuses the context-less compatibility shims.
+package fix
+
+import (
+	"repro/internal/body"
+	"repro/internal/sim"
+)
+
+// Step drops the caller's context on the floor.
+func Step(s *body.System) ([]sim.Snapshot, error) {
+	var cfg sim.Config
+	return sim.Run(s, nil, nil, cfg)
+}

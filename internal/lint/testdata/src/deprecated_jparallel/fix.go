@@ -1,0 +1,12 @@
+// Package fix builds plans through the deprecated constructors.
+package fix
+
+import (
+	"repro/internal/core"
+	"repro/internal/pp"
+)
+
+// build uses the legacy constructor NewPlanByName replaced.
+func build() *core.JParallel {
+	return core.NewJParallel(nil, pp.Params{})
+}

@@ -1,0 +1,11 @@
+// Package fix registers metrics off-convention.
+package fix
+
+import "repro/internal/obs"
+
+// register mixes conventions.
+func register(r *obs.Registry) {
+	r.Counter("Jobs.Done")
+	r.Gauge("queuedepth")
+	r.Counter("nbody.jobs.accepted")
+}

@@ -1,0 +1,10 @@
+// Package fix registers one name as two kinds.
+package fix
+
+import "repro/internal/obs"
+
+// register re-registers a counter as a gauge.
+func register(o *obs.Obs) {
+	o.Counter("nbody.queue.depth")
+	o.Gauge("nbody.queue.depth")
+}

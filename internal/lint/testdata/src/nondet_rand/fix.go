@@ -1,0 +1,15 @@
+// Package fix draws from the global rand source in plan code.
+package fix
+
+import "math/rand"
+
+// Jitter perturbs timings irreproducibly.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Pick mixes a sanctioned seeded source with the global one.
+func Pick(n int) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(n) + rand.Intn(n)
+}

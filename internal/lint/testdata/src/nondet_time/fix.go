@@ -1,0 +1,10 @@
+// Package fix samples the host clock inside the virtual-time domain.
+package fix
+
+import "time"
+
+// Tick reads wall time where the modelled clock must rule.
+func Tick(start time.Time) float64 {
+	now := time.Now()
+	return time.Since(start).Seconds() + float64(now.Unix())
+}

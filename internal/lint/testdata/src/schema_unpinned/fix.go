@@ -1,0 +1,8 @@
+// Package fix carries a versioned struct the registry never pinned.
+package fix
+
+// Record is wire-versioned but absent from schemas.json.
+type Record struct {
+	SchemaVersion int     `json:"schema_version"`
+	V             float64 `json:"v"`
+}

@@ -1,0 +1,17 @@
+// Package fix drives spans across goroutine spawns.
+package fix
+
+import "repro/internal/obs"
+
+// spawn lets the child goroutine end the parent's span.
+func spawn(tr *obs.Tracer) {
+	sp := tr.Start("spawn", "host")
+	go func() {
+		sp.End()
+	}()
+}
+
+// fire starts a span nothing can ever end.
+func fire(tr *obs.Tracer) {
+	tr.Start("fire", "host").Track("t0")
+}

@@ -1,0 +1,19 @@
+// Package fix opens spans that never reach End.
+package fix
+
+import "repro/internal/obs"
+
+// work starts a span and forgets it.
+func work(tr *obs.Tracer) {
+	sp := tr.Start("work", "host")
+	_ = sp
+}
+
+// guarded ends the span only on the happy path.
+func guarded(tr *obs.Tracer, ok bool) {
+	sp := tr.Start("guarded", "host")
+	if !ok {
+		return
+	}
+	sp.End()
+}

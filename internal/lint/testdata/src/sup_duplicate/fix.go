@@ -1,0 +1,11 @@
+// Package fix stacks two pragmas over one finding: the first (standalone,
+// covering the function block) wins, the second (trailing, same rule) goes
+// unused and is reported — duplicate justifications don't accumulate.
+package fix
+
+import "time"
+
+// repocheck:allow nodeterminism -- block-level justification wins
+func Wall() time.Time {
+	return time.Now() // repocheck:allow nodeterminism -- duplicate trailing justification
+}

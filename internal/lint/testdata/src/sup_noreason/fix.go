@@ -1,0 +1,9 @@
+// Package fix suppresses without saying why.
+package fix
+
+import "context"
+
+// detach hides a real finding behind a bare pragma.
+func detach() context.Context {
+	return context.Background() // repocheck:allow ctxpropagate
+}

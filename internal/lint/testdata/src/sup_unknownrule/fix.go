@@ -1,0 +1,5 @@
+// Package fix names a rule that does not exist.
+package fix
+
+// repocheck:allow nosuchrule -- speculative future-proofing
+func noop() {}

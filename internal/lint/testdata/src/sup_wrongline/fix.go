@@ -1,0 +1,12 @@
+// Package fix anchors a trailing pragma to the wrong line: the pragma
+// covers only its own line, so the finding two lines down stays active and
+// the pragma itself is reported as matching nothing.
+package fix
+
+import "time"
+
+func Wall() time.Time {
+	x := 0 // repocheck:allow nodeterminism -- anchored here, but the call is below
+	_ = x
+	return time.Now()
+}

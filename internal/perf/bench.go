@@ -184,21 +184,13 @@ func newPlan(name string, dev gpusim.DeviceConfig, theta, eps float32) (core.Pla
 	if err != nil {
 		return nil, err
 	}
-	params := pp.Params{G: 1, Eps: eps}
 	opt := bh.DefaultOptions()
 	opt.Theta = theta
 	opt.Eps = eps
-	switch name {
-	case "i-parallel":
-		return core.NewIParallel(ctx, params), nil
-	case "j-parallel":
-		return core.NewJParallel(ctx, params), nil
-	case "w-parallel":
-		return core.NewWParallel(ctx, opt), nil
-	case "jw-parallel":
-		return core.NewJWParallel(ctx, opt), nil
-	}
-	return nil, fmt.Errorf("perf: unknown plan %q", name)
+	return core.NewPlanByName(name,
+		core.WithCLContext(ctx),
+		core.WithPPParams(pp.Params{G: 1, Eps: eps}),
+		core.WithBHOptions(opt))
 }
 
 // RunBench sweeps the configured plans over the configured sizes. Each point

@@ -291,7 +291,7 @@ func (s *Service) SubmitTraced(spec JobSpec, parent obs.TraceContext) (JobStatus
 	if err := spec.Validate(s.cfg.Limits); err != nil {
 		return JobStatus{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) // repocheck:allow ctxpropagate -- jobs outlive the submit request by design; the job context detaches here and cancellation flows through Service.Cancel
 	now := time.Now()
 	j := &job{
 		id:          fmt.Sprintf("job-%d", s.nextID.Add(1)),

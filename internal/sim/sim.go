@@ -179,7 +179,7 @@ type Config struct {
 // RunContext under a background context: no deadline, no cancellation, and
 // trajectory output identical to the pre-context API.
 func Run(s *body.System, eng Engine, integ integrate.Integrator, cfg Config) ([]Snapshot, error) {
-	return RunContext(context.Background(), s, eng, integ, cfg)
+	return RunContext(context.Background(), s, eng, integ, cfg) // repocheck:allow ctxpropagate -- Run is the documented context-less compatibility wrapper; the root context is its contract
 }
 
 // RunContext advances the system and returns the recorded snapshots,
