@@ -38,7 +38,8 @@ func main() {
 		plans      = flag.String("plans", "", "comma-separated plans (default: all four)")
 		theta      = flag.Float64("theta", 0.6, "treecode opening angle")
 		eps        = flag.Float64("eps", 0.05, "softening length")
-		seed       = flag.Uint64("seed", 20110511, "workload seed")
+		seed       = cliflags.ICSeed(flag.CommandLine, 20110511, "seed")
+		noHermite  = flag.Bool("no-hermite", false, "skip the hermite-block sweep point")
 		clockScale = flag.Float64("clock-scale", 1.0, "multiply the device engine clock (for sensitivity checks)")
 		out        = flag.String("out", "", "output JSON path (default BENCH_<date>.json; '-' for stdout)")
 		baseline   = flag.String("baseline", "", "compare against this baseline JSON; exit 1 on regression")
@@ -74,6 +75,9 @@ func main() {
 	cfg.Theta = float32(*theta)
 	cfg.Eps = float32(*eps)
 	cfg.Seed = *seed
+	if *noHermite {
+		cfg.Hermite = false
+	}
 	dev := device.Config()
 	if *clockScale <= 0 {
 		fatalf("non-positive -clock-scale %g", *clockScale)

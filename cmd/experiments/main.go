@@ -25,7 +25,7 @@ func main() {
 		sizes     = cliflags.SizesFlag(flag.CommandLine)
 		kcheck    = cliflags.KernelCheckFlag(flag.CommandLine, "warn")
 		steps     = flag.Int("steps", 100, "steps per table entry (the paper uses 100)")
-		seed      = flag.Uint64("seed", 0, "workload seed (0 = the default)")
+		seed      = cliflags.ICSeed(flag.CommandLine, 0, "seed")
 		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
 		quick     = flag.Bool("quick", false, "use a reduced sweep (smoke test)")
 		verbose   = flag.Bool("v", false, "print per-point progress")

@@ -8,7 +8,9 @@
 //
 // Plans: cpu-pp, cpu-bh, cpu-bh-refit, cpu-fmm, i-parallel, j-parallel,
 // w-parallel, jw-parallel (-engine remains as an alias of -plan).
-// Workloads: plummer, cube, disk, collision.
+// Scenarios (-ic; -workload remains as an alias): plummer, hernquist, cube,
+// disk, collision. Integrators (-integrator): euler, leapfrog, verlet,
+// hermite — hermite takes the block-timestep knobs -eta, -dt-min, -dt-max.
 package main
 
 import (
@@ -27,8 +29,6 @@ import (
 	"repro/internal/diag"
 	"repro/internal/fmm"
 	"repro/internal/gpusim"
-	"repro/internal/ic"
-	"repro/internal/integrate"
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
@@ -46,13 +46,16 @@ func main() {
 		kcheck    = cliflags.KernelCheckFlag(flag.CommandLine, "warn")
 		pipe      = cliflags.PipelineFlag(flag.CommandLine, "serial")
 		hostWork  = cliflags.HostWorkers(flag.CommandLine)
-		workload  = flag.String("workload", "plummer", "initial conditions: plummer, hernquist, cube, disk, collision")
+		icFlag    = cliflags.ICFlag(flag.CommandLine, "plummer", "workload")
+		seed      = cliflags.ICSeed(flag.CommandLine, 1, "seed")
+		integr    = cliflags.IntegratorFlag(flag.CommandLine, "leapfrog")
 		steps     = flag.Int("steps", 100, "number of time steps")
 		dt        = flag.Float64("dt", 0.01, "time step")
 		theta     = flag.Float64("theta", 0.6, "treecode opening angle")
 		eps       = flag.Float64("eps", 0.05, "softening length")
-		integr    = flag.String("integrator", "leapfrog", "integrator: euler, leapfrog, verlet")
-		seed      = flag.Uint64("seed", 1, "workload seed")
+		eta       = flag.Float64("eta", 0, "hermite: Aarseth accuracy parameter (0 = default)")
+		dtMin     = flag.Float64("dt-min", 0, "hermite: smallest block timestep (0 = default depth)")
+		dtMax     = flag.Float64("dt-max", 0, "hermite: largest block timestep (0 = the outer dt)")
 		every     = flag.Int("snapshot", 0, "record energy every k steps (0: start/end only; costs O(N^2) each)")
 		save      = flag.String("save", "", "write the final state to this snapshot file")
 		load      = flag.String("load", "", "start from this snapshot file instead of generating a workload")
@@ -107,11 +110,7 @@ func main() {
 		startTime = snap.Time
 		*n = sys.N()
 	} else {
-		var err error
-		sys, err = makeWorkload(*workload, *n, *seed)
-		if err != nil {
-			fail(err)
-		}
+		sys = icFlag.Make(*n, *seed)
 	}
 
 	params := pp.Params{G: 1, Eps: float32(*eps)}
@@ -136,13 +135,10 @@ func main() {
 		pe.RetainSchedules(1_000_000)
 	}
 
-	ig, err := integrate.New(*integr)
-	if err != nil {
-		fail(err)
-	}
+	ig := integr.New()
 
 	fmt.Printf("nbody: %d bodies (%s), engine %s, integrator %s, dt=%g, %d steps, pipeline %s\n",
-		*n, *workload, eng.Name(), ig.Name(), *dt, *steps, mode)
+		*n, icFlag.Name(), eng.Name(), ig.Name(), *dt, *steps, mode)
 	if *showDiag {
 		if sum, err := diag.Summarize(sys, 1, *eps); err == nil {
 			fmt.Println("initial:", sum)
@@ -168,12 +164,24 @@ func main() {
 		ctx = obs.WithTraceContext(ctx, tc)
 		fmt.Printf("trace id: %s\n", tc.TraceID)
 	}
+	// A generated run names its scenario so sim can arm the library's
+	// watchdog presets when no explicit tolerances were given; a run resumed
+	// from a snapshot has no scenario (and so no presets).
+	scenario := ""
+	if *load == "" {
+		scenario = icFlag.Name()
+	}
 	snaps, err := sim.RunContext(ctx, sys, eng, ig, sim.Config{
 		DT:             float32(*dt),
 		Steps:          *steps,
 		SnapshotEvery:  *every,
 		G:              1,
 		Eps:            *eps,
+		Scenario:       scenario,
+		Integrator:     ig.Name(),
+		Eta:            float32(*eta),
+		DTMin:          float32(*dtMin),
+		DTMax:          float32(*dtMax),
 		Log:            os.Stdout,
 		Obs:            o,
 		Watchdog:       dog,
@@ -293,22 +301,6 @@ func writeTrace(path string, o *obs.Obs, pe *core.Engine, dev gpusim.DeviceConfi
 		return err
 	}
 	return f.Close()
-}
-
-func makeWorkload(kind string, n int, seed uint64) (*body.System, error) {
-	switch kind {
-	case "plummer":
-		return ic.Plummer(n, seed), nil
-	case "cube":
-		return ic.UniformCube(n, 2.0, seed), nil
-	case "disk":
-		return ic.Disk(n, 1.0, seed), nil
-	case "collision":
-		return ic.Collision(n, 4.0, 0.5, seed), nil
-	case "hernquist":
-		return ic.Hernquist(n, seed), nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", kind)
 }
 
 func makeEngine(name string, params pp.Params, opt bh.Options, o *obs.Obs, dev gpusim.DeviceConfig, hostWorkers int) (sim.Engine, *core.Engine, error) {

@@ -20,8 +20,12 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/body"
 	"repro/internal/gpusim"
+	"repro/internal/ic"
+	"repro/internal/integrate"
 	"repro/internal/pipeline"
+	"repro/internal/sim"
 )
 
 // Plan registers the canonical -plan flag with the given default, plus any
@@ -162,6 +166,117 @@ func (p *Pipeline) Set(s string) error {
 
 // Mode returns the parsed pipeline mode.
 func (p *Pipeline) Mode() pipeline.Mode { return p.mode }
+
+// IC is the -ic flag: a named initial-conditions scenario from the library
+// in internal/ic, validated against sim.ScenarioNames at parse time.
+type IC struct {
+	name string
+}
+
+// ICFlag registers -ic with the given default scenario, plus any aliases
+// (nbody keeps -workload as a deprecated alias) bound to the same value.
+func ICFlag(fs *flag.FlagSet, def string, aliases ...string) *IC {
+	c := &IC{}
+	if err := c.Set(def); err != nil {
+		panic(fmt.Sprintf("cliflags: bad default scenario %q: %v", def, err))
+	}
+	fs.Var(c, "ic", "initial conditions: "+strings.Join(sim.ScenarioNames(), ", "))
+	for _, a := range aliases {
+		fs.Var(c, a, "alias for -ic")
+	}
+	return c
+}
+
+// String implements flag.Value.
+func (c *IC) String() string { return c.name }
+
+// Set implements flag.Value, validating against the scenario library.
+func (c *IC) Set(s string) error {
+	for _, known := range sim.ScenarioNames() {
+		if s == known {
+			c.name = s
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown scenario %q (want %s)", s, strings.Join(sim.ScenarioNames(), ", "))
+}
+
+// Name returns the validated scenario name (sim.Config.Scenario takes it
+// verbatim, which arms the scenario's watchdog presets).
+func (c *IC) Name() string { return c.name }
+
+// Make generates the scenario's initial conditions with the library's
+// default per-family parameters — the same defaults the job service applies
+// to a JobSpec scenario, so a CLI run and a served job with matching
+// (scenario, n, seed) start from the identical state.
+func (c *IC) Make(n int, seed uint64) *body.System {
+	switch c.name {
+	case "plummer":
+		return ic.Plummer(n, seed)
+	case "hernquist":
+		return ic.Hernquist(n, seed)
+	case "cube":
+		return ic.UniformCube(n, 2.0, seed)
+	case "disk":
+		return ic.Disk(n, 1.0, seed)
+	case "collision":
+		return ic.Collision(n, 4.0, 0.5, seed)
+	}
+	panic(fmt.Sprintf("cliflags: unvalidated scenario %q", c.name))
+}
+
+// ICSeed registers the shared -ic-seed scenario-seed flag, plus any aliases
+// (commands keep their old -seed spelling as an alias).
+func ICSeed(fs *flag.FlagSet, def uint64, aliases ...string) *uint64 {
+	p := new(uint64)
+	*p = def
+	fs.Uint64Var(p, "ic-seed", def, "initial-conditions seed (selects the realization)")
+	for _, a := range aliases {
+		fs.Uint64Var(p, a, def, "alias for -ic-seed")
+	}
+	return p
+}
+
+// Integrator is the -integrator flag: a canonical integrator name validated
+// through integrate.New at parse time, so a bad value fails in the usage
+// message with the canonical-name list.
+type Integrator struct {
+	name string
+}
+
+// IntegratorFlag registers -integrator with the given default scheme.
+func IntegratorFlag(fs *flag.FlagSet, def string) *Integrator {
+	g := &Integrator{}
+	if err := g.Set(def); err != nil {
+		panic(fmt.Sprintf("cliflags: bad default integrator %q: %v", def, err))
+	}
+	fs.Var(g, "integrator", "integration scheme: "+strings.Join(integrate.Names(), ", "))
+	return g
+}
+
+// String implements flag.Value.
+func (g *Integrator) String() string { return g.name }
+
+// Set implements flag.Value.
+func (g *Integrator) Set(s string) error {
+	if _, err := integrate.New(s); err != nil {
+		return err
+	}
+	g.name = s
+	return nil
+}
+
+// Name returns the validated integrator name.
+func (g *Integrator) Name() string { return g.name }
+
+// New constructs a fresh integrator of the selected scheme.
+func (g *Integrator) New() integrate.Integrator {
+	ig, err := integrate.New(g.name)
+	if err != nil {
+		panic(fmt.Sprintf("cliflags: unvalidated integrator %q: %v", g.name, err))
+	}
+	return ig
+}
 
 // ParseSizes parses a comma-separated list of positive body counts — the
 // one parser behind every -sizes flag.

@@ -6,7 +6,9 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/integrate"
 	"repro/internal/pipeline"
+	"repro/internal/sim"
 )
 
 func quietFlagSet() *flag.FlagSet {
@@ -114,6 +116,84 @@ func TestSizesFlag(t *testing.T) {
 	}
 	if s3.List() != nil {
 		t.Errorf("unset sizes = %v, want nil", s3.List())
+	}
+}
+
+func TestICFlagWithAlias(t *testing.T) {
+	fs := quietFlagSet()
+	c := ICFlag(fs, "plummer", "workload")
+	if err := fs.Parse([]string{"-workload", "disk"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "disk" {
+		t.Errorf("alias did not set the scenario: %q", c.Name())
+	}
+	if sys := c.Make(16, 1); sys.N() != 16 {
+		t.Errorf("Make produced %d bodies", sys.N())
+	}
+	fs2 := quietFlagSet()
+	ICFlag(fs2, "plummer")
+	if err := fs2.Parse([]string{"-ic", "torus"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	// Every library scenario must be both accepted and generatable.
+	for _, name := range sim.ScenarioNames() {
+		fs := quietFlagSet()
+		c := ICFlag(fs, "plummer")
+		if err := fs.Parse([]string{"-ic", name}); err != nil {
+			t.Errorf("scenario %q rejected: %v", name, err)
+			continue
+		}
+		if sys := c.Make(8, 2); sys.N() != 8 {
+			t.Errorf("scenario %q: Make produced %d bodies", name, sys.N())
+		}
+	}
+}
+
+func TestICSeedWithAlias(t *testing.T) {
+	fs := quietFlagSet()
+	s := ICSeed(fs, 1, "seed")
+	if err := fs.Parse([]string{"-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	if *s != 42 {
+		t.Errorf("alias did not set the seed: %d", *s)
+	}
+	fs2 := quietFlagSet()
+	s2 := ICSeed(fs2, 7)
+	if err := fs2.Parse([]string{"-ic-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if *s2 != 9 {
+		t.Errorf("-ic-seed did not set the value: %d", *s2)
+	}
+}
+
+func TestIntegratorFlag(t *testing.T) {
+	fs := quietFlagSet()
+	g := IntegratorFlag(fs, "leapfrog")
+	if err := fs.Parse([]string{"-integrator", "hermite"}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "hermite" || g.New().Name() != "hermite" {
+		t.Errorf("integrator = %q (New: %q)", g.Name(), g.New().Name())
+	}
+	fs2 := quietFlagSet()
+	IntegratorFlag(fs2, "leapfrog")
+	if err := fs2.Parse([]string{"-integrator", "rk9"}); err == nil {
+		t.Error("unknown integrator accepted")
+	}
+	// Every canonical name must round-trip through the flag.
+	for _, name := range integrate.Names() {
+		fs := quietFlagSet()
+		g := IntegratorFlag(fs, "leapfrog")
+		if err := fs.Parse([]string{"-integrator", name}); err != nil {
+			t.Errorf("integrator %q rejected: %v", name, err)
+			continue
+		}
+		if g.New().Name() != name {
+			t.Errorf("integrator %q: New() named %q", name, g.New().Name())
+		}
 	}
 }
 

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/vec"
 )
 
 // Engine adapts a Plan to the force-engine interface the simulation driver
@@ -55,6 +57,10 @@ type Engine struct {
 	runner pipeline.Runner
 	obs    *obs.Obs
 
+	// jerk is the lazily built active-subset acceleration+jerk unit for the
+	// Hermite block-timestep path; nil until the first AccelJerk call.
+	jerk *jerkUnit
+
 	// Schedule retention (RetainSchedules): the executed stage schedules of
 	// every evaluation merged onto one continuous timeline, for post-run perf
 	// attribution over what actually executed rather than just the last step.
@@ -76,6 +82,9 @@ func (e *Engine) SetObs(o *obs.Obs) {
 	e.obs = o
 	if p, ok := e.Plan.(obs.Observable); ok {
 		p.SetObs(o)
+	}
+	if e.jerk != nil {
+		e.jerk.setObs(o)
 	}
 }
 
@@ -105,6 +114,15 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	e.account(prof)
+	return prof.Interactions, nil
+}
+
+// account folds one evaluation's RunProfile into the engine's serial
+// accumulators, the executed cross-step timeline, schedule retention, and the
+// telemetry gauges. Shared by the force path (Accel) and the jerk path
+// (AccelJerk) so both accrue on the same accounting.
+func (e *Engine) account(prof *RunProfile) {
 	e.KernelSeconds += prof.Profile.KernelSeconds
 	e.TransferSeconds += prof.Profile.TransferSeconds
 	e.HostSeconds += prof.Profile.HostSeconds
@@ -136,6 +154,47 @@ func (e *Engine) Accel(s *body.System) (int64, error) {
 		e.obs.Gauge("engine.sustained.gflops").Set(e.SustainedGFLOPS())
 		e.obs.Gauge("engine.host_build.seconds").Set(e.HostBuildSeconds)
 	}
+}
+
+// SupportsJerk implements the sim.JerkEngine capability probe: the engine can
+// evaluate active-subset acceleration+jerk only when its plan is a PP plan on
+// the simulated device (the treecode has no exact jerk, and the multi-device
+// plan predates the stage-graph path).
+func (e *Engine) SupportsJerk() bool {
+	if e.Plan.Kind() != KindPP {
+		return false
+	}
+	_, ok := e.Plan.(jerkCapablePlan)
+	return ok
+}
+
+// AccelJerk implements the sim.JerkEngine capability: it computes
+// accelerations (into s.Acc) and jerks (into jerk) for the bodies listed in
+// active, summed over all N sources, on the simulated device — the force
+// path of the Hermite block-timestep integrator. The execution plan is
+// re-selected per call as the active block shrinks (see jerkUnit); modelled
+// time, flops and interactions accrue on the engine's usual accounting.
+func (e *Engine) AccelJerk(ctx context.Context, s *body.System, active []int, jerk []vec.V3) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	p, ok := e.Plan.(jerkCapablePlan)
+	if !ok || e.Plan.Kind() != KindPP {
+		return 0, fmt.Errorf("core: plan %s has no jerk path", e.Plan.Name())
+	}
+	if e.jerk == nil {
+		e.jerk = newJerkUnit(p.clContext(), p.ppParams())
+		e.jerk.setObs(e.obs)
+	}
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		sp := e.obs.Start("accel-jerk", "engine").Track(e.Name()).ChildOf(tc)
+		defer sp.End()
+	}
+	prof, err := e.jerk.eval(s, active, jerk)
+	if err != nil {
+		return 0, err
+	}
+	e.account(prof)
 	return prof.Interactions, nil
 }
 

@@ -49,6 +49,9 @@ func (p *IParallel) Name() string { return "i-parallel" }
 // Kind implements Plan.
 func (p *IParallel) Kind() Kind { return KindPP }
 
+// ppParams exposes the physics parameters for the engine's jerk unit.
+func (p *IParallel) ppParams() pp.Params { return p.Params }
+
 // SetObs implements obs.Observable.
 func (p *IParallel) SetObs(o *obs.Obs) { p.setObs(o) }
 

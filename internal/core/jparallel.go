@@ -52,6 +52,9 @@ func (p *JParallel) Name() string { return "j-parallel" }
 // Kind implements Plan.
 func (p *JParallel) Kind() Kind { return KindPP }
 
+// ppParams exposes the physics parameters for the engine's jerk unit.
+func (p *JParallel) ppParams() pp.Params { return p.Params }
+
 // SetObs implements obs.Observable.
 func (p *JParallel) SetObs(o *obs.Obs) { p.setObs(o) }
 

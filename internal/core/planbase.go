@@ -28,6 +28,10 @@ func (b *planBase) setObs(o *obs.Obs) {
 	b.queue.SetObs(o)
 }
 
+// clContext exposes the plan's context so the engine can build auxiliary
+// units (the Hermite jerk unit) on the same simulated device.
+func (b *planBase) clContext() *cl.Context { return b.ctx }
+
 // ensure (re)allocates a device buffer, growing only: modelled transfer cost
 // is charged per element written, not per buffer size, so an oversized
 // buffer never changes the timing.
@@ -47,6 +51,13 @@ func (b *planBase) ensure(name string, buf **gpusim.Buffer, n int, isFloat bool)
 // the RunProfile: the per-kind profile from the queue's event log plus the
 // executed stage schedule for the perf layer.
 func (b *planBase) run(g *pipeline.Graph, plan string, n int, interactions int64) (*RunProfile, error) {
+	return b.runFlops(g, plan, n, interactions, interactionFlops(interactions))
+}
+
+// runFlops is run with an explicit useful-flops total, for kernels whose
+// per-interaction cost differs from the plain force kernel (the jerk path
+// charges pp.FlopsPerJerkInteraction).
+func (b *planBase) runFlops(g *pipeline.Graph, plan string, n int, interactions, flops int64) (*RunProfile, error) {
 	b.queue.Reset()
 	sched, err := g.Execute(b.queue, b.obs)
 	if err != nil {
@@ -56,7 +67,7 @@ func (b *planBase) run(g *pipeline.Graph, plan string, n int, interactions int64
 		Plan:         plan,
 		N:            n,
 		Interactions: interactions,
-		Flops:        interactionFlops(interactions),
+		Flops:        flops,
 		Profile:      b.queue.Profile(),
 		Launches:     sched.Launches(),
 		Schedule:     sched,

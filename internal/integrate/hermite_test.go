@@ -1,0 +1,186 @@
+package integrate
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/body"
+	"repro/internal/ic"
+	"repro/internal/pp"
+	"repro/internal/vec"
+)
+
+// blockForce returns a CPU block force over the reference kernel.
+func blockForce(p pp.Params) BlockForceFunc {
+	return func(s *body.System, active []int, jerk []vec.V3) int64 {
+		return pp.ScalarJerk(s, active, jerk, p)
+	}
+}
+
+// sysEnergy computes kinetic + softened potential.
+func sysEnergy(s *body.System, p pp.Params) float64 {
+	return s.KineticEnergy() + s.PotentialEnergy(float64(p.G), float64(p.Eps))
+}
+
+// TestHermiteConservesEnergy runs a Plummer sphere for a dynamical-time
+// stretch and checks the relative energy drift stays small.
+func TestHermiteConservesEnergy(t *testing.T) {
+	p := pp.Params{G: 1, Eps: 0.05}
+	s := ic.Plummer(128, 11)
+	h := &Hermite{Eta: 0.02}
+	h.SetBlockForce(blockForce(p))
+
+	e0 := sysEnergy(s, p)
+	const dt = 1.0 / 16
+	for step := 0; step < 32; step++ {
+		h.Step(s, dt, nil)
+	}
+	e1 := sysEnergy(s, p)
+	drift := abs64((e1 - e0) / e0)
+	if drift > 2e-3 {
+		t.Fatalf("hermite energy drift %.3g over 2 time units (e0=%g e1=%g)", drift, e0, e1)
+	}
+	if h.Substeps() == 0 {
+		t.Fatal("no block substeps recorded")
+	}
+	if f := h.MeanActiveFraction(); f <= 0 || f > 1 {
+		t.Fatalf("mean active fraction %g out of range", f)
+	}
+}
+
+// TestHermiteLowerDriftThanLeapfrogAtEqualBudget compares energy drift at a
+// comparable force-evaluation budget (the wall-clock proxy: both schemes are
+// dominated by the same O(N^2) kernel, so interactions evaluated ~ wall
+// time). Leapfrog gets at least as many interactions as Hermite consumed and
+// must still drift more.
+func TestHermiteLowerDriftThanLeapfrogAtEqualBudget(t *testing.T) {
+	p := pp.Params{G: 1, Eps: 0.05}
+	const n = 128
+	const horizon = 2.0
+
+	// Hermite over the horizon with the default outer step.
+	hs := ic.Plummer(n, 5)
+	h := &Hermite{Eta: 0.02}
+	h.SetBlockForce(blockForce(p))
+	e0 := sysEnergy(hs, p)
+	var hermiteInter int64
+	const outer = 1.0 / 8
+	for step := 0; step < int(horizon/outer); step++ {
+		hermiteInter += h.Step(hs, outer, nil)
+	}
+	hermiteDrift := abs64((sysEnergy(hs, p) - e0) / e0)
+
+	// Leapfrog over the same horizon with a step chosen so it spends at
+	// least the same interaction budget.
+	steps := int(hermiteInter/(n*n)) + 1
+	ls := ic.Plummer(n, 5)
+	lf := &Leapfrog{}
+	force := func(s *body.System) int64 { return pp.Parallel(s, p, 1) }
+	el0 := sysEnergy(ls, p)
+	var lfInter int64
+	dt := float32(horizon) / float32(steps)
+	for step := 0; step < steps; step++ {
+		lfInter += lf.Step(ls, dt, force)
+	}
+	lfDrift := abs64((sysEnergy(ls, p) - el0) / el0)
+
+	if lfInter < hermiteInter {
+		t.Fatalf("budget mismatch: leapfrog %d < hermite %d interactions", lfInter, hermiteInter)
+	}
+	if hermiteDrift >= lfDrift {
+		t.Fatalf("hermite drift %.3g not lower than leapfrog drift %.3g (hermite %d vs leapfrog %d interactions)",
+			hermiteDrift, lfDrift, hermiteInter, lfInter)
+	}
+	t.Logf("hermite drift %.3g (%d interactions) vs leapfrog drift %.3g (%d interactions)",
+		hermiteDrift, hermiteInter, lfDrift, lfInter)
+}
+
+// TestHermiteBlockSchedulerDeterministic runs the same system twice and
+// demands bit-identical trajectories and identical substep statistics — the
+// block scheduler must be free of map iteration, time and scheduling
+// nondeterminism (the -race CI job runs this test).
+func TestHermiteBlockSchedulerDeterministic(t *testing.T) {
+	p := pp.Params{G: 1, Eps: 0.05}
+	run := func() (*body.System, int64, int64) {
+		s := ic.Collision(64, 4.0, 0.5, 9)
+		h := &Hermite{Eta: 0.01, DTMin: 1.0 / 512}
+		h.SetBlockForce(blockForce(p))
+		var inter int64
+		for step := 0; step < 8; step++ {
+			inter += h.Step(s, 1.0/16, nil)
+		}
+		return s, inter, h.Substeps()
+	}
+	s1, i1, sub1 := run()
+	s2, i2, sub2 := run()
+	if i1 != i2 || sub1 != sub2 {
+		t.Fatalf("scheduler diverged: interactions %d vs %d, substeps %d vs %d", i1, i2, sub1, sub2)
+	}
+	if !reflect.DeepEqual(s1.Pos, s2.Pos) || !reflect.DeepEqual(s1.Vel, s2.Vel) {
+		t.Fatal("trajectories diverged between identical runs")
+	}
+}
+
+// TestHermiteUsesBlockLevels checks that a collision system actually spreads
+// bodies across more than one dt level (otherwise the scheduler degenerates
+// to shared timesteps and the active fraction pins at 1).
+func TestHermiteUsesBlockLevels(t *testing.T) {
+	p := pp.Params{G: 1, Eps: 0.02}
+	s := ic.Plummer(256, 2)
+	h := &Hermite{Eta: 0.01, DTMin: 1.0 / 1024}
+	h.SetBlockForce(blockForce(p))
+	for step := 0; step < 4; step++ {
+		h.Step(s, 1.0/16, nil)
+	}
+	if f := h.MeanActiveFraction(); f >= 0.999 {
+		t.Fatalf("mean active fraction %g: every body active every substep, block levels unused", f)
+	}
+}
+
+// TestHermiteFallsBackWithoutBlockForce pins the degraded mode: with no block
+// force wired, Step must still advance the system (as leapfrog) rather than
+// panic.
+func TestHermiteFallsBackWithoutBlockForce(t *testing.T) {
+	p := pp.DefaultParams()
+	s := ic.Plummer(32, 1)
+	before := s.Pos[0]
+	h := &Hermite{}
+	force := func(sys *body.System) int64 { return pp.Parallel(sys, p, 1) }
+	if n := h.Step(s, 0.01, force); n == 0 {
+		t.Fatal("fallback step evaluated no interactions")
+	}
+	if s.Pos[0] == before {
+		t.Fatal("fallback step did not move the system")
+	}
+}
+
+// TestNewNamesErrors pins the canonical-name list in New's error message and
+// the Names round trip.
+func TestNewNamesErrors(t *testing.T) {
+	for _, name := range Names() {
+		integ, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if integ.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, integ.Name())
+		}
+	}
+	_, err := New("rk4")
+	if err == nil {
+		t.Fatal("New(rk4) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not name %q", err, name)
+		}
+	}
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

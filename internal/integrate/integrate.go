@@ -1,13 +1,17 @@
 // Package integrate provides the time integrators that advance a body
 // system given accelerations: explicit Euler (the simplest scheme, kept for
 // reference and error comparisons), leapfrog in kick-drift-kick form (the
-// standard N-body integrator, symplectic and time-reversible), and velocity
+// standard N-body integrator, symplectic and time-reversible), velocity
 // Verlet (algebraically equivalent to leapfrog but organised around a single
-// force evaluation per step with cached accelerations).
+// force evaluation per step with cached accelerations), and a 4th-order
+// Hermite predictor-corrector with individual power-of-two block timesteps
+// (the production astrophysics scheme, which needs the extended
+// acceleration+jerk force path — see BlockIntegrator).
 package integrate
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/body"
 )
@@ -124,8 +128,14 @@ func (v *Verlet) Step(s *body.System, dt float32, force ForceFunc) int64 {
 // Reset clears the acceleration cache.
 func (v *Verlet) Reset() { v.primed = false }
 
-// New returns the integrator with the given name: "euler", "leapfrog" or
-// "verlet".
+// Names lists the canonical integrator names New accepts, in order of
+// increasing sophistication. CLI flags and the job service validate against
+// this list instead of keeping private copies.
+func Names() []string {
+	return []string{"euler", "leapfrog", "verlet", "hermite"}
+}
+
+// New returns the integrator with the given name (see Names).
 func New(name string) (Integrator, error) {
 	switch name {
 	case "euler":
@@ -134,6 +144,8 @@ func New(name string) (Integrator, error) {
 		return &Leapfrog{}, nil
 	case "verlet":
 		return &Verlet{}, nil
+	case "hermite":
+		return &Hermite{}, nil
 	}
-	return nil, fmt.Errorf("integrate: unknown integrator %q", name)
+	return nil, fmt.Errorf("integrate: unknown integrator %q (known: %s)", name, strings.Join(Names(), ", "))
 }

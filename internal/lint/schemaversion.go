@@ -294,6 +294,13 @@ func UpdateSchemas(l *Loader, pkgs []*Package) ([]byte, error) {
 	for _, pkg := range pkgs {
 		loaded[pkg.Types.Path()] = pkg.Types
 	}
+	// Snapshot the prior entries by value before compacting: byType holds
+	// pointers into reg.Structs' backing array, which the compaction below
+	// would otherwise scramble out from under the curated-field lookups.
+	prior := make(map[string]schemaEntry, len(reg.Structs))
+	for _, e := range reg.Structs {
+		prior[e.Type] = e
+	}
 	kept := reg.Structs[:0]
 	for _, e := range reg.Structs {
 		pkgPath := e.Type
@@ -313,7 +320,7 @@ func UpdateSchemas(l *Loader, pkgs []*Package) ([]byte, error) {
 				Fingerprint: fingerprintStruct(st),
 				Version:     1,
 			}
-			if old := reg.byType[entry.Type]; old != nil {
+			if old, ok := prior[entry.Type]; ok {
 				entry.VersionConst = old.VersionConst
 				entry.Reader = old.Reader
 				entry.Version = old.Version

@@ -156,6 +156,16 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 		// file simply has them zero, which Compare treats as "no baseline".
 		r.SchemaVersion = 3
 	}
+	if r.SchemaVersion == 3 {
+		// v4 added the activeFraction column and the hermite-block sweep
+		// point. Every v3 point evaluated the whole system, so its active
+		// fraction was 1 by construction; the missing hermite point is simply
+		// absent, which Compare skips (points are matched on plan and N).
+		r.SchemaVersion = 4
+		for i := range r.Points {
+			r.Points[i].ActiveFraction = 1
+		}
+	}
 	if r.SchemaVersion > BenchSchemaVersion {
 		return nil, fmt.Errorf("perf: %s: schema v%d is newer than this binary's v%d",
 			path, r.SchemaVersion, BenchSchemaVersion)

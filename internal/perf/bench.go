@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,13 +9,16 @@ import (
 	"time"
 
 	"repro/internal/bh"
+	"repro/internal/body"
 	"repro/internal/cl"
 	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/ic"
+	"repro/internal/integrate"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/pp"
+	"repro/internal/vec"
 )
 
 // BenchSchemaVersion identifies the BENCH_*.json layout; bump on breaking
@@ -22,10 +26,12 @@ import (
 //
 // v2 added the pipeline mode and the per-point pipelined time / speedup
 // columns; v3 added the measured host-build time and allocations-per-step
-// columns. ReadBenchReport upgrades older files in memory (v1: serial mode,
-// pipelined == total; v2: the new measured columns stay zero, which Compare
-// skips because zero baselines compare equal).
-const BenchSchemaVersion = 3
+// columns; v4 added the per-point activeFraction column and the Hermite
+// block-timestep sweep point. ReadBenchReport upgrades older files in memory
+// (v1: serial mode, pipelined == total; v2: the new measured columns stay
+// zero, which Compare skips because zero baselines compare equal; v3: every
+// point ran with the full system active, so activeFraction becomes 1).
+const BenchSchemaVersion = 4
 
 // PlanNames lists the four plans in the paper's presentation order.
 var PlanNames = []string{"i-parallel", "j-parallel", "w-parallel", "jw-parallel"}
@@ -49,6 +55,11 @@ type BenchConfig struct {
 	// (the paper's implementation note 4), which the PipelinedMS column
 	// measures.
 	Pipeline pipeline.Mode
+	// Hermite adds the Hermite block-timestep sweep point: one extra point at
+	// the smallest configured size driving the i-parallel jerk path through
+	// the block scheduler, whose ActiveFraction column records how much of
+	// the system the average block touched.
+	Hermite bool
 	// Device is the modelled GPU.
 	Device gpusim.DeviceConfig
 	// Progress, when non-nil, receives one line per completed point.
@@ -67,6 +78,7 @@ func DefaultBenchConfig() BenchConfig {
 		Theta:   0.6,
 		Eps:     0.05,
 		Seed:    20110511,
+		Hermite: true,
 		Device:  gpusim.HD5850(),
 	}
 }
@@ -144,6 +156,10 @@ type BenchPoint struct {
 	// delta), the steady-state figure the pooled host pipeline drives to ~0
 	// for the BH plans.
 	AllocsPerStep Stat `json:"allocsPerStep"`
+	// ActiveFraction is the mean fraction of the system each force evaluation
+	// touched: 1.0 for the whole-system plan points, and the block scheduler's
+	// mean active fraction for the Hermite sweep point.
+	ActiveFraction float64 `json:"activeFraction"`
 
 	Report PlanReport `json:"report"`
 }
@@ -193,12 +209,20 @@ func newPlan(name string, dev gpusim.DeviceConfig, theta, eps float32) (core.Pla
 		core.WithBHOptions(opt))
 }
 
-// RunBench sweeps the configured plans over the configured sizes. Each point
-// runs Repeats force evaluations on a fresh plan instance (first evaluation
-// warm — buffers allocated — before timing starts), collects repeat
-// statistics, and builds the perf report from the final evaluation's span
-// bundle and launch results.
+// RunBench sweeps the configured plans over the configured sizes under a
+// background context. It is the context-less compatibility wrapper around
+// RunBenchContext, mirroring sim.Run.
 func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	return RunBenchContext(context.Background(), cfg) // repocheck:allow ctxpropagate -- RunBench is the documented context-less compatibility wrapper; the root context is its contract
+}
+
+// RunBenchContext sweeps the configured plans over the configured sizes.
+// Each point runs Repeats force evaluations on a fresh plan instance (first
+// evaluation warm — buffers allocated — before timing starts), collects
+// repeat statistics, and builds the perf report from the final evaluation's
+// span bundle and launch results. The context reaches the Hermite point's
+// jerk evaluations; the fixed-plan points are modelled, not cancellable.
+func RunBenchContext(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
 	plans := cfg.Plans
 	if len(plans) == 0 {
 		plans = PlanNames
@@ -289,18 +313,19 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			}
 
 			pt := BenchPoint{
-				Plan:         name,
-				N:            n,
-				KernelMS:     newStat(kernel),
-				TransferMS:   newStat(transfer),
-				HostMS:       newStat(host),
-				TotalMS:      newStat(total),
-				WallMS:       newStat(wall),
-				KernelGFLOPS:  newStat(gflops),
-				PipelinedMS:   newStat(pipelined),
-				HostBuildMS:   newStat(hostBuild),
-				AllocsPerStep: newStat(allocs),
-				Report:        BuildPlanReport(cfg.Device, prof, o.Trace.Spans()),
+				Plan:           name,
+				N:              n,
+				KernelMS:       newStat(kernel),
+				TransferMS:     newStat(transfer),
+				HostMS:         newStat(host),
+				TotalMS:        newStat(total),
+				WallMS:         newStat(wall),
+				KernelGFLOPS:   newStat(gflops),
+				PipelinedMS:    newStat(pipelined),
+				HostBuildMS:    newStat(hostBuild),
+				AllocsPerStep:  newStat(allocs),
+				ActiveFraction: 1,
+				Report:         BuildPlanReport(cfg.Device, prof, o.Trace.Spans()),
 			}
 			if pt.PipelinedMS.Mean > 0 {
 				pt.SpeedupVsSerial = pt.TotalMS.Mean / pt.PipelinedMS.Mean
@@ -315,12 +340,90 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			}
 		}
 	}
+	if cfg.Hermite {
+		pt, err := hermitePoint(ctx, cfg, repeats)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "  %-12s N=%-7d wall=%8.3fms  active=%.3f\n",
+				pt.Plan, pt.N, pt.WallMS.Mean, pt.ActiveFraction)
+		}
+	}
 	if cfg.TraceOut != nil && lastObs != nil {
 		if err := cl.WriteMergedTrace(cfg.TraceOut, lastObs.Trace, cfg.Device, lastLaunches...); err != nil {
 			return nil, fmt.Errorf("perf: merged trace: %w", err)
 		}
 	}
 	return rep, nil
+}
+
+// hermiteBlockPlan names the Hermite sweep point. It is deliberately not a
+// core plan name: Compare matches points on (plan, N), so old baselines
+// simply skip it instead of mis-diffing it against a force-only point.
+const hermiteBlockPlan = "hermite-block"
+
+// hermitePoint measures the Hermite block-timestep integrator end to end on
+// the i-parallel jerk path at the sweep's smallest size: full outer steps
+// through the block scheduler, so the point reflects the mix of i- and
+// j-parallel block evaluations the dynamic plan selector actually chose.
+// Smallest size because the cost per outer step is a multiple of a
+// whole-system evaluation (one per block boundary).
+func hermitePoint(ctx context.Context, cfg BenchConfig, repeats int) (BenchPoint, error) {
+	n := cfg.Sizes[0]
+	const outerSteps = 2
+	outerDT := float32(1.0 / 16)
+
+	var wall, kernel, total, gflops, active []float64
+	for r := 0; r < repeats; r++ {
+		plan, err := newPlan("i-parallel", cfg.Device, cfg.Theta, cfg.Eps)
+		if err != nil {
+			return BenchPoint{}, err
+		}
+		eng := core.NewEngine(plan)
+		integ := &integrate.Hermite{}
+		var forceErr error
+		integ.SetBlockForce(func(s *body.System, act []int, jerk []vec.V3) int64 {
+			inter, err := eng.AccelJerk(ctx, s, act, jerk)
+			if err != nil && forceErr == nil {
+				forceErr = err
+			}
+			return inter
+		})
+		sys := ic.Plummer(n, cfg.Seed)
+		begin := time.Now()
+		for st := 0; st < outerSteps; st++ {
+			integ.Step(sys, outerDT, nil)
+		}
+		wallSec := time.Since(begin).Seconds()
+		if forceErr != nil {
+			return BenchPoint{}, fmt.Errorf("perf: %s at N=%d: %w", hermiteBlockPlan, n, forceErr)
+		}
+		wall = append(wall, wallSec*1e3/outerSteps)
+		kernel = append(kernel, eng.KernelSeconds*1e3/outerSteps)
+		total = append(total, eng.TotalSeconds()*1e3/outerSteps)
+		gflops = append(gflops, eng.SustainedGFLOPS())
+		active = append(active, integ.MeanActiveFraction())
+	}
+	var meanActive float64
+	for _, a := range active {
+		meanActive += a
+	}
+	meanActive /= float64(len(active))
+	// The block path runs strictly serially (each block's correction feeds
+	// the next prediction), so the executed cost is the serial total.
+	return BenchPoint{
+		Plan:            hermiteBlockPlan,
+		N:               n,
+		KernelMS:        newStat(kernel),
+		TotalMS:         newStat(total),
+		WallMS:          newStat(wall),
+		KernelGFLOPS:    newStat(gflops),
+		PipelinedMS:     newStat(total),
+		SpeedupVsSerial: 1,
+		ActiveFraction:  meanActive,
+	}, nil
 }
 
 // occupancySummary renders the first kernel's occupancy as "8/24".

@@ -40,9 +40,11 @@ func TestRunBenchStructure(t *testing.T) {
 	if rep.SchemaVersion != BenchSchemaVersion {
 		t.Errorf("schema version = %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
 	}
-	if len(rep.Points) != len(PlanNames)*2 {
-		t.Fatalf("points = %d, want %d", len(rep.Points), len(PlanNames)*2)
+	// len(PlanNames) plans at each size, plus the hermite-block sweep point.
+	if len(rep.Points) != len(PlanNames)*2+1 {
+		t.Fatalf("points = %d, want %d", len(rep.Points), len(PlanNames)*2+1)
 	}
+	var sawHermite bool
 	for _, pt := range rep.Points {
 		if pt.KernelMS.Mean <= 0 || pt.KernelMS.Samples != 2 {
 			t.Errorf("%s N=%d: degenerate kernel stat %+v", pt.Plan, pt.N, pt.KernelMS)
@@ -50,17 +52,30 @@ func TestRunBenchStructure(t *testing.T) {
 		if pt.WallMS.Mean <= 0 {
 			t.Errorf("%s N=%d: no wall time", pt.Plan, pt.N)
 		}
+		// The modelled kernel time is deterministic across repeats.
+		if pt.KernelMS.Std != 0 {
+			t.Errorf("%s N=%d: modelled kernel time varies across repeats: %+v",
+				pt.Plan, pt.N, pt.KernelMS)
+		}
+		if pt.Plan == hermiteBlockPlan {
+			sawHermite = true
+			if pt.ActiveFraction <= 0 || pt.ActiveFraction >= 1 {
+				t.Errorf("hermite-block active fraction %g not in (0,1)", pt.ActiveFraction)
+			}
+			continue // no per-kernel report: the point aggregates many launches
+		}
+		if pt.ActiveFraction != 1 {
+			t.Errorf("%s N=%d: active fraction %g, want 1", pt.Plan, pt.N, pt.ActiveFraction)
+		}
 		if len(pt.Report.Kernels) == 0 {
 			t.Errorf("%s N=%d: no kernel reports", pt.Plan, pt.N)
 		}
 		if pt.Report.Attribution.Spans == 0 {
 			t.Errorf("%s N=%d: attribution consumed no spans", pt.Plan, pt.N)
 		}
-		// The modelled kernel time is deterministic across repeats.
-		if pt.KernelMS.Std != 0 {
-			t.Errorf("%s N=%d: modelled kernel time varies across repeats: %+v",
-				pt.Plan, pt.N, pt.KernelMS)
-		}
+	}
+	if !sawHermite {
+		t.Error("sweep has no hermite-block point")
 	}
 }
 
@@ -106,7 +121,7 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
-	if !strings.Contains(buf.String(), "\"schema_version\": 3") {
+	if !strings.Contains(buf.String(), "\"schema_version\": 4") {
 		t.Error("schema_version missing from JSON")
 	}
 	if !strings.Contains(buf.String(), "\"pipeline\": \"serial\"") {

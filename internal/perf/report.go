@@ -51,11 +51,11 @@ type PlanReport struct {
 // way).
 func BuildPlanReport(cfg gpusim.DeviceConfig, prof *core.RunProfile, spans []obs.SpanRecord) PlanReport {
 	r := PlanReport{
-		SchemaVersion:   PlanReportSchemaVersion,
-		Plan:            prof.Plan,
-		N:               prof.N,
-		Interactions:    prof.Interactions,
-		Flops:           prof.Flops,
+		SchemaVersion:    PlanReportSchemaVersion,
+		Plan:             prof.Plan,
+		N:                prof.N,
+		Interactions:     prof.Interactions,
+		Flops:            prof.Flops,
 		KernelSeconds:    prof.Profile.KernelSeconds,
 		TransferSeconds:  prof.Profile.TransferSeconds,
 		HostSeconds:      prof.Profile.HostSeconds,

@@ -1,0 +1,91 @@
+package pp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/body"
+	"repro/internal/ic"
+	"repro/internal/vec"
+)
+
+// TestScalarJerkMatchesFiniteDifference checks the analytic jerk against a
+// central finite difference of the acceleration along straight-line motion:
+// advancing every body by +-h along its velocity and differencing Scalar's
+// accelerations must reproduce ScalarJerk to O(h^2).
+func TestScalarJerkMatchesFiniteDifference(t *testing.T) {
+	const n = 64
+	s := ic.Plummer(n, 7)
+	p := Params{G: 1, Eps: 0.1}
+
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	jerk := make([]vec.V3, n)
+	ScalarJerk(s, active, jerk, p)
+
+	const h = 1e-3
+	shift := func(sign float32) *body.System {
+		c := s.Clone()
+		for i := range c.Pos {
+			c.Pos[i] = c.Pos[i].Add(c.Vel[i].Scale(sign * h))
+		}
+		return c
+	}
+	fwd := shift(+1)
+	bwd := shift(-1)
+	Scalar(fwd, p)
+	Scalar(bwd, p)
+
+	var worst float64
+	for i := 0; i < n; i++ {
+		fd := fwd.Acc[i].Sub(bwd.Acc[i]).Scale(1 / (2 * h))
+		d := float64(fd.Sub(jerk[i]).Norm())
+		den := float64(jerk[i].Norm()) + 1e-3
+		if r := d / den; r > worst {
+			worst = r
+		}
+	}
+	if worst > 2e-2 {
+		t.Fatalf("jerk vs finite difference: worst relative error %.3g", worst)
+	}
+}
+
+// TestScalarJerkAccMatchesScalar checks that the acceleration half of the
+// combined kernel reproduces the canonical force path for the active subset.
+func TestScalarJerkAccMatchesScalar(t *testing.T) {
+	const n = 96
+	s := ic.Plummer(n, 3)
+	p := DefaultParams()
+
+	want := s.Clone()
+	Scalar(want, p)
+
+	active := []int{0, 5, 17, 41, 95}
+	jerk := make([]vec.V3, n)
+	ScalarJerk(s, active, jerk, p)
+	for _, i := range active {
+		d := float64(s.Acc[i].Sub(want.Acc[i]).Norm())
+		den := float64(want.Acc[i].Norm()) + 1e-6
+		if d/den > 1e-6 {
+			t.Fatalf("body %d: ScalarJerk acc %v != Scalar acc %v", i, s.Acc[i], want.Acc[i])
+		}
+	}
+	// Inactive slots must be untouched (still zero: fresh clone).
+	if s.Acc[1] != (vec.V3{}) || jerk[1] != (vec.V3{}) {
+		t.Fatalf("inactive body written: acc=%v jerk=%v", s.Acc[1], jerk[1])
+	}
+}
+
+// TestAccumulateJerkIntoCoincident pins the zero-softening coincident-body
+// convention: zero force, zero jerk, no NaNs.
+func TestAccumulateJerkIntoCoincident(t *testing.T) {
+	a, j := AccumulateJerkInto(1, 2, 3, 0.1, 0.2, 0.3, 1, 2, 3, 9, 9, 9, 5, 0)
+	if a != (vec.V3{}) || j != (vec.V3{}) {
+		t.Fatalf("coincident bodies: acc=%v jerk=%v, want zeros", a, j)
+	}
+	if math.IsNaN(float64(j.X)) {
+		t.Fatal("NaN jerk")
+	}
+}

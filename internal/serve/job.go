@@ -23,6 +23,7 @@ import (
 	"repro/internal/body"
 	"repro/internal/core"
 	"repro/internal/ic"
+	"repro/internal/integrate"
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/sim"
@@ -34,19 +35,34 @@ import (
 // were built with.
 const (
 	// JobSchemaVersion covers JobSpec (requests) and JobStatus (responses).
-	JobSchemaVersion = 1
+	// Version 2 replaced the v1 workload/bodies pair with the scenario API
+	// and added the Hermite block-timestep fields; v1 documents are upgraded
+	// on read (see DecodeJobSpec).
+	JobSchemaVersion = 2
 	// SnapshotSchemaVersion covers the SnapshotRecord stream lines.
 	SnapshotSchemaVersion = 1
 )
 
-// WorkloadSpec names a generated initial-conditions model.
-type WorkloadSpec struct {
-	// Kind is one of plummer, hernquist, cube, disk, collision.
-	Kind string `json:"kind"`
-	// N is the body count.
-	N int `json:"n"`
+// ScenarioSpec names the job's initial conditions: a generated scenario from
+// the library in internal/ic (plummer, hernquist, cube, disk, collision) with
+// its per-family parameters, or "explicit" with the bodies supplied inline.
+type ScenarioSpec struct {
+	// Name is one of plummer, hernquist, cube, disk, collision, explicit.
+	Name string `json:"name"`
+	// N is the body count (generated scenarios; ignored for explicit).
+	N int `json:"n,omitempty"`
 	// Seed selects the realization (default 1).
 	Seed uint64 `json:"seed,omitempty"`
+	// Scale is the disk's radial scale length (default 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Side is the cube's edge length (default 2.0).
+	Side float64 `json:"side,omitempty"`
+	// Separation and Speed parameterize the collision scenario: the initial
+	// cluster separation (default 4.0) and closing speed (default 0.5).
+	Separation float64 `json:"separation,omitempty"`
+	Speed      float64 `json:"speed,omitempty"`
+	// Bodies supplies the initial conditions for the explicit scenario.
+	Bodies []BodySpec `json:"bodies,omitempty"`
 }
 
 // BodySpec is one explicitly uploaded body.
@@ -65,26 +81,35 @@ type ToleranceSpec struct {
 	Momentum float64 `json:"momentum,omitempty"`
 }
 
-// JobSpec is the body of POST /v1/jobs: one simulation job. Exactly one of
-// Workload and Bodies supplies the initial conditions.
+// JobSpec is the body of POST /v1/jobs: one simulation job. The scenario
+// supplies the initial conditions — a named generator from the library or
+// explicit bodies. v1 documents (workload/bodies in place of scenario) are
+// upgraded on read and remain fully supported.
 type JobSpec struct {
 	SchemaVersion int `json:"schema_version"`
 	// Plan is the execution plan (core.PlanNames: i-parallel, j-parallel,
 	// w-parallel, jw-parallel, jw-parallel-xK, ...).
-	Plan     string        `json:"plan"`
-	Workload *WorkloadSpec `json:"workload,omitempty"`
-	Bodies   []BodySpec    `json:"bodies,omitempty"`
+	Plan string `json:"plan"`
+	// Scenario is the initial-conditions scenario.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
 	// Steps and DT drive the integrator.
 	Steps int     `json:"steps"`
 	DT    float64 `json:"dt"`
 	// SnapshotEvery records (and streams) diagnostics every k steps; 0
 	// records the start and end only.
 	SnapshotEvery int `json:"snapshot_every,omitempty"`
-	// Integrator is euler, leapfrog (default) or verlet.
+	// Integrator is one of integrate.Names: euler, leapfrog (default),
+	// verlet, hermite.
 	Integrator string `json:"integrator,omitempty"`
 	// Theta and Eps configure the force calculation (defaults 0.6, 0.05).
 	Theta float64 `json:"theta,omitempty"`
 	Eps   float64 `json:"eps,omitempty"`
+	// DTMin, DTMax and Eta configure the Hermite block-timestep hierarchy
+	// (integrate.Hermite fields of the same names); they require
+	// integrator "hermite".
+	DTMin float64 `json:"dt_min,omitempty"`
+	DTMax float64 `json:"dt_max,omitempty"`
+	Eta   float64 `json:"eta,omitempty"`
 	// Pipeline is serial (default) or overlap; PipelineWindow groups steps
 	// per window under overlap (default 8).
 	Pipeline       string `json:"pipeline,omitempty"`
@@ -92,7 +117,8 @@ type JobSpec struct {
 	// TimeoutMS bounds the job's run time once it starts executing; 0 uses
 	// the service default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Tolerances aborts the run when conservation breaks.
+	// Tolerances aborts the run when conservation breaks; when absent, the
+	// named scenarios install their library presets (sim.ScenarioWatchdog).
 	Tolerances *ToleranceSpec `json:"tolerances,omitempty"`
 }
 
@@ -244,110 +270,201 @@ func validPlan(name string) bool {
 	return false
 }
 
-// workloadKinds mirrors the generators in internal/ic.
-var workloadKinds = map[string]bool{
-	"plummer": true, "hernquist": true, "cube": true, "disk": true, "collision": true,
+// scenarioNames lists the generated scenarios (sim.ScenarioNames) plus the
+// explicit-bodies escape hatch, for validation messages.
+func scenarioNames() []string {
+	return append(sim.ScenarioNames(), "explicit")
+}
+
+// validScenarioName reports whether name is a known scenario.
+func validScenarioName(name string) bool {
+	for _, known := range scenarioNames() {
+		if name == known {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate checks the spec against the schema and the service limits,
 // filling nothing in: defaults are applied at run time so the stored spec
-// stays what the client sent.
+// stays what the client sent. Every error names the offending JSON field.
 func (s *JobSpec) Validate(lim Limits) error {
-	if s.SchemaVersion != 0 && s.SchemaVersion != JobSchemaVersion {
-		return fmt.Errorf("unsupported schema_version %d (this service speaks %d)", s.SchemaVersion, JobSchemaVersion)
+	if s.SchemaVersion != 0 && s.SchemaVersion > JobSchemaVersion {
+		return fmt.Errorf("schema_version: unsupported version %d (this service speaks %d)", s.SchemaVersion, JobSchemaVersion)
 	}
 	if s.Plan == "" {
-		return fmt.Errorf("missing plan")
+		return fmt.Errorf("plan: missing")
 	}
 	if !validPlan(s.Plan) {
-		return fmt.Errorf("unknown plan %q (known: %v)", s.Plan, core.PlanNames())
+		return fmt.Errorf("plan: unknown plan %q (known: %v)", s.Plan, core.PlanNames())
 	}
-	if (s.Workload == nil) == (len(s.Bodies) == 0) {
-		return fmt.Errorf("exactly one of workload and bodies must be given")
+	if s.Scenario == nil {
+		return fmt.Errorf("scenario: missing")
 	}
-	n := len(s.Bodies)
-	if s.Workload != nil {
-		if !workloadKinds[s.Workload.Kind] {
-			return fmt.Errorf("unknown workload kind %q", s.Workload.Kind)
+	sc := s.Scenario
+	if !validScenarioName(sc.Name) {
+		return fmt.Errorf("scenario.name: unknown scenario %q (known: %v)", sc.Name, scenarioNames())
+	}
+	n := sc.N
+	if sc.Name == "explicit" {
+		if len(sc.Bodies) == 0 {
+			return fmt.Errorf("scenario.bodies: explicit scenario needs bodies")
 		}
-		if s.Workload.N <= 0 {
-			return fmt.Errorf("workload n %d must be positive", s.Workload.N)
+		if sc.N != 0 && sc.N != len(sc.Bodies) {
+			return fmt.Errorf("scenario.n: %d does not match %d explicit bodies", sc.N, len(sc.Bodies))
 		}
-		n = s.Workload.N
+		n = len(sc.Bodies)
+	} else {
+		if len(sc.Bodies) != 0 {
+			return fmt.Errorf("scenario.bodies: only meaningful for the explicit scenario")
+		}
+		if sc.N <= 0 {
+			return fmt.Errorf("scenario.n: %d must be positive", sc.N)
+		}
+	}
+	if sc.Scale != 0 && sc.Name != "disk" {
+		return fmt.Errorf("scenario.scale: only meaningful for the disk scenario")
+	}
+	if sc.Side != 0 && sc.Name != "cube" {
+		return fmt.Errorf("scenario.side: only meaningful for the cube scenario")
+	}
+	if (sc.Separation != 0 || sc.Speed != 0) && sc.Name != "collision" {
+		return fmt.Errorf("scenario.separation/speed: only meaningful for the collision scenario")
+	}
+	if sc.Scale < 0 || sc.Side < 0 || sc.Separation < 0 {
+		return fmt.Errorf("scenario: scale, side and separation must be non-negative")
 	}
 	if lim.MaxBodies > 0 && n > lim.MaxBodies {
-		return fmt.Errorf("n %d exceeds the service limit %d", n, lim.MaxBodies)
+		return fmt.Errorf("scenario.n: %d exceeds the service limit %d", n, lim.MaxBodies)
 	}
 	if s.Steps <= 0 {
-		return fmt.Errorf("steps %d must be positive", s.Steps)
+		return fmt.Errorf("steps: %d must be positive", s.Steps)
 	}
 	if lim.MaxSteps > 0 && s.Steps > lim.MaxSteps {
-		return fmt.Errorf("steps %d exceeds the service limit %d", s.Steps, lim.MaxSteps)
+		return fmt.Errorf("steps: %d exceeds the service limit %d", s.Steps, lim.MaxSteps)
 	}
 	if s.DT <= 0 {
-		return fmt.Errorf("dt %g must be positive", s.DT)
+		return fmt.Errorf("dt: %g must be positive", s.DT)
 	}
 	if s.SnapshotEvery < 0 {
-		return fmt.Errorf("snapshot_every %d must be non-negative", s.SnapshotEvery)
+		return fmt.Errorf("snapshot_every: %d must be non-negative", s.SnapshotEvery)
 	}
-	switch s.Integrator {
-	case "", "euler", "leapfrog", "verlet":
-	default:
-		return fmt.Errorf("unknown integrator %q", s.Integrator)
+	if s.Integrator != "" {
+		if _, err := integrate.New(s.Integrator); err != nil {
+			return fmt.Errorf("integrator: unknown integrator %q (known: %s)",
+				s.Integrator, strings.Join(integrate.Names(), ", "))
+		}
+	}
+	if s.Integrator != "hermite" {
+		switch {
+		case s.DTMin != 0:
+			return fmt.Errorf("dt_min: requires integrator \"hermite\"")
+		case s.DTMax != 0:
+			return fmt.Errorf("dt_max: requires integrator \"hermite\"")
+		case s.Eta != 0:
+			return fmt.Errorf("eta: requires integrator \"hermite\"")
+		}
+	}
+	if s.DTMin < 0 {
+		return fmt.Errorf("dt_min: %g must be non-negative", s.DTMin)
+	}
+	if s.DTMax < 0 {
+		return fmt.Errorf("dt_max: %g must be non-negative", s.DTMax)
+	}
+	if s.Eta < 0 {
+		return fmt.Errorf("eta: %g must be non-negative", s.Eta)
+	}
+	if s.DTMin > 0 && s.DTMax > 0 && s.DTMin > s.DTMax {
+		return fmt.Errorf("dt_min: %g exceeds dt_max %g", s.DTMin, s.DTMax)
 	}
 	switch s.Pipeline {
 	case "", "serial", "overlap":
 	default:
-		return fmt.Errorf("unknown pipeline mode %q", s.Pipeline)
+		return fmt.Errorf("pipeline: unknown mode %q", s.Pipeline)
 	}
 	if s.TimeoutMS < 0 {
-		return fmt.Errorf("timeout_ms %d must be non-negative", s.TimeoutMS)
+		return fmt.Errorf("timeout_ms: %d must be non-negative", s.TimeoutMS)
 	}
 	if strings.ContainsAny(s.Plan, " \t\n") {
-		return fmt.Errorf("malformed plan %q", s.Plan)
+		return fmt.Errorf("plan: malformed plan %q", s.Plan)
 	}
 	return nil
 }
 
 // N returns the job's body count.
 func (s *JobSpec) N() int {
-	if s.Workload != nil {
-		return s.Workload.N
+	if s.Scenario == nil {
+		return 0
 	}
-	return len(s.Bodies)
+	if s.Scenario.Name == "explicit" {
+		return len(s.Scenario.Bodies)
+	}
+	return s.Scenario.N
+}
+
+// ScenarioName returns the scenario name, "" when unset.
+func (s *JobSpec) ScenarioName() string {
+	if s.Scenario == nil {
+		return ""
+	}
+	return s.Scenario.Name
 }
 
 // System builds the job's initial conditions. Each call returns a fresh
-// system, so a retried job restarts from the same state.
+// system, so a retried job restarts from the same state. The defaults (seed
+// 1, cube side 2.0, disk scale 1.0, collision separation 4.0 and speed 0.5)
+// are exactly the v1 constants, so an upgraded v1 spec reproduces its old
+// trajectory bit for bit.
 func (s *JobSpec) System() (*body.System, error) {
-	if s.Workload != nil {
-		seed := s.Workload.Seed
+	sc := s.Scenario
+	if sc == nil {
+		return nil, fmt.Errorf("scenario: missing")
+	}
+	if sc.Name != "explicit" {
+		seed := sc.Seed
 		if seed == 0 {
 			seed = 1
 		}
-		n := s.Workload.N
-		switch s.Workload.Kind {
+		n := sc.N
+		switch sc.Name {
 		case "plummer":
 			return ic.Plummer(n, seed), nil
 		case "hernquist":
 			return ic.Hernquist(n, seed), nil
 		case "cube":
-			return ic.UniformCube(n, 2.0, seed), nil
+			side := sc.Side
+			if side == 0 {
+				side = 2.0
+			}
+			return ic.UniformCube(n, side, seed), nil
 		case "disk":
-			return ic.Disk(n, 1.0, seed), nil
+			scale := sc.Scale
+			if scale == 0 {
+				scale = 1.0
+			}
+			return ic.Disk(n, scale, seed), nil
 		case "collision":
-			return ic.Collision(n, 4.0, 0.5, seed), nil
+			sep := sc.Separation
+			if sep == 0 {
+				sep = 4.0
+			}
+			speed := sc.Speed
+			if speed == 0 {
+				speed = 0.5
+			}
+			return ic.Collision(n, sep, speed, seed), nil
 		}
-		return nil, fmt.Errorf("unknown workload kind %q", s.Workload.Kind)
+		return nil, fmt.Errorf("scenario.name: unknown scenario %q", sc.Name)
 	}
-	sys := body.NewSystem(len(s.Bodies))
-	for i, b := range s.Bodies {
+	sys := body.NewSystem(len(sc.Bodies))
+	for i, b := range sc.Bodies {
 		sys.Pos[i] = vec.V3{X: b.Pos[0], Y: b.Pos[1], Z: b.Pos[2]}
 		sys.Vel[i] = vec.V3{X: b.Vel[0], Y: b.Vel[1], Z: b.Vel[2]}
 		sys.Mass[i] = b.Mass
 	}
 	if err := sys.Validate(); err != nil {
-		return nil, fmt.Errorf("uploaded bodies: %w", err)
+		return nil, fmt.Errorf("scenario.bodies: %w", err)
 	}
 	return sys, nil
 }
@@ -372,13 +489,93 @@ func (s *JobSpec) timeout(def time.Duration) time.Duration {
 	return def
 }
 
-// DecodeJobSpec decodes and validates a JobSpec document.
+// workloadSpecV1 is the v1 wire shape of a generated workload, kept only for
+// upgrading legacy documents.
+type workloadSpecV1 struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// jobSpecV1 is the v1 JobSpec wire shape: workload/bodies instead of the
+// scenario, no block-timestep fields. DecodeJobSpec upgrades it on read.
+type jobSpecV1 struct {
+	SchemaVersion  int             `json:"schema_version"`
+	Plan           string          `json:"plan"`
+	Workload       *workloadSpecV1 `json:"workload,omitempty"`
+	Bodies         []BodySpec      `json:"bodies,omitempty"`
+	Steps          int             `json:"steps"`
+	DT             float64         `json:"dt"`
+	SnapshotEvery  int             `json:"snapshot_every,omitempty"`
+	Integrator     string          `json:"integrator,omitempty"`
+	Theta          float64         `json:"theta,omitempty"`
+	Eps            float64         `json:"eps,omitempty"`
+	Pipeline       string          `json:"pipeline,omitempty"`
+	PipelineWindow int             `json:"pipeline_window,omitempty"`
+	TimeoutMS      int64           `json:"timeout_ms,omitempty"`
+	Tolerances     *ToleranceSpec  `json:"tolerances,omitempty"`
+}
+
+// upgrade lifts a v1 document to the v2 shape: a workload becomes the
+// same-named scenario, explicit bodies become the explicit scenario. The
+// System defaults are shared, so the upgraded spec generates a bit-identical
+// initial state.
+func (v *jobSpecV1) upgrade() JobSpec {
+	spec := JobSpec{
+		SchemaVersion:  JobSchemaVersion,
+		Plan:           v.Plan,
+		Steps:          v.Steps,
+		DT:             v.DT,
+		SnapshotEvery:  v.SnapshotEvery,
+		Integrator:     v.Integrator,
+		Theta:          v.Theta,
+		Eps:            v.Eps,
+		Pipeline:       v.Pipeline,
+		PipelineWindow: v.PipelineWindow,
+		TimeoutMS:      v.TimeoutMS,
+		Tolerances:     v.Tolerances,
+	}
+	switch {
+	case v.Workload != nil:
+		spec.Scenario = &ScenarioSpec{Name: v.Workload.Kind, N: v.Workload.N, Seed: v.Workload.Seed}
+	case len(v.Bodies) > 0:
+		spec.Scenario = &ScenarioSpec{Name: "explicit", Bodies: v.Bodies}
+	}
+	return spec
+}
+
+// specEnvelope probes only the schema version, to pick the decode shape.
+type specEnvelope struct {
+	SchemaVersion int `json:"schema_version"`
+}
+
+// DecodeJobSpec decodes and validates a JobSpec document. Version 2
+// documents decode directly; version 1 (or unversioned) documents decode
+// through the legacy shape and are upgraded on read, so existing clients
+// keep working unchanged.
 func DecodeJobSpec(data []byte, lim Limits) (JobSpec, error) {
+	var env specEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return JobSpec{}, fmt.Errorf("bad job spec: %w", err)
+	}
 	var spec JobSpec
-	dec := json.NewDecoder(strings.NewReader(string(data)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		return spec, fmt.Errorf("bad job spec: %w", err)
+	if env.SchemaVersion <= 1 {
+		var v1 jobSpecV1
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&v1); err != nil {
+			return spec, fmt.Errorf("bad job spec: %w", err)
+		}
+		if (v1.Workload == nil) == (len(v1.Bodies) == 0) {
+			return spec, fmt.Errorf("workload/bodies: exactly one must be given")
+		}
+		spec = v1.upgrade()
+	} else {
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return spec, fmt.Errorf("bad job spec: %w", err)
+		}
 	}
 	if err := spec.Validate(lim); err != nil {
 		return spec, err

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// postRaw submits a raw JSON job document — used to exercise the legacy v1
+// wire shape exactly as an old client would send it.
+func postRaw(t *testing.T, url string, doc []byte) JobStatus {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// streamRecords drains a job's snapshot stream to the final record.
+func streamRecords(t *testing.T, url, id string) []SnapshotRecord {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []SnapshotRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec SnapshotRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty stream")
+	}
+	return recs
+}
+
+// TestHTTPScenarioHermiteJob runs a named-scenario Hermite job end to end
+// over HTTP: a v2 spec naming the plummer scenario with block-timestep
+// parameters streams to done, under the scenario's watchdog presets (the
+// service arms them because the spec carries no explicit tolerances).
+func TestHTTPScenarioHermiteJob(t *testing.T) {
+	srv, _ := testHTTP(t, 1, 4)
+	spec := JobSpec{
+		SchemaVersion: JobSchemaVersion,
+		Plan:          "i-parallel",
+		Scenario:      &ScenarioSpec{Name: "plummer", N: 128, Seed: 3},
+		Steps:         4,
+		DT:            1.0 / 16,
+		SnapshotEvery: 2,
+		Integrator:    "hermite",
+		Eta:           0.02,
+		Eps:           0.05,
+	}
+	resp, st := postJob(t, srv.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	recs := streamRecords(t, srv.URL, st.ID)
+	final := recs[len(recs)-1]
+	if !final.Final || final.State != StateDone || final.Error != "" {
+		t.Fatalf("hermite scenario job did not finish clean: %+v", final)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("only %d stream records", len(recs))
+	}
+}
+
+// TestHTTPV1V2IdenticalTrajectory pins the upgrade-on-read contract from the
+// client's side: the same job POSTed as a legacy v1 workload document and as
+// a v2 scenario document must produce bit-identical snapshot streams (modulo
+// timing fields, which measure the host, not the physics).
+func TestHTTPV1V2IdenticalTrajectory(t *testing.T) {
+	srv, _ := testHTTP(t, 1, 4)
+	v1 := []byte(`{
+		"schema_version": 1,
+		"plan": "i-parallel",
+		"workload": {"kind": "plummer", "n": 96, "seed": 5},
+		"steps": 6,
+		"dt": 0.01,
+		"snapshot_every": 2,
+		"integrator": "leapfrog",
+		"eps": 0.05
+	}`)
+	v2 := []byte(`{
+		"schema_version": 2,
+		"plan": "i-parallel",
+		"scenario": {"name": "plummer", "n": 96, "seed": 5},
+		"steps": 6,
+		"dt": 0.01,
+		"snapshot_every": 2,
+		"integrator": "leapfrog",
+		"eps": 0.05
+	}`)
+	stV1 := postRaw(t, srv.URL, v1)
+	recsV1 := streamRecords(t, srv.URL, stV1.ID)
+	stV2 := postRaw(t, srv.URL, v2)
+	recsV2 := streamRecords(t, srv.URL, stV2.ID)
+
+	if len(recsV1) != len(recsV2) {
+		t.Fatalf("stream lengths differ: v1=%d v2=%d", len(recsV1), len(recsV2))
+	}
+	for i := range recsV1 {
+		a, b := recsV1[i].Snapshot, recsV2[i].Snapshot
+		if (a == nil) != (b == nil) {
+			t.Fatalf("record %d: snapshot presence differs", i)
+		}
+		if a == nil {
+			continue
+		}
+		if a.Step != b.Step || a.Kinetic != b.Kinetic || a.Potential != b.Potential ||
+			a.Total != b.Total || a.Momentum != b.Momentum || a.VirialRatio != b.VirialRatio ||
+			a.Interactions != b.Interactions {
+			t.Fatalf("record %d diverges:\nv1 %+v\nv2 %+v", i, a, b)
+		}
+	}
+	finalV1, finalV2 := recsV1[len(recsV1)-1], recsV2[len(recsV2)-1]
+	if finalV1.State != StateDone || finalV2.State != StateDone {
+		t.Fatalf("terminal states: v1=%s v2=%s", finalV1.State, finalV2.State)
+	}
+}

@@ -37,7 +37,7 @@ func quickJob(n, steps int) JobSpec {
 	return JobSpec{
 		SchemaVersion: JobSchemaVersion,
 		Plan:          "i-parallel",
-		Workload:      &WorkloadSpec{Kind: "plummer", N: n, Seed: 1},
+		Scenario:      &ScenarioSpec{Name: "plummer", N: n, Seed: 1},
 		Steps:         steps,
 		DT:            0.01,
 		SnapshotEvery: 0,
@@ -198,8 +198,10 @@ func TestJobDeadlineFailsJob(t *testing.T) {
 // faultyEngine fails every Accel call.
 type faultyEngine struct{}
 
-func (faultyEngine) Name() string                           { return "faulty" }
-func (faultyEngine) Accel(*body.System) (int64, error)      { return 0, fmt.Errorf("device fell off the bus") }
+func (faultyEngine) Name() string { return "faulty" }
+func (faultyEngine) Accel(*body.System) (int64, error) {
+	return 0, fmt.Errorf("device fell off the bus")
+}
 
 func TestEngineFailureQuarantinesAndRetries(t *testing.T) {
 	svc, pool := testService(t, 2, 4)

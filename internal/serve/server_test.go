@@ -258,19 +258,22 @@ func TestHTTPDrainServesFinalRecords(t *testing.T) {
 
 func TestJobSpecRoundTrip(t *testing.T) {
 	spec := JobSpec{
-		SchemaVersion: JobSchemaVersion,
-		Plan:          "jw-parallel",
-		Workload:      &WorkloadSpec{Kind: "plummer", N: 512, Seed: 7},
-		Steps:         40,
-		DT:            0.005,
-		SnapshotEvery: 10,
-		Integrator:    "verlet",
-		Theta:         0.7,
-		Eps:           0.02,
-		Pipeline:      "overlap",
+		SchemaVersion:  JobSchemaVersion,
+		Plan:           "jw-parallel",
+		Scenario:       &ScenarioSpec{Name: "plummer", N: 512, Seed: 7},
+		Steps:          40,
+		DT:             0.005,
+		SnapshotEvery:  10,
+		Integrator:     "hermite",
+		DTMin:          1.0 / 4096,
+		DTMax:          0.005,
+		Eta:            0.02,
+		Theta:          0.7,
+		Eps:            0.02,
+		Pipeline:       "overlap",
 		PipelineWindow: 4,
-		TimeoutMS:     1234,
-		Tolerances:    &ToleranceSpec{Energy: 1e-2, Momentum: 1e-3},
+		TimeoutMS:      1234,
+		Tolerances:     &ToleranceSpec{Energy: 1e-2, Momentum: 1e-3},
 	}
 	data, err := json.Marshal(spec)
 	if err != nil {
@@ -282,6 +285,68 @@ func TestJobSpecRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(spec, got) {
 		t.Fatalf("round trip changed the spec:\n in %+v\nout %+v", spec, got)
+	}
+}
+
+// TestJobSpecV1Upgrade pins the legacy decode path: a v1 workload/bodies
+// document decodes into the equivalent v2 scenario spec, field for field.
+func TestJobSpecV1Upgrade(t *testing.T) {
+	v1 := []byte(`{
+		"schema_version": 1,
+		"plan": "i-parallel",
+		"workload": {"kind": "disk", "n": 128, "seed": 9},
+		"steps": 20,
+		"dt": 0.01,
+		"snapshot_every": 5,
+		"integrator": "verlet",
+		"eps": 0.02,
+		"timeout_ms": 500,
+		"tolerances": {"energy": 0.01}
+	}`)
+	got, err := DecodeJobSpec(v1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JobSpec{
+		SchemaVersion: JobSchemaVersion,
+		Plan:          "i-parallel",
+		Scenario:      &ScenarioSpec{Name: "disk", N: 128, Seed: 9},
+		Steps:         20,
+		DT:            0.01,
+		SnapshotEvery: 5,
+		Integrator:    "verlet",
+		Eps:           0.02,
+		TimeoutMS:     500,
+		Tolerances:    &ToleranceSpec{Energy: 0.01},
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("v1 upgrade mismatch:\nwant %+v\n got %+v", want, got)
+	}
+
+	// An explicit-bodies v1 document becomes the explicit scenario.
+	v1b := []byte(`{"plan":"i-parallel","steps":1,"dt":0.01,
+		"bodies":[{"pos":[1,0,0],"vel":[0,1,0],"mass":1},{"pos":[-1,0,0],"vel":[0,-1,0],"mass":1}]}`)
+	gotB, err := DecodeJobSpec(v1b, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB.Scenario == nil || gotB.Scenario.Name != "explicit" || len(gotB.Scenario.Bodies) != 2 {
+		t.Fatalf("v1 bodies upgrade: %+v", gotB.Scenario)
+	}
+
+	// The upgraded spec must generate the same initial state a v2 spec with
+	// the same scenario does — byte identity of the run starts here.
+	v2 := got
+	sysV1, err := got.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysV2, err := v2.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sysV1, sysV2) {
+		t.Fatal("upgraded v1 and v2 specs generated different systems")
 	}
 }
 
@@ -329,21 +394,30 @@ func TestJobSpecValidation(t *testing.T) {
 	}{
 		{"missing plan", func(s *JobSpec) { s.Plan = "" }, Limits{}},
 		{"unknown plan", func(s *JobSpec) { s.Plan = "z-parallel" }, Limits{}},
-		{"both workload and bodies", func(s *JobSpec) { s.Bodies = []BodySpec{{Mass: 1}} }, Limits{}},
-		{"neither workload nor bodies", func(s *JobSpec) { s.Workload = nil }, Limits{}},
-		{"bad workload kind", func(s *JobSpec) { s.Workload.Kind = "torus" }, Limits{}},
-		{"zero n", func(s *JobSpec) { s.Workload.N = 0 }, Limits{}},
+		{"missing scenario", func(s *JobSpec) { s.Scenario = nil }, Limits{}},
+		{"unknown scenario", func(s *JobSpec) { s.Scenario.Name = "torus" }, Limits{}},
+		{"zero n", func(s *JobSpec) { s.Scenario.N = 0 }, Limits{}},
+		{"explicit without bodies", func(s *JobSpec) { s.Scenario = &ScenarioSpec{Name: "explicit"} }, Limits{}},
+		{"bodies on generated scenario", func(s *JobSpec) { s.Scenario.Bodies = []BodySpec{{Mass: 1}} }, Limits{}},
+		{"scale on non-disk", func(s *JobSpec) { s.Scenario.Scale = 2 }, Limits{}},
+		{"side on non-cube", func(s *JobSpec) { s.Scenario.Side = 3 }, Limits{}},
+		{"separation on non-collision", func(s *JobSpec) { s.Scenario.Separation = 5 }, Limits{}},
 		{"zero steps", func(s *JobSpec) { s.Steps = 0 }, Limits{}},
 		{"negative dt", func(s *JobSpec) { s.DT = -1 }, Limits{}},
 		{"bad integrator", func(s *JobSpec) { s.Integrator = "rk9" }, Limits{}},
+		{"block fields without hermite", func(s *JobSpec) { s.Eta = 0.02 }, Limits{}},
+		{"dt_min above dt_max", func(s *JobSpec) {
+			s.Integrator = "hermite"
+			s.DTMin, s.DTMax = 0.1, 0.01
+		}, Limits{}},
 		{"bad pipeline", func(s *JobSpec) { s.Pipeline = "turbo" }, Limits{}},
 		{"over body limit", func(s *JobSpec) {}, Limits{MaxBodies: 32}},
 		{"over step limit", func(s *JobSpec) {}, Limits{MaxSteps: 5}},
 	}
 	for _, tc := range cases {
 		spec := base
-		wl := *base.Workload
-		spec.Workload = &wl
+		sc := *base.Scenario
+		spec.Scenario = &sc
 		tc.mutate(&spec)
 		if err := spec.Validate(tc.lim); err == nil {
 			t.Errorf("%s: accepted", tc.name)
@@ -365,10 +439,11 @@ func TestUploadedBodiesJob(t *testing.T) {
 		}
 	}
 	spec := JobSpec{
-		Plan:   "i-parallel",
-		Bodies: bodies,
-		Steps:  5,
-		DT:     0.01,
+		SchemaVersion: JobSchemaVersion,
+		Plan:          "i-parallel",
+		Scenario:      &ScenarioSpec{Name: "explicit", Bodies: bodies},
+		Steps:         5,
+		DT:            0.01,
 	}
 	st, err := svc.Submit(spec)
 	if err != nil {

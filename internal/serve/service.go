@@ -903,6 +903,11 @@ func (s *Service) attempt(j *job, attempt int) (retry bool, err error) {
 		SnapshotEvery:  spec.SnapshotEvery,
 		G:              1,
 		Eps:            eps,
+		Integrator:     integName,
+		Scenario:       spec.ScenarioName(),
+		DTMin:          float32(spec.DTMin),
+		DTMax:          float32(spec.DTMax),
+		Eta:            float32(spec.Eta),
 		Obs:            s.obs,
 		Watchdog:       spec.watchdog(),
 		PipelineWindow: window,

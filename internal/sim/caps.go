@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/body"
 	"repro/internal/obs"
+	"repro/internal/vec"
 )
 
 // ContextEngine is optionally implemented by engines whose force evaluation
@@ -39,6 +40,18 @@ type HostWorkersEngine interface {
 	SetHostWorkers(n int)
 }
 
+// JerkEngine is optionally implemented by engines that can evaluate
+// active-subset acceleration+jerk — the extended force path the Hermite
+// block-timestep integrator needs (integrate.BlockForceFunc). SupportsJerk
+// lets an engine type implement the interface while declining the capability
+// for configurations without a jerk path (core.Engine over a treecode plan);
+// Caps records the capability only when it returns true, and RunContext falls
+// back to the CPU reference pp.ScalarJerk otherwise.
+type JerkEngine interface {
+	SupportsJerk() bool
+	AccelJerk(ctx context.Context, s *body.System, active []int, jerk []vec.V3) (int64, error)
+}
+
 // EngineCaps is the single probe for every optional capability an Engine may
 // implement on top of the required Accel/Name pair. Run, RunContext and the
 // job service (internal/serve) all discover capabilities through Caps rather
@@ -64,6 +77,9 @@ type EngineCaps struct {
 	HostBuildTimed HostBuildTimedEngine
 	// HostWorkers accepts a host-build parallelism cap (Config.HostWorkers).
 	HostWorkers HostWorkersEngine
+	// Jerk evaluates active-subset acceleration+jerk for the Hermite
+	// block-timestep path; nil when the engine declines SupportsJerk.
+	Jerk JerkEngine
 }
 
 // Caps probes eng for every optional capability.
@@ -76,6 +92,9 @@ func Caps(eng Engine) EngineCaps {
 	c.Observable, _ = eng.(obs.Observable)
 	c.HostBuildTimed, _ = eng.(HostBuildTimedEngine)
 	c.HostWorkers, _ = eng.(HostWorkersEngine)
+	if j, ok := eng.(JerkEngine); ok && j.SupportsJerk() {
+		c.Jerk = j
+	}
 	return c
 }
 
@@ -120,6 +139,9 @@ func (c EngineCaps) String() string {
 	}
 	if c.HostWorkers != nil {
 		parts = append(parts, "hostworkers")
+	}
+	if c.Jerk != nil {
+		parts = append(parts, "jerk")
 	}
 	return strings.Join(parts, ",")
 }

@@ -33,7 +33,7 @@ type batchOnlyEngine struct {
 	starts, flushes int
 }
 
-func (e *batchOnlyEngine) StartBatch()        { e.starts++ }
+func (e *batchOnlyEngine) StartBatch()         { e.starts++ }
 func (e *batchOnlyEngine) FlushBatch() float64 { e.flushes++; return 0 }
 
 // ctxEngine records the context it was handed and fails after a set number
@@ -56,10 +56,10 @@ func (e *ctxEngine) AccelContext(ctx context.Context, s *body.System) (int64, er
 
 func TestCapsPartialImplementations(t *testing.T) {
 	cases := []struct {
-		name                                        string
-		eng                                         Engine
+		name                                         string
+		eng                                          Engine
 		timed, batch, ctxAware, executed, observable bool
-		caps                                        string
+		caps                                         string
 	}{
 		{"bare", bareEngine{}, false, false, false, false, false, ""},
 		{"timed-only", &timedTestEngine{}, true, false, false, false, false, "timed"},

@@ -1,0 +1,54 @@
+package sim
+
+import "repro/internal/perf"
+
+// ScenarioNames lists the named initial-condition scenarios of the library
+// (internal/ic generators), in the order the documentation presents them.
+// "explicit" — caller-supplied bodies — is deliberately absent: it is a JobSpec
+// concept, not a generator, and carries no watchdog presets.
+func ScenarioNames() []string {
+	return []string{"plummer", "hernquist", "cube", "disk", "collision"}
+}
+
+// ScenarioTolerances returns the physics-watchdog tolerance band for a named
+// scenario, and whether the scenario has one. The near-equilibrium spheres
+// (Plummer, Hernquist) get the tight band with the virial check armed: their
+// virial ratio should breathe around 0.5, and a leapfrog or Hermite run that
+// leaves [0.25, 1.0] is numerically broken, not merely relaxing. The cold cube
+// and disk collapse violently and the collision scenario is far from
+// equilibrium by construction, so those only get the conservation checks,
+// with the energy band widened to ride out close encounters at finite eps.
+func ScenarioTolerances(name string) (perf.Tolerances, bool) {
+	switch name {
+	case "plummer", "hernquist":
+		return perf.Tolerances{
+			MaxEnergyDrift:   1e-2,
+			MaxMomentumDrift: 1e-3,
+			VirialMin:        0.25,
+			VirialMax:        1.0,
+		}, true
+	case "cube", "disk":
+		return perf.Tolerances{
+			MaxEnergyDrift:   5e-2,
+			MaxMomentumDrift: 1e-3,
+		}, true
+	case "collision":
+		return perf.Tolerances{
+			MaxEnergyDrift:   5e-2,
+			MaxMomentumDrift: 5e-3,
+		}, true
+	}
+	return perf.Tolerances{}, false
+}
+
+// ScenarioWatchdog returns a fresh watchdog armed with the scenario's
+// tolerance band, or nil for scenarios without presets ("explicit", unknown
+// names). RunContext installs it when Config.Scenario is set and the caller
+// supplied no watchdog of their own.
+func ScenarioWatchdog(name string) *perf.Watchdog {
+	tol, ok := ScenarioTolerances(name)
+	if !ok {
+		return nil
+	}
+	return &perf.Watchdog{Tol: tol}
+}

@@ -138,6 +138,21 @@ type BatchEngine interface {
 type Config struct {
 	DT    float32 // time step
 	Steps int     // number of steps
+	// Integrator names the scheme (see integrate.Names) to construct when the
+	// caller passes a nil integrator to Run/RunContext; "" means leapfrog.
+	// Ignored when an integrator instance is supplied.
+	Integrator string
+	// Scenario names the initial-condition family the system was generated
+	// from ("plummer", "collision", ...). It selects the per-scenario watchdog
+	// tolerances when Watchdog is nil (see ScenarioWatchdog); "" or "explicit"
+	// leaves the watchdog off.
+	Scenario string
+	// DTMin, DTMax and Eta configure the Hermite block-timestep hierarchy
+	// (integrate.Hermite fields of the same names) when the run uses a Hermite
+	// integrator; zero values keep the integrator's own defaults, and the
+	// fields are ignored by single-rate integrators.
+	DTMin, DTMax float32
+	Eta          float32
 	// SnapshotEvery records diagnostics every k steps (and always at step 0
 	// and the final step). Zero disables intermediate snapshots. Snapshots
 	// cost an O(N^2) exact potential evaluation each.
@@ -195,6 +210,20 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 	if cfg.Steps < 0 {
 		return nil, fmt.Errorf("sim: negative step count %d", cfg.Steps)
 	}
+	if integ == nil {
+		name := cfg.Integrator
+		if name == "" {
+			name = "leapfrog"
+		}
+		var err error
+		integ, err = integrate.New(name)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if cfg.Watchdog == nil && cfg.Scenario != "" {
+		cfg.Watchdog = ScenarioWatchdog(cfg.Scenario)
+	}
 	caps := Caps(eng)
 	if cfg.HostWorkers != 0 && caps.HostWorkers != nil {
 		caps.HostWorkers.SetHostWorkers(cfg.HostWorkers)
@@ -209,6 +238,48 @@ func RunContext(ctx context.Context, s *body.System, eng Engine, integ integrate
 			engineErr = err
 		}
 		return n
+	}
+
+	// Block-timestep integrators need the extended acceleration+jerk path:
+	// wire the richest implementation available — the engine's simulated-GPU
+	// jerk kernels with their per-block plan selector when the Jerk capability
+	// is present, the CPU reference otherwise. Each block substep records a
+	// span under the current step and feeds the active-fraction telemetry.
+	if bi, ok := integ.(integrate.BlockIntegrator); ok {
+		if h, isHermite := integ.(*integrate.Hermite); isHermite {
+			if cfg.Eta > 0 {
+				h.Eta = cfg.Eta
+			}
+			if cfg.DTMin > 0 {
+				h.DTMin = cfg.DTMin
+			}
+			if cfg.DTMax > 0 {
+				h.DTMax = cfg.DTMax
+			}
+		}
+		blockParams := pp.Params{G: float32(cfg.G), Eps: float32(cfg.Eps)}
+		if blockParams.G == 0 {
+			blockParams.G = 1
+		}
+		bi.SetBlockForce(func(sys *body.System, active []int, jerk []vec.V3) int64 {
+			sp := cfg.Obs.StartCtx(forceCtx, "block", "sim").Track(integ.Name()).Arg("active", len(active))
+			defer sp.End()
+			var n int64
+			if caps.Jerk != nil {
+				var err error
+				n, err = caps.Jerk.AccelJerk(forceCtx, sys, active, jerk)
+				if err != nil && engineErr == nil {
+					engineErr = err
+				}
+			} else {
+				n = pp.ScalarJerk(sys, active, jerk, blockParams)
+			}
+			if nb := sys.N(); nb > 0 {
+				cfg.Obs.Gauge("sim.block.active_fraction").Set(float64(len(active)) / float64(nb))
+			}
+			cfg.Obs.Counter("sim.block.substeps").Inc()
+			return n
+		})
 	}
 
 	timed := caps.Timed
